@@ -1,0 +1,80 @@
+// Ablations for the paper's §6.2.3 mitigation levers on the frontier word
+// LM: numeric precision (fp32 vs fp16) and optimizer slot state (SGD /
+// momentum / Adam), measured as training-step footprint, traffic, Roofline
+// time, and accelerators-per-worker at 32 GB.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "src/hw/roofline.h"
+#include "src/ir/footprint.h"
+#include "src/models/word_lm.h"
+
+namespace {
+
+using namespace gf;
+
+struct Variant {
+  std::string label;
+  models::WordLmConfig config;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "precision & optimizer effects on the frontier word LM");
+
+  models::WordLmConfig base;
+  base.vocab = 800000;
+  base.projection = true;
+
+  std::vector<Variant> variants;
+  variants.push_back({"fp32 + SGD (paper baseline)", base});
+  {
+    Variant v{"fp16 + SGD", base};
+    v.config.training.half_precision = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fp32 + momentum", base};
+    v.config.training.optimizer = ir::Optimizer::kMomentum;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fp32 + Adam", base};
+    v.config.training.optimizer = ir::Optimizer::kAdam;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fp16 + Adam", base};
+    v.config.training.half_precision = true;
+    v.config.training.optimizer = ir::Optimizer::kAdam;
+    variants.push_back(v);
+  }
+
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const double target_params = 23.8e9;
+
+  util::Table table({"variant", "footprint (GB)", "persistent (GB)", "TB/step",
+                     "Roofline step (s)", "accel/worker @32GB"});
+  for (const auto& v : variants) {
+    const auto spec = models::build_word_lm(v.config);
+    const auto bind = spec.bind(spec.hidden_for_params(target_params), 128);
+    const auto fp = ir::minimal_footprint(*spec.graph, bind);
+    const double flops = spec.graph->total_flops().eval(bind);
+    const double bytes = spec.graph->total_bytes_accessed().eval(bind);
+    const auto t = hw::roofline_step_time(accel, flops, bytes);
+    table.add_row({v.label, util::format_sig(fp.total_bytes / 1e9, 4),
+                   util::format_sig(fp.persistent_bytes / 1e9, 4),
+                   util::format_sig(bytes / 1e12, 4),
+                   util::format_sig(t.seconds(), 4),
+                   std::to_string(static_cast<int>(
+                       std::ceil(fp.total_bytes / accel.mem_capacity)))});
+  }
+  bench::print_with_csv(table);
+
+  std::cout << "\nReading: fp16 roughly halves footprint and traffic (the §6.2.3\n"
+               "'1.5-10x' memory-reduction band starts here); Adam's two slots\n"
+               "double the persistent state SGD needs — at frontier sizes the\n"
+               "optimizer choice alone swings accelerators-per-worker by ~2x.\n";
+  return 0;
+}

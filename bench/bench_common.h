@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) a banner naming the paper artifact it regenerates,
+// (b) an aligned table of the reproduced rows/series, and (c) a CSV block
+// for plotting, so `for b in build/bench/*; do $b; done` leaves a complete,
+// diffable record.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+namespace gf::bench {
+
+inline void banner(const std::string& what, const std::string& description) {
+  std::cout << "\n==============================================================\n"
+            << what << " — " << description << "\n"
+            << "==============================================================\n";
+}
+
+inline void print_with_csv(const util::Table& table) {
+  table.print(std::cout);
+  std::cout << "\n-- csv --\n";
+  table.print_csv(std::cout);
+}
+
+}  // namespace gf::bench

@@ -1,0 +1,52 @@
+// Extension study: interconnect design space for the Figure 12 scenario —
+// flat ring vs hierarchical (NVLink-class intra-node + slower fabric) vs
+// gradient compression, swept over inter-node bandwidth. Quantifies how
+// much of the paper's data-parallel utilization loss each lever recovers.
+#include "bench/bench_common.h"
+#include "src/plan/case_study.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Extension", "interconnect & compression design space (word LM, 1024 workers)");
+
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto inputs = plan::paper_calibrated_case_study();
+  const int workers = 1024;
+  const double grad_bytes = 4.0 * inputs.params;
+
+  const auto utilization = [&](double comm_seconds) {
+    const double step = inputs.cache_step_seconds + comm_seconds;
+    return inputs.flops_per_step / (step * accel.peak_flops);
+  };
+
+  util::Table table({"inter-node GB/s", "flat ring comm (s)", "util",
+                     "hierarchical comm (s)", "util", "hier + 8-bit comm (s)", "util"});
+  for (double gbps : {12.5, 25.0, 56.0, 100.0, 300.0}) {
+    plan::AllReduceModel flat;
+    flat.link_bandwidth = gbps * 1e9;
+    const double t_flat = plan::ring_allreduce_seconds(flat, grad_bytes, workers);
+
+    plan::HierarchicalAllReduceModel hier;
+    hier.inter_bandwidth = gbps * 1e9;
+    const double t_hier = plan::hierarchical_allreduce_seconds(hier, grad_bytes, workers);
+
+    const double t_hier8 = plan::hierarchical_allreduce_seconds(
+        hier, plan::compressed_gradient_bytes(inputs.params, 8), workers);
+
+    table.add_row({util::format_sig(gbps, 3), util::format_sig(t_flat, 3),
+                   util::format_percent(utilization(t_flat)),
+                   util::format_sig(t_hier, 3),
+                   util::format_percent(utilization(t_hier)),
+                   util::format_sig(t_hier8, 3),
+                   util::format_percent(utilization(t_hier8))});
+  }
+  bench::print_with_csv(table);
+
+  std::cout << "\ncompute-bound ceiling (zero communication): "
+            << util::format_percent(utilization(0.0))
+            << "\nReading: hierarchical reduction divides the slow-fabric payload\n"
+               "by the node width (8x here), worth more than doubling the fabric;\n"
+               "stacking 8-bit compression brings 1024-worker utilization to\n"
+               "within a point of the single-worker cache-aware ceiling.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension study (beyond the paper): the §4 characterization applied to a
+// Transformer LM and compared against the paper's LSTM word LM at equal
+// parameters. Answers the paper's forward-looking question — does the
+// "RNNs have moderate intensity and huge footprints" hardware segmentation
+// survive the move to attention?
+#include "bench/bench_common.h"
+#include "src/analysis/first_order.h"
+#include "src/hw/cache_model.h"
+#include "src/hw/roofline.h"
+#include "src/ir/footprint.h"
+#include "src/models/models.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Extension", "Transformer LM vs LSTM word LM characterization");
+
+  const auto lstm = models::build_word_lm();
+  const auto trans = models::build_transformer_lm();
+  const analysis::ModelAnalyzer lstm_an(lstm);
+  const analysis::ModelAnalyzer trans_an(trans);
+
+  analysis::FitOptions opt;
+  opt.min_params = 5e10;
+  opt.max_params = 1e12;
+  opt.footprint_batch = 128;
+  const auto lstm_fit = analysis::fit_first_order(lstm_an, opt);
+  const auto trans_fit = analysis::fit_first_order(trans_an, opt);
+
+  util::Table fits({"constant", "LSTM word LM", "Transformer LM"});
+  fits.add_row({"gamma (FLOPs/param/sample)", util::format_sig(lstm_fit.gamma, 4),
+                util::format_sig(trans_fit.gamma, 4)});
+  fits.add_row({"lambda (bytes/param)", util::format_sig(lstm_fit.lambda, 4),
+                util::format_sig(trans_fit.lambda, 4)});
+  fits.add_row({"mu (bytes/sample/sqrt(p))", util::format_sig(lstm_fit.mu, 4),
+                util::format_sig(trans_fit.mu, 4)});
+  fits.add_row({"delta (footprint bytes/param)", util::format_sig(lstm_fit.delta, 4),
+                util::format_sig(trans_fit.delta, 4)});
+  bench::print_with_csv(fits);
+
+  std::cout << "\nAt the word-LM frontier (23.8B params), subbatch 128:\n";
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  util::Table at_scale({"quantity", "LSTM word LM", "Transformer LM"});
+  const double p = 23.8e9, b = 128;
+  const auto lstm_counts = lstm_an.at_params(p, b);
+  const auto trans_counts = trans_an.at_params(p, b);
+  const auto row = [&](const char* label, double lv, double tv) {
+    at_scale.add_row({label, util::format_sig(lv, 4), util::format_sig(tv, 4)});
+  };
+  row("TFLOPs/step", lstm_counts.flops / 1e12, trans_counts.flops / 1e12);
+  row("TB accessed/step", lstm_counts.bytes / 1e12, trans_counts.bytes / 1e12);
+  row("op intensity (FLOP/B)", lstm_counts.operational_intensity(),
+      trans_counts.operational_intensity());
+  row("footprint (GB)", lstm_counts.footprint_bytes / 1e9,
+      trans_counts.footprint_bytes / 1e9);
+  const auto lstm_t = hw::roofline_step_time(accel, lstm_counts.flops, lstm_counts.bytes);
+  const auto trans_t =
+      hw::roofline_step_time(accel, trans_counts.flops, trans_counts.bytes);
+  row("Roofline step (s)", lstm_t.seconds(), trans_t.seconds());
+  row("FLOP utilization (%)", lstm_t.flop_utilization * 100,
+      trans_t.flop_utilization * 100);
+
+  const auto lstm_ca = hw::cache_aware_step_time(
+      *lstm.graph, lstm.bind(lstm.hidden_for_params(p), b), accel);
+  const auto trans_ca = hw::cache_aware_step_time(
+      *trans.graph, trans.bind(trans.hidden_for_params(p), b), accel);
+  row("cache-aware step (s)", lstm_ca.step_seconds, trans_ca.step_seconds);
+  row("cache-aware utilization (%)", lstm_ca.flop_utilization * 100,
+      trans_ca.flop_utilization * 100);
+  bench::print_with_csv(at_scale);
+
+  std::cout
+      << "\nReading: at equal parameters both spend ~6q FLOPs per parameter,\n"
+         "but the Transformer batches its GEMMs over all q tokens, so its\n"
+         "weight-streaming term (lambda) collapses and graph intensity rises\n"
+         "well past the ridge point — the memory-capacity pressure remains\n"
+         "(footprints are as large), while the paper's 'moderate intensity'\n"
+         "half of the RNN segmentation is an artifact of serial unrolling.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 6: the sketch of power-law learning curves with
+// small-data, power-law, and irreducible-error regions, plus the real
+// learning curves of all five domains from their current dataset to the
+// projected frontier.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "src/scaling/projection.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Figure 6", "sketch of power-law learning curves");
+
+  // Synthetic curve with all three regions visible.
+  scaling::LearningCurve sketch{.alpha = 8.0,
+                                .beta_g = -0.35,
+                                .best_guess_error = 2.0,
+                                .irreducible_error = 0.12};
+  util::Table table({"dataset size", "generalization error", "region"});
+  for (double m = 1.0; m <= 1e12; m *= 10.0) {
+    const auto region = sketch.region_at(m);
+    const char* name = region == scaling::LearningCurve::Region::kSmallData
+                           ? "small-data (best guess)"
+                       : region == scaling::LearningCurve::Region::kPowerLaw
+                           ? "power-law"
+                           : "irreducible";
+    table.add_row({util::format_si(m, 0), util::format_sig(sketch.error_at(m), 4), name});
+  }
+  bench::print_with_csv(table);
+
+  std::cout << "\nDomain learning curves, current dataset -> projected frontier:\n";
+  util::Table domains({"Domain (model)", "m (samples)", "predicted error", "metric"});
+  for (const auto& d : scaling::domain_table()) {
+    const auto p = scaling::project_frontier(d);
+    for (double factor : {1.0, 4.0, 16.0, 64.0, p.data_scale}) {
+      if (factor > p.data_scale) continue;
+      const double m = d.current_samples * factor;
+      domains.add_row({models::domain_name(d.domain), util::format_si(m),
+                       util::format_sig(d.curve.error_at(m) / d.error_unit_scale, 4),
+                       d.metric});
+    }
+    domains.add_separator();
+  }
+  bench::print_with_csv(domains);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Figure 7: per-training-sample algorithmic FLOPs vs model size
+// for all five domains. Paper headline: linear above 30-100M parameters,
+// with FLOPs/parameter from 149 (NMT) to 1111 (ResNet).
+#include "bench/fig_sweep_common.h"
+#include "src/util/least_squares.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Figure 7", "per-sample FLOPs growth with model size");
+
+  const auto targets = analysis::log_spaced(3e7, 6e8, 9);
+  const auto series = bench::sweep_all_domains(targets, /*with_footprint=*/false);
+
+  bench::print_sweep(targets, series, "GFLOPs / train step / sample",
+                     [](const analysis::StepCounts& c) {
+                       return util::format_sig(c.flops_per_sample() / 1e9, 4);
+                     });
+
+  std::cout << "\nDotted-line trends (proportional fit over this range):\n";
+  util::Table trends({"Domain", "FLOPs/param/sample (slope)"});
+  for (const auto& s : series) {
+    std::vector<double> ps, fs;
+    for (const auto& c : s.points) {
+      ps.push_back(c.params);
+      fs.push_back(c.flops_per_sample());
+    }
+    trends.add_row({s.domain, util::format_sig(util::fit_proportional(ps, fs), 4)});
+  }
+  bench::print_with_csv(trends);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Figure 8: algorithmic GB accessed per training step vs model
+// size at each domain's fixed subbatch. Paper headline: nearly linear
+// asymptotes; recurrent domains stream far more bytes per parameter than
+// the ResNet.
+#include "bench/fig_sweep_common.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Figure 8", "algorithmic memory accessed per training step");
+
+  const auto targets = analysis::log_spaced(2e7, 3e8, 9);
+  const auto series = bench::sweep_all_domains(targets, /*with_footprint=*/false);
+
+  bench::print_sweep(targets, series, "GB accessed / train step",
+                     [](const analysis::StepCounts& c) {
+                       return util::format_sig(c.bytes / 1e9, 4);
+                     });
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 9: graph-level operational intensity vs model size at
+// fixed subbatch. Paper headline: intensity levels off as models grow —
+// RNN domains settle at moderate intensities, the CNN far higher.
+#include "bench/fig_sweep_common.h"
+#include "src/hw/accelerator.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Figure 9", "operational intensity as model size grows");
+
+  const auto targets = analysis::log_spaced(1e7, 1.8e8, 9);
+  const auto series = bench::sweep_all_domains(targets, /*with_footprint=*/false);
+
+  bench::print_sweep(targets, series, "FLOP/B",
+                     [](const analysis::StepCounts& c) {
+                       return util::format_sig(c.operational_intensity(), 4);
+                     });
+
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  std::cout << "\naccelerator ridge point (achievable): "
+            << util::format_sig(accel.achievable_ridge_point(), 3)
+            << " FLOP/B — series below it are memory-bound at their subbatch.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared driver for Figures 7-10: sweeps every domain's graph across model
+// sizes at the domain's profiling subbatch and prints one series column per
+// domain, exactly the layout of the paper's scatter plots.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/analysis/sweep.h"
+#include "src/models/models.h"
+#include "src/scaling/domains.h"
+
+namespace gf::bench {
+
+struct SweepSeries {
+  std::string domain;
+  std::vector<analysis::StepCounts> points;
+};
+
+/// Sweeps all domains over `param_targets` at their paper subbatch.
+inline std::vector<SweepSeries> sweep_all_domains(
+    const std::vector<double>& param_targets, bool with_footprint) {
+  std::vector<SweepSeries> out;
+  for (const auto& spec : models::build_all_domains()) {
+    const analysis::ModelAnalyzer analyzer(spec);
+    const auto& d = scaling::domain_scaling(spec.domain);
+    SweepSeries series;
+    series.domain = models::domain_name(spec.domain);
+    series.points = analysis::sweep_model_sizes(analyzer, param_targets,
+                                                d.paper_subbatch, with_footprint);
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+/// Prints the sweep as a table: one row per parameter target, one column
+/// per domain, values produced by `metric`.
+inline void print_sweep(const std::vector<double>& param_targets,
+                        const std::vector<SweepSeries>& series,
+                        const std::string& value_label,
+                        const std::function<std::string(const analysis::StepCounts&)>&
+                            metric) {
+  std::vector<std::string> headers{"model size (params)"};
+  for (const auto& s : series) headers.push_back(s.domain);
+  util::Table table(std::move(headers));
+  for (std::size_t i = 0; i < param_targets.size(); ++i) {
+    std::vector<std::string> row{util::format_si(param_targets[i])};
+    for (const auto& s : series) row.push_back(metric(s.points[i]));
+    table.add_row(std::move(row));
+  }
+  std::cout << "values: " << value_label << " (per-domain subbatch as in Table 3)\n";
+  print_with_csv(table);
+}
+
+}  // namespace gf::bench

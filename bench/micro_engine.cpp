@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the analysis engine itself: symbolic
+// simplification, graph construction, aggregate evaluation, footprint
+// traversal, the cache-aware model, and the numeric executor. These guard
+// the tool's own performance (a full five-domain Table 2 regeneration runs
+// thousands of these operations).
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/step_analysis.h"
+#include "src/analysis/sweep.h"
+#include "src/hw/cache_model.h"
+#include "src/ir/footprint.h"
+#include "src/models/models.h"
+#include "src/runtime/executor.h"
+
+namespace {
+
+using namespace gf;
+
+void BM_SymbolicPolynomialCollect(benchmark::State& state) {
+  const sym::Expr h = sym::Expr::symbol("h");
+  const sym::Expr b = sym::Expr::symbol("b");
+  for (auto _ : state) {
+    sym::Expr total(0.0);
+    for (int i = 0; i < state.range(0); ++i)
+      total = total + sym::Expr(2.0) * b * h * h + sym::Expr(3.0) * h + b;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SymbolicPolynomialCollect)->Arg(64)->Arg(512);
+
+void BM_SymbolicEval(benchmark::State& state) {
+  const sym::Expr h = sym::Expr::symbol("h");
+  const sym::Expr b = sym::Expr::symbol("b");
+  const sym::Expr e =
+      sym::Expr(481.0) * b * h * h + sym::Expr(30784.0) * b * sym::sqrt(h) + h;
+  const sym::Bindings bind{{"h", 1e4}, {"b", 128.0}};
+  for (auto _ : state) benchmark::DoNotOptimize(e.eval(bind));
+}
+BENCHMARK(BM_SymbolicEval);
+
+void BM_BuildWordLmGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    models::WordLmConfig cfg;
+    cfg.seq_length = static_cast<int>(state.range(0));
+    const auto spec = models::build_word_lm(cfg);
+    benchmark::DoNotOptimize(spec.graph->num_ops());
+  }
+}
+BENCHMARK(BM_BuildWordLmGraph)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_AggregateFlopsExpr(benchmark::State& state) {
+  const auto spec = models::build_word_lm();
+  for (auto _ : state) benchmark::DoNotOptimize(spec.graph->total_flops());
+  state.counters["ops"] = static_cast<double>(spec.graph->num_ops());
+}
+BENCHMARK(BM_AggregateFlopsExpr)->Unit(benchmark::kMillisecond);
+
+void BM_FootprintTraversal(benchmark::State& state) {
+  const auto spec = models::build_word_lm();
+  const auto bind = spec.bind(1024, 64);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ir::minimal_footprint(*spec.graph, bind).total_bytes);
+  state.counters["ops"] = static_cast<double>(spec.graph->num_ops());
+}
+BENCHMARK(BM_FootprintTraversal)->Unit(benchmark::kMillisecond);
+
+void BM_CacheAwareStepModel(benchmark::State& state) {
+  const auto spec = models::build_word_lm();
+  const auto bind = spec.bind(4096, 128);
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        hw::cache_aware_step_time(*spec.graph, bind, accel).step_seconds);
+}
+BENCHMARK(BM_CacheAwareStepModel)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutorTrainingStep(benchmark::State& state) {
+  models::WordLmConfig cfg;
+  cfg.vocab = 50;
+  cfg.seq_length = 8;
+  const auto spec = models::build_word_lm(cfg);
+  rt::Executor ex(*spec.graph, spec.bind(16, 4));
+  for (auto _ : state) benchmark::DoNotOptimize(ex.run_step().total_flops);
+  state.counters["graph_ops"] = static_cast<double>(spec.graph->num_ops());
+}
+BENCHMARK(BM_ExecutorTrainingStep)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto spec = models::build_char_lm({.vocab = 98, .depth = 10, .seq_length = 30});
+  const analysis::ModelAnalyzer analyzer(spec);
+  const auto targets = analysis::log_spaced(1e7, 1e9, 8);
+  for (auto _ : state) {
+    const auto pts = analysis::sweep_model_sizes(analyzer, targets, 96, true);
+    benchmark::DoNotOptimize(pts.back().footprint_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(targets.size()));
+}
+BENCHMARK(BM_ParallelSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

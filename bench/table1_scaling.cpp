@@ -1,0 +1,48 @@
+// Reproduces Table 1: learning-curve and model-size scaling relationships,
+// and the projected data/model scale needed to reach each domain's desired
+// SOTA. Paper headline: datasets must grow 33-971x, models 6.6-456x.
+#include "bench/bench_common.h"
+#include "src/scaling/projection.h"
+#include "src/util/format.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Table 1", "learning curve & model size scaling per domain");
+
+  util::Table table({"Domain (model)", "Current SOTA", "Desired SOTA", "Data samples",
+                     "alpha", "beta_g", "sigma", "beta_p", "Data scale", "(paper)",
+                     "Model scale", "(paper)"});
+  for (const auto& d : scaling::domain_table()) {
+    const auto p = scaling::project_frontier(d);
+    table.add_row({models::domain_name(d.domain),
+                   util::format_sig(d.current_sota_error) + " " + d.metric,
+                   util::format_sig(d.desired_sota_error),
+                   util::format_si(d.current_samples) + " " + d.sample_unit,
+                   util::format_sig(d.curve.alpha), util::format_sig(d.curve.beta_g),
+                   util::format_sig(d.size_curve.sigma),
+                   util::format_sig(d.size_curve.beta_p),
+                   util::format_scale(p.data_scale),
+                   util::format_scale(d.paper_data_scale),
+                   util::format_scale(p.model_scale),
+                   util::format_scale(d.paper_model_scale)});
+  }
+  bench::print_with_csv(table);
+
+  std::cout << "\nProjected absolute targets (sigma yields params in millions):\n";
+  util::Table targets({"Domain (model)", "Target data", "Target params",
+                       "(paper params)", "Target dataset size"});
+  for (const auto& d : scaling::domain_table()) {
+    const auto p = scaling::project_frontier(d);
+    targets.add_row({models::domain_name(d.domain),
+                     util::format_si(p.target_samples) + " " + d.sample_unit,
+                     util::format_si(p.target_params),
+                     util::format_si(d.paper_target_params),
+                     util::format_bytes(p.target_dataset_gb * 1e9)});
+  }
+  bench::print_with_csv(targets);
+
+  std::cout << "\nNote: char-LM and speech rows deviate from the paper's printed\n"
+               "scales because the paper's own alpha/beta_g/sigma constants are\n"
+               "inconsistent with its Tables 1/3 for those domains (EXPERIMENTS.md).\n";
+  return 0;
+}

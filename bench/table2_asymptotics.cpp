@@ -1,0 +1,55 @@
+// Reproduces Table 2: asymptotic application-level compute requirements.
+// Builds every domain's training-step graph, sweeps model sizes on the
+// thread pool, and fits the first-order constants
+//   ct = gamma*p*b,  at = lambda*p + mu*b*sqrt(p),  ft = delta*p,
+// printing them against the paper's published row.
+#include "bench/bench_common.h"
+#include "src/analysis/first_order.h"
+#include "src/models/models.h"
+#include "src/scaling/domains.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Table 2", "asymptotic per-parameter compute requirements");
+
+  util::Table table({"Domain (model)", "FLOPs/param (gamma)", "(paper)",
+                     "Bytes/param (lambda)", "(paper)", "mu", "(paper)",
+                     "Footprint B/param (delta)", "(paper)", "r2 flops", "r2 bytes"});
+
+  for (const auto& spec : models::build_all_domains()) {
+    const analysis::ModelAnalyzer analyzer(spec);
+    const auto fit = analysis::fit_first_order(
+        analyzer, analysis::recommended_fit_options(spec.domain));
+    const auto paper = analysis::paper_first_order(spec.domain);
+    table.add_row({models::domain_name(spec.domain),
+                   util::format_sig(fit.gamma, 3) + " b",
+                   util::format_sig(paper.gamma) + " b", util::format_sig(fit.lambda, 4),
+                   util::format_sig(paper.lambda), util::format_sig(fit.mu, 4) + " b/sqrt(p)",
+                   util::format_sig(paper.mu) + " b/sqrt(p)",
+                   util::format_sig(fit.delta, 3), util::format_sig(paper.delta),
+                   util::format_fixed(fit.r2_flops, 4), util::format_fixed(fit.r2_bytes, 4)});
+  }
+  bench::print_with_csv(table);
+
+  std::cout
+      << "\nOperational intensity takes the paper's form gamma*b*sqrt(p) /\n"
+         "(lambda*sqrt(p) + mu*b); derived limits at the paper's target sizes:\n";
+  util::Table oi({"Domain (model)", "OI @ (target p, paper subbatch)", "(paper model)"});
+  for (const auto& spec : models::build_all_domains()) {
+    const analysis::ModelAnalyzer analyzer(spec);
+    const auto fit = analysis::fit_first_order(
+        analyzer, analysis::recommended_fit_options(spec.domain));
+    const auto paper = analysis::paper_first_order(spec.domain);
+    const auto& d = scaling::domain_scaling(spec.domain);
+    oi.add_row({models::domain_name(spec.domain),
+                util::format_sig(
+                    fit.operational_intensity(d.paper_target_params, d.paper_subbatch), 3) +
+                    " FLOP/B",
+                util::format_sig(paper.operational_intensity(d.paper_target_params,
+                                                             d.paper_subbatch),
+                                 3) +
+                    " FLOP/B"});
+  }
+  bench::print_with_csv(oi);
+  return 0;
+}

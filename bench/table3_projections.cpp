@@ -1,0 +1,98 @@
+// Reproduces Table 3: application-level training requirements projected to
+// target accuracy — subbatch choice, TFLOPs/step, TB accessed/step, minimal
+// memory footprint, Roofline step time, and days per epoch on the Table 4
+// accelerator. Rows are computed two ways: from this library's compute
+// graphs at the target size (graph-derived) and from the paper's published
+// Table 2 constants (calibrated), with the paper's printed values alongside.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "src/analysis/first_order.h"
+#include "src/hw/cache_model.h"
+#include "src/hw/subbatch.h"
+#include "src/ir/footprint.h"
+#include "src/models/models.h"
+#include "src/scaling/domains.h"
+
+namespace {
+
+double epoch_days(double dataset_samples, int samples_per_row, double subbatch,
+                  double step_seconds) {
+  const double rows = dataset_samples / samples_per_row;
+  return rows / subbatch * step_seconds / 86400.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gf;
+  bench::banner("Table 3", "training requirements projected to target accuracy");
+
+  const auto accel = hw::AcceleratorConfig::v100_like();
+
+  util::Table table({"Domain (model)", "Data", "Params", "Subbatch", "b* (opt)",
+                     "TFLOPs/step", "(paper)", "TB/step", "(paper)", "Foot GB",
+                     "(paper)", "Step s", "(paper)", "Epoch days", "(paper)"});
+
+  for (const auto& spec : models::build_all_domains()) {
+    const auto& d = scaling::domain_scaling(spec.domain);
+    const analysis::ModelAnalyzer analyzer(spec);
+    const auto fit = analysis::fit_first_order(
+        analyzer, analysis::recommended_fit_options(spec.domain));
+
+    // Rows use the paper's subbatch for comparability; b* is the smallest
+    // per-sample-time-minimizing size from the §5.2.1 optimizer (snapped
+    // to a power of two). Pure Roofline picks tiny conv subbatches — real
+    // kernels need more rows to fill a device, which is why the paper's
+    // ResNet choice (32) exceeds its Roofline optimum.
+    const auto choice = hw::choose_subbatch(fit, d.paper_target_params, accel);
+    const double optimizer_b = std::pow(2.0, std::round(std::log2(choice.best)));
+    const double subbatch = d.paper_subbatch;
+
+    // Graph-derived step quantities at the target size.
+    const double hidden = spec.hidden_for_params(d.paper_target_params);
+    const auto bind = spec.bind(hidden, subbatch);
+    const double flops = analyzer.flops_expr().eval(bind);
+    const double bytes = analyzer.bytes_expr().eval(bind);
+    const auto fp = ir::minimal_footprint(*spec.graph, bind);
+    const auto t = hw::roofline_step_time(accel, flops, bytes);
+    const double days = epoch_days(d.paper_target_samples, spec.samples_per_batch_row,
+                                   subbatch, t.seconds());
+
+    table.add_row({models::domain_name(spec.domain),
+                   util::format_si(d.paper_target_samples) + " " + d.sample_unit,
+                   util::format_si(d.paper_target_params),
+                   util::format_sig(subbatch), util::format_sig(optimizer_b),
+                   util::format_sig(flops / 1e12, 3),
+                   util::format_sig(d.paper_tflops_per_step),
+                   util::format_sig(bytes / 1e12, 3),
+                   util::format_sig(d.paper_mem_tb_per_step),
+                   util::format_sig(fp.total_bytes / 1e9, 3),
+                   util::format_sig(d.paper_footprint_gb),
+                   util::format_sig(t.seconds(), 3),
+                   util::format_sig(d.paper_step_seconds),
+                   util::format_si(days),
+                   util::format_si(d.paper_epoch_days)});
+  }
+  bench::print_with_csv(table);
+
+  std::cout << "\nSame rows from the paper's own Table 2 constants (calibrated):\n";
+  util::Table cal({"Domain (model)", "TFLOPs/step", "TB/step", "Foot GB", "Step s"});
+  for (const auto& d : scaling::domain_table()) {
+    const auto paper = analysis::paper_first_order(d.domain);
+    const double flops = paper.ct(d.paper_target_params, d.paper_subbatch);
+    const double bytes = paper.at(d.paper_target_params, d.paper_subbatch);
+    const auto t = hw::roofline_step_time(accel, flops, bytes);
+    cal.add_row({models::domain_name(d.domain), util::format_sig(flops / 1e12, 4),
+                 util::format_sig(bytes / 1e12, 3),
+                 util::format_sig(paper.ft(d.paper_target_params) / 1e9, 3),
+                 util::format_sig(t.seconds(), 3)});
+  }
+  bench::print_with_csv(cal);
+
+  std::cout << "\nHeadline checks: every footprint exceeds the 32 GB accelerator\n"
+               "capacity; language domains need 100x+ more step compute than\n"
+               "speech/image; epoch times for language domains are years-to-\n"
+               "millennia on one accelerator.\n";
+  return 0;
+}

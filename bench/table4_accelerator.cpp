@@ -1,0 +1,31 @@
+// Reproduces Table 4: the target accelerator configuration and the derived
+// Roofline ridge points the subbatch analysis depends on.
+#include "bench/bench_common.h"
+#include "src/hw/accelerator.h"
+
+int main() {
+  using namespace gf;
+  bench::banner("Table 4", "target accelerator configuration");
+
+  const auto a = hw::AcceleratorConfig::v100_like();
+  util::Table table({"Component", "Configuration"});
+  table.add_row({"Compute Throughput, 32-bit (xc)",
+                 util::format_sig(a.peak_flops / 1e12, 4) + " TFLOP/s"});
+  table.add_row({"On-chip Cache", util::format_bytes(a.cache_bytes, 0)});
+  table.add_row({"Memory Bandwidth (xa)",
+                 util::format_sig(a.mem_bandwidth / 1e9, 3) + " GB/s"});
+  table.add_row({"Memory Capacity (off-chip)", util::format_bytes(a.mem_capacity, 0)});
+  table.add_row({"Inter-device Bandwidth",
+                 util::format_sig(a.interconnect_bandwidth / 1e9, 2) + " GB/s"});
+  table.add_separator();
+  table.add_row({"Achievable compute (80%)",
+                 util::format_sig(a.achievable_flops() / 1e12, 4) + " TFLOP/s"});
+  table.add_row({"Achievable bandwidth (70%)",
+                 util::format_sig(a.achievable_bandwidth() / 1e9, 3) + " GB/s"});
+  table.add_row({"Ridge point (peak)",
+                 util::format_sig(a.ridge_point(), 3) + " FLOP/B"});
+  table.add_row({"Ridge point (achievable)",
+                 util::format_sig(a.achievable_ridge_point(), 3) + " FLOP/B"});
+  bench::print_with_csv(table);
+  return 0;
+}

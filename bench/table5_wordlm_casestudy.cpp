@@ -1,0 +1,117 @@
+// Reproduces Table 5: the §6 step-by-step process of training a frontier
+// word LM — best-case Roofline, cache-hierarchy-aware correction, data
+// parallelism (1024/512 workers), layer parallelism (4 stages), and
+// embedding-table sharding. Runs both paper-calibrated inputs and inputs
+// derived from this library's own projected word-LM graph.
+#include "bench/bench_common.h"
+#include "src/hw/cache_model.h"
+#include "src/ir/footprint.h"
+#include "src/models/word_lm.h"
+#include "src/plan/case_study.h"
+
+namespace {
+
+using namespace gf;
+
+void print_rows(const std::vector<plan::CaseStudyRow>& rows) {
+  util::Table table({"Optimization stage", "Accel.", "Batch", "Mem/accel (GB)",
+                     "Days/epoch", "Alg. FLOP util"});
+  for (const auto& row : rows) {
+    std::string mem;
+    if (row.memory_per_accel_bytes.size() == 1) {
+      mem = util::format_sig(row.memory_per_accel_bytes[0] / 1e9, 4);
+    } else {
+      mem = "{";
+      for (std::size_t i = 0; i < row.memory_per_accel_bytes.size(); ++i) {
+        if (i) mem += ", ";
+        mem += util::format_sig(row.memory_per_accel_bytes[i] / 1e9, 3);
+      }
+      mem += "}";
+    }
+    table.add_row({row.stage, std::to_string(row.accelerators),
+                   util::format_si(row.global_batch, 0), mem,
+                   util::format_si(row.epoch_days),
+                   util::format_percent(row.utilization)});
+  }
+  bench::print_with_csv(table);
+}
+
+/// Inputs derived from this library's own projected word LM: the §6.1
+/// LSTM-projection + 800K-vocabulary variant solved to 23.8B parameters.
+plan::CaseStudyInputs graph_derived_inputs(const hw::AcceleratorConfig& accel) {
+  models::WordLmConfig cfg;
+  cfg.vocab = 800000;
+  cfg.projection = true;
+  const auto spec = models::build_word_lm(cfg);
+  const double params = 23.8e9;
+  const double hidden = spec.hidden_for_params(params);
+  const auto bind = spec.bind(hidden, 128);
+
+  plan::CaseStudyInputs in;
+  in.label = "graph-derived (this library's projected word LM)";
+  in.params = params;
+  in.subbatch = 128;
+  in.samples_per_epoch = 77e9 / spec.samples_per_batch_row;  // 77B words
+
+  const auto best = hw::best_case_step_time(*spec.graph, bind, accel);
+  in.best_step_seconds = best.seconds();
+  in.best_utilization = best.flop_utilization;
+  const auto ca = hw::cache_aware_step_time(*spec.graph, bind, accel);
+  in.cache_step_seconds = ca.step_seconds;
+  in.cache_utilization = ca.flop_utilization;
+  in.flops_per_step = ca.flops;
+  in.total_footprint_bytes = ir::minimal_footprint(*spec.graph, bind).total_bytes;
+
+  // Per-layer weight memory (weights + gradients) grouped by name prefix.
+  // Embedding and vocabulary-projection tables are shardable (row/column
+  // splits); the fused LSTM gate matrices stay whole.
+  const std::vector<std::pair<std::string, bool>> groups = {
+      {"embedding", true}, {"lstm0", false}, {"lstm1", false}, {"output", true}};
+  for (const auto& [prefix, shardable] : groups) {
+    double bytes = 0;
+    for (const auto* w : spec.graph->weights())
+      if (w->name().rfind(prefix, 0) == 0) bytes += w->bytes().eval(bind);
+    in.layers.push_back({prefix, 2.0 * bytes, shardable});
+  }
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const plan::AllReduceModel network;
+
+  bench::banner("Table 5", "word LM case study, paper-calibrated inputs");
+  const auto calibrated = plan::paper_calibrated_case_study();
+  std::cout << "inputs: " << calibrated.label << "\n";
+  print_rows(plan::run_case_study(calibrated, accel, network));
+  std::cout << "\nPaper row 2 note: Table 5 prints 4071 days/epoch but the body\n"
+               "text says 4671; the utilization-consistent value (80/46 * 2707)\n"
+               "is ~4708, which is what this model reproduces.\n";
+
+  bench::banner("Table 5 (bis)", "word LM case study, graph-derived inputs");
+  const auto derived = graph_derived_inputs(accel);
+  std::cout << "inputs: " << derived.label << "\n";
+  print_rows(plan::run_case_study(derived, accel, network));
+
+  std::cout << "\nAblation: gradient compression (§6.2.3) on the 1024-worker step\n";
+  {
+    plan::WorkerStep w;
+    w.step_seconds = calibrated.cache_step_seconds;
+    w.flops = calibrated.flops_per_step;
+    w.subbatch = calibrated.subbatch;
+    w.samples_per_epoch = calibrated.samples_per_epoch;
+    gf::util::Table t({"Gradient encoding", "Comm s/step", "Epoch days", "Util"});
+    for (double bits : {32.0, 8.0, 2.0}) {
+      w.gradient_bytes = plan::compressed_gradient_bytes(calibrated.params, bits);
+      const auto pt = plan::evaluate_data_parallel(w, accel, network, 1024);
+      t.add_row({gf::util::format_sig(bits, 2) + "-bit",
+                 gf::util::format_sig(pt.comm_seconds, 3),
+                 gf::util::format_sig(pt.epoch_days, 3),
+                 gf::util::format_percent(pt.flop_utilization)});
+    }
+    bench::print_with_csv(t);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Accelerator design-space exploration — the paper's §6.2.3 hardware
+// recommendation, quantified. Sweeps on-chip cache size and memory
+// capacity for a frontier RNN (word LM) and a frontier CNN (ResNet) and
+// shows why "more cache + more memory" helps RNNs while CNNs barely care,
+// running counter to compute-throughput-first accelerator designs.
+//
+//   $ ./examples/accelerator_designer
+#include <iostream>
+
+#include "src/gradient_frontier.h"
+
+int main() {
+  using namespace gf;
+
+  // Frontier-sized instances of the two contrasting domains.
+  models::WordLmConfig lm_cfg;
+  lm_cfg.vocab = 800000;
+  lm_cfg.projection = true;
+  const auto lm = models::build_word_lm(lm_cfg);
+  const auto lm_bind = lm.bind(lm.hidden_for_params(23.8e9), 128);
+
+  const auto cnn = models::build_resnet();
+  const auto cnn_bind = cnn.bind(cnn.hidden_for_params(732e6), 32);
+
+  std::cout << "Cache sweep: algorithmic FLOP utilization under the cache-\n"
+               "hierarchy-aware execution model (restreaming beyond the cache).\n\n";
+  util::Table cache_table({"on-chip cache", "word LM util", "word LM restream",
+                           "ResNet util", "ResNet restream"});
+  const auto base = hw::AcceleratorConfig::v100_like();
+  for (double mb : {1.5, 6.0, 24.0, 96.0, 384.0}) {
+    hw::AcceleratorConfig a = base;
+    a.cache_bytes = mb * 1e6;
+    const auto lm_t = hw::cache_aware_step_time(*lm.graph, lm_bind, a);
+    const auto cnn_t = hw::cache_aware_step_time(*cnn.graph, cnn_bind, a);
+    cache_table.add_row({util::format_bytes(a.cache_bytes, 1),
+                         util::format_percent(lm_t.flop_utilization),
+                         util::format_sig(lm_t.restream_factor(), 3) + "x",
+                         util::format_percent(cnn_t.flop_utilization),
+                         util::format_sig(cnn_t.restream_factor(), 3) + "x"});
+  }
+  cache_table.print(std::cout);
+
+  std::cout << "\nMemory-capacity sweep: accelerators per data-parallel worker\n"
+               "(model parallelism degree) required to hold one training step.\n\n";
+  const double lm_footprint = ir::minimal_footprint(*lm.graph, lm_bind).total_bytes;
+  const double cnn_footprint = ir::minimal_footprint(*cnn.graph, cnn_bind).total_bytes;
+  util::Table mem_table({"memory capacity", "word LM accls/worker",
+                         "ResNet accls/worker"});
+  for (double gb : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const auto need = [&](double fp) {
+      return std::to_string(static_cast<int>(std::ceil(fp / (gb * 1e9))));
+    };
+    mem_table.add_row({util::format_bytes(gb * 1e9, 0), need(lm_footprint),
+                       need(cnn_footprint)});
+  }
+  mem_table.print(std::cout);
+
+  std::cout << "\nword LM footprint:  " << util::format_bytes(lm_footprint)
+            << "   ResNet footprint: " << util::format_bytes(cnn_footprint) << "\n\n"
+            << "Reading: the RNN both recovers utilization from every cache\n"
+               "doubling and stops needing model parallelism only at very\n"
+               "large capacities; the CNN is content with today's designs —\n"
+               "the paper's argument for RNN-oriented accelerators.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Frontier planner: the paper's full §3->§5 pipeline for a user-defined
+// modeling task. Given a measured learning curve (alpha, beta_g), a
+// model-size curve (sigma, beta_p), the current SOTA point and a target
+// error, the planner reports how much data, how many parameters, and how
+// much compute/memory/time the frontier costs on a V100-class accelerator.
+//
+//   $ ./examples/frontier_planner            # demo task
+//   $ ./examples/frontier_planner 13.0 -0.066 9.4e-4 0.68 768e6 3.37 2.48
+//     (alpha beta_g sigma beta_p current_samples current_error target_error)
+#include <cstdlib>
+#include <iostream>
+
+#include "src/gradient_frontier.h"
+
+int main(int argc, char** argv) {
+  using namespace gf;
+
+  scaling::DomainScaling task;
+  task.domain = models::Domain::kWordLM;  // compute model used for ct/at
+  task.metric = "error";
+  task.sample_unit = "sample";
+  task.curve = {.alpha = 13.0, .beta_g = -0.066};
+  task.size_curve = {.sigma = 9.4e-4, .beta_p = 0.68};
+  task.current_samples = 768e6;
+  task.current_sota_error = 3.37;
+  task.desired_sota_error = 2.48;
+  if (argc == 8) {
+    task.curve.alpha = std::atof(argv[1]);
+    task.curve.beta_g = std::atof(argv[2]);
+    task.size_curve.sigma = std::atof(argv[3]);
+    task.size_curve.beta_p = std::atof(argv[4]);
+    task.current_samples = std::atof(argv[5]);
+    task.current_sota_error = std::atof(argv[6]);
+    task.desired_sota_error = std::atof(argv[7]);
+  } else if (argc != 1) {
+    std::cerr << "usage: frontier_planner [alpha beta_g sigma beta_p "
+                 "current_samples current_error target_error]\n";
+    return 1;
+  }
+  task.curve.validate();
+  task.size_curve.validate();
+
+  std::cout << "task: error " << task.current_sota_error << " -> "
+            << task.desired_sota_error << " (learning curve " << task.curve.alpha
+            << " * m^" << task.curve.beta_g << ")\n\n";
+
+  // --- scaling projection (paper §3) --------------------------------------
+  const auto projection = scaling::project_frontier(task);
+  std::cout << "data needed:  " << util::format_si(projection.target_samples)
+            << " samples (" << util::format_scale(projection.data_scale)
+            << " today's dataset)\n"
+            << "model needed: " << util::format_si(projection.target_params)
+            << " parameters (" << util::format_scale(projection.model_scale)
+            << " today's model)\n\n";
+
+  // --- compute characterization (paper §4) --------------------------------
+  // Use the published word-LM compute constants; swap in a graph-derived
+  // fit (analysis::fit_first_order) for your own architecture.
+  const auto compute = analysis::paper_first_order(task.domain);
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto choice = hw::choose_subbatch(compute, projection.target_params, accel);
+  const auto at_best =
+      hw::evaluate_subbatch(compute, projection.target_params, choice.best, accel);
+  std::cout << "chosen subbatch (min per-sample time): "
+            << util::format_sig(choice.best, 3) << "\n"
+            << "training step: " << util::format_si(at_best.op_intensity)
+            << " FLOP/B intensity, "
+            << util::format_duration(at_best.step_seconds, 2) << " per step\n"
+            << "footprint: " << util::format_bytes(at_best.footprint_bytes)
+            << (at_best.footprint_bytes > accel.mem_capacity
+                    ? "  ** exceeds one accelerator — model parallelism required **"
+                    : "")
+            << "\n\n";
+
+  // --- time-to-train and parallelism (paper §5-6) --------------------------
+  plan::WorkerStep worker;
+  worker.step_seconds = at_best.step_seconds;
+  worker.flops = compute.ct(projection.target_params, choice.best);
+  worker.subbatch = choice.best;
+  worker.gradient_bytes = 4.0 * projection.target_params;
+  worker.samples_per_epoch = projection.target_samples;
+
+  const auto single = plan::evaluate_data_parallel(worker, accel, {}, 1);
+  std::cout << "single accelerator: " << util::format_si(single.epoch_days)
+            << " days/epoch\n";
+  for (double target_days : {30.0, 7.0}) {
+    const int workers =
+        plan::workers_for_epoch_days(worker, accel, {}, target_days, 1 << 20);
+    if (workers == 0) {
+      std::cout << "  <" << target_days
+                << " days/epoch: unreachable with data parallelism alone\n";
+      continue;
+    }
+    const auto pt = plan::evaluate_data_parallel(worker, accel, {}, workers);
+    std::cout << "  <" << target_days << " days/epoch: " << workers
+              << " data-parallel workers (global batch "
+              << util::format_si(pt.global_batch, 0) << ", utilization "
+              << util::format_percent(pt.flop_utilization) << ")\n";
+  }
+  return 0;
+}

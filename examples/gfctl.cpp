@@ -1,0 +1,217 @@
+// gfctl — command-line front end over the full analysis pipeline, in the
+// spirit of the Catamount artifact's test scripts: every paper analysis
+// reachable from a shell.
+//
+//   gfctl characterize <domain> [--params P] [--batch B]
+//   gfctl project      <domain>
+//   gfctl fit          <domain>
+//   gfctl subbatch     <domain> [--params P]
+//   gfctl sweep        <domain> [--from P] [--to P] [--points N] [--batch B]
+//   gfctl export       <domain> <file>
+//   gfctl domains
+//
+// <domain> is one of: wordlm charlm nmt speech image transformer
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/gradient_frontier.h"
+#include "src/ir/serialize.h"
+
+namespace {
+
+using namespace gf;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  double number(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) throw std::invalid_argument("flag " + a + " needs a value");
+      args.flags[a.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+models::ModelSpec build_named(const std::string& name) {
+  if (name == "wordlm") return models::build_word_lm();
+  if (name == "charlm") return models::build_char_lm();
+  if (name == "nmt") return models::build_nmt();
+  if (name == "speech") return models::build_speech();
+  if (name == "image") return models::build_resnet();
+  if (name == "transformer") return models::build_transformer_lm();
+  throw std::invalid_argument("unknown domain '" + name +
+                              "' (wordlm|charlm|nmt|speech|image|transformer)");
+}
+
+int cmd_domains() {
+  util::Table table({"domain", "metric", "current SOTA", "desired"});
+  for (const auto& d : scaling::domain_table())
+    table.add_row({models::domain_name(d.domain), d.metric,
+                   util::format_sig(d.current_sota_error),
+                   util::format_sig(d.desired_sota_error)});
+  table.print(std::cout);
+  std::cout << "plus the extension model: transformer (word-LM task)\n";
+  return 0;
+}
+
+int cmd_characterize(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const double params = args.number("params", 1e9);
+  const double batch = args.number("batch", 32);
+
+  const analysis::ModelAnalyzer analyzer(spec);
+  const auto counts = analyzer.at_params(params, batch);
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto t = hw::roofline_step_time(accel, counts.flops, counts.bytes);
+  const auto bind = spec.bind(spec.hidden_for_params(params), batch);
+  const auto ca = hw::cache_aware_step_time(*spec.graph, bind, accel);
+
+  util::Table table({"quantity", "value"});
+  table.add_row({"model", spec.name});
+  table.add_row({"graph ops", std::to_string(spec.graph->num_ops())});
+  table.add_row({"parameters", util::format_si(counts.params)});
+  table.add_row({"hidden (solved)", util::format_sig(counts.hidden, 4)});
+  table.add_row({"FLOPs/step", util::format_si(counts.flops)});
+  table.add_row({"bytes/step", util::format_bytes(counts.bytes)});
+  table.add_row({"algorithmic IO/step",
+                 util::format_bytes(spec.graph->algorithmic_io().eval(bind))});
+  table.add_row(
+      {"op intensity", util::format_sig(counts.operational_intensity(), 4) + " FLOP/B"});
+  table.add_row({"min footprint", util::format_bytes(counts.footprint_bytes)});
+  table.add_row({"  persistent", util::format_bytes(counts.persistent_bytes)});
+  table.add_row({"Roofline step", util::format_duration(t.seconds(), 3)});
+  table.add_row({"  bound", t.compute_bound ? "compute" : "memory"});
+  table.add_row({"  FLOP utilization", util::format_percent(t.flop_utilization)});
+  table.add_row({"cache-aware step", util::format_duration(ca.step_seconds, 3)});
+  table.add_row({"  FLOP utilization", util::format_percent(ca.flop_utilization)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_project(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const auto& d = scaling::domain_scaling(spec.domain);
+  const auto p = scaling::project_frontier(d);
+  util::Table table({"quantity", "value", "paper"});
+  table.add_row({"data scale", util::format_scale(p.data_scale),
+                 util::format_scale(d.paper_data_scale)});
+  table.add_row({"model scale", util::format_scale(p.model_scale),
+                 util::format_scale(d.paper_model_scale)});
+  table.add_row({"target dataset",
+                 util::format_si(p.target_samples) + " " + d.sample_unit,
+                 util::format_si(d.paper_target_samples)});
+  table.add_row({"target params", util::format_si(p.target_params),
+                 util::format_si(d.paper_target_params)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const analysis::ModelAnalyzer analyzer(spec);
+  analysis::FitOptions opt = spec.domain == models::Domain::kWordLM && spec.name ==
+                                     "transformer_lm"
+                                 ? analysis::FitOptions{}
+                                 : analysis::recommended_fit_options(spec.domain);
+  const auto fit = analysis::fit_first_order(analyzer, opt);
+  const auto paper = analysis::paper_first_order(spec.domain);
+  util::Table table({"constant", "fitted", "paper (Table 2)"});
+  table.add_row({"gamma (FLOPs/param/sample)", util::format_sig(fit.gamma, 4),
+                 util::format_sig(paper.gamma)});
+  table.add_row({"lambda (bytes/param)", util::format_sig(fit.lambda, 4),
+                 util::format_sig(paper.lambda)});
+  table.add_row({"mu (bytes/sample/sqrt(p))", util::format_sig(fit.mu, 4),
+                 util::format_sig(paper.mu)});
+  table.add_row({"delta (footprint B/param)", util::format_sig(fit.delta, 4),
+                 util::format_sig(paper.delta)});
+  table.add_row({"r^2 (flops / bytes)", util::format_fixed(fit.r2_flops, 4) + " / " +
+                                            util::format_fixed(fit.r2_bytes, 4),
+                 ""});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_subbatch(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const auto& d = scaling::domain_scaling(spec.domain);
+  const double params = args.number("params", d.paper_target_params);
+  const auto model = analysis::paper_first_order(spec.domain);
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto choice = hw::choose_subbatch(model, params, accel);
+  util::Table table({"marker", "subbatch"});
+  table.add_row({"ridge match", util::format_sig(choice.ridge, 4)});
+  table.add_row({"min per-sample time (recommended)", util::format_sig(choice.best, 4)});
+  table.add_row({"intensity saturation", util::format_sig(choice.saturation, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const double lo = args.number("from", 3e7);
+  const double hi = args.number("to", 6e8);
+  const int points = static_cast<int>(args.number("points", 8));
+  const double batch = args.number("batch", 32);
+
+  const analysis::ModelAnalyzer analyzer(spec);
+  const auto targets = analysis::log_spaced(lo, hi, points);
+  const auto counts = analysis::sweep_model_sizes(analyzer, targets, batch);
+  std::cout << "params,flops_per_step,bytes_per_step,op_intensity,footprint_bytes\n";
+  for (const auto& c : counts)
+    std::cout << c.params << ',' << c.flops << ',' << c.bytes << ','
+              << c.operational_intensity() << ',' << c.footprint_bytes << "\n";
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const std::string path = args.positional.at(2);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  ir::serialize(*spec.graph, out);
+  std::cout << "wrote " << spec.graph->num_ops() << " ops to " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.positional.empty()) {
+      std::cerr << "usage: gfctl "
+                   "<domains|characterize|project|fit|subbatch|sweep|export> ...\n";
+      return 1;
+    }
+    const std::string& cmd = args.positional[0];
+    if (cmd == "domains") return cmd_domains();
+    if (cmd == "characterize") return cmd_characterize(args);
+    if (cmd == "project") return cmd_project(args);
+    if (cmd == "fit") return cmd_fit(args);
+    if (cmd == "subbatch") return cmd_subbatch(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "export") return cmd_export(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "gfctl: " << e.what() << "\n";
+    return 1;
+  }
+}

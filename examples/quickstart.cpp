@@ -1,0 +1,66 @@
+// Quickstart: build a model as a symbolic training-step graph, ask the
+// paper's three questions (FLOPs? bytes? footprint?), then actually train
+// a toy instance with the numeric executor.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "src/gradient_frontier.h"
+
+int main() {
+  using namespace gf;
+
+  // 1. Build the paper's word language model: embedding -> 2 LSTM layers
+  //    -> vocabulary softmax, as a full training step (forward + backward
+  //    + SGD update). "hidden" and "batch" stay symbolic.
+  models::WordLmConfig config;
+  config.vocab = 100000;
+  config.seq_length = 80;
+  const models::ModelSpec spec = models::build_word_lm(config);
+
+  std::cout << "model: " << spec.name << "\n"
+            << "graph ops: " << spec.graph->num_ops() << "\n"
+            << "parameters(hidden) = " << spec.params.str() << "\n\n";
+
+  // 2. Characterize a training step at a concrete size: a 1B-parameter
+  //    model at subbatch 128.
+  const analysis::ModelAnalyzer analyzer(spec);
+  const analysis::StepCounts step = analyzer.at_params(1e9, 128);
+  std::cout << "at " << util::format_si(step.params) << " params, subbatch 128:\n"
+            << "  algorithmic FLOPs/step:  " << util::format_si(step.flops) << "\n"
+            << "  algorithmic bytes/step:  " << util::format_bytes(step.bytes) << "\n"
+            << "  operational intensity:   "
+            << util::format_sig(step.operational_intensity(), 3) << " FLOP/B\n"
+            << "  minimal memory footprint: "
+            << util::format_bytes(step.footprint_bytes) << "\n\n";
+
+  // 3. How long is that step on the paper's V100-class accelerator?
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto t = hw::roofline_step_time(accel, step.flops, step.bytes);
+  std::cout << "Roofline step time: " << util::format_duration(t.seconds(), 2) << " ("
+            << (t.compute_bound ? "compute" : "memory") << "-bound, "
+            << util::format_percent(t.flop_utilization) << " of peak FLOPs)\n\n";
+
+  // 4. The same graph runs numerically. Train a toy configuration for a
+  //    few steps and watch the loss drop.
+  models::WordLmConfig toy;
+  toy.vocab = 50;
+  toy.seq_length = 6;
+  toy.layers = 1;
+  const models::ModelSpec toy_spec = models::build_word_lm(toy);
+  const ir::Tensor* loss = toy_spec.loss;
+
+  rt::ExecutorOptions opt;
+  opt.learning_rate = 0.5;
+  rt::Executor executor(*toy_spec.graph, toy_spec.bind(16, 4), opt);
+  executor.retain(loss);
+  std::cout << "training a toy word LM (vocab 50, 6 steps unrolled):\n";
+  for (int epoch = 0; epoch <= 30; ++epoch) {
+    const auto profile = executor.run_step();
+    if (epoch % 10 == 0)
+      std::cout << "  step " << epoch << ": loss = " << executor.value(loss).f(0)
+                << "  (executed " << util::format_si(profile.total_flops)
+                << " FLOPs)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "src/analysis/checkpointing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::analysis {
+
+CheckpointingTradeoff checkpointing_tradeoff(double baseline_activation_bytes,
+                                             int layers) {
+  if (baseline_activation_bytes <= 0)
+    throw std::invalid_argument("checkpointing: activation bytes must be > 0");
+  if (layers < 1) throw std::invalid_argument("checkpointing: layers must be >= 1");
+
+  CheckpointingTradeoff t;
+  t.baseline_activation_bytes = baseline_activation_bytes;
+  const double per_layer = baseline_activation_bytes / layers;
+
+  // Memory with k segments: k boundary activations persist, plus one
+  // segment (L/k layers) fully materialized during its backward.
+  // Minimized near k = sqrt(L).
+  const int k = std::max(1, static_cast<int>(std::round(std::sqrt(layers))));
+  t.segments = k;
+  const double segment_layers = std::ceil(static_cast<double>(layers) / k);
+  t.checkpointed_activation_bytes = (k + segment_layers) * per_layer;
+  if (t.checkpointed_activation_bytes > baseline_activation_bytes)
+    t.checkpointed_activation_bytes = baseline_activation_bytes;  // tiny L
+  t.memory_reduction =
+      baseline_activation_bytes / t.checkpointed_activation_bytes;
+
+  // All but the last segment's activations are recomputed: one extra
+  // forward over (k-1)/k of the model, against a fwd+bwd step of ~3 fwd.
+  t.extra_flops_fraction = (k - 1.0) / k / 3.0;
+  return t;
+}
+
+}  // namespace gf::analysis

@@ -1,0 +1,26 @@
+// Activation checkpointing (rematerialization) tradeoff — one of the
+// §6.2.3 memory-mitigation levers ("many challenges exist to use these
+// techniques during model training"). Keeping only segment-boundary
+// activations and recomputing the rest during backward trades ~sqrt(L)
+// activation memory for roughly one extra forward pass.
+#pragma once
+
+namespace gf::analysis {
+
+struct CheckpointingTradeoff {
+  int segments = 1;                    ///< chosen segment count (~sqrt(layers))
+  double baseline_activation_bytes = 0;
+  double checkpointed_activation_bytes = 0;
+  double memory_reduction = 1;         ///< baseline / checkpointed
+  /// Extra FLOPs as a fraction of the full training step (forward is ~1/3
+  /// of fwd+bwd; one recompute adds ~that much again).
+  double extra_flops_fraction = 0;
+};
+
+/// Evaluates the sqrt-segment schedule for a model whose `layers` equal
+/// stages hold `baseline_activation_bytes` of live activations in total.
+/// Throws std::invalid_argument on non-positive inputs.
+CheckpointingTradeoff checkpointing_tradeoff(double baseline_activation_bytes,
+                                             int layers);
+
+}  // namespace gf::analysis

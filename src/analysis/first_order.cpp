@@ -1,0 +1,168 @@
+#include "src/analysis/first_order.h"
+
+#include <stdexcept>
+
+#include "src/util/least_squares.h"
+
+namespace gf::analysis {
+
+FirstOrderModel fit_first_order(const ModelAnalyzer& analyzer, const FitOptions& options) {
+  if (options.batches.empty())
+    throw std::invalid_argument("fit_first_order needs at least one batch size");
+  const auto targets =
+      log_spaced(options.min_params, options.max_params, options.param_points);
+
+  FirstOrderModel model;
+  model.domain = analyzer.spec().domain;
+
+  // gamma: proportional fit of per-sample FLOPs against params (the batch
+  // dependence is exactly linear minus the tiny update term, so one batch
+  // per target suffices).
+  {
+    const auto pts = sweep_model_sizes(analyzer, targets, options.batches.front(),
+                                       /*with_footprint=*/false);
+    std::vector<double> ps, fs;
+    for (const auto& c : pts) {
+      ps.push_back(c.params);
+      fs.push_back(c.flops_per_sample());
+    }
+    model.gamma = util::fit_proportional(ps, fs);
+    // r^2 against the proportional prediction.
+    double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+    for (double f : fs) mean += f / fs.size();
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      ss_res += (fs[i] - model.gamma * ps[i]) * (fs[i] - model.gamma * ps[i]);
+      ss_tot += (fs[i] - mean) * (fs[i] - mean);
+    }
+    model.r2_flops = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  }
+
+  // (lambda, mu): two-stage fit. A joint least squares can return a
+  // negative mu when embedding-heavy models make bytes slightly convex in
+  // p (sqrt(p) under-tracks the hidden dimension — the caveat the paper
+  // itself notes for word LMs and NMT). Instead:
+  //   lambda — batch-independent term, from a proportional fit at b -> 1;
+  //   mu     — from batch finite differences, which cancel the lambda*p
+  //            term exactly and are sign-correct by construction.
+  {
+    const auto base = sweep_model_sizes(analyzer, targets, 1.0, /*with_footprint=*/false);
+    std::vector<double> ps, ys;
+    for (const auto& c : base) {
+      ps.push_back(c.params);
+      ys.push_back(c.bytes);
+    }
+    model.lambda = util::fit_proportional(ps, ys);
+
+    const auto grid = sweep_grid(analyzer, targets, options.batches);
+    double mu_sum = 0.0;
+    std::size_t mu_n = 0;
+    for (std::size_t pi = 0; pi < targets.size(); ++pi) {
+      const double base_bytes = ys[pi];
+      for (std::size_t bi = 0; bi < options.batches.size(); ++bi) {
+        const auto& c = grid[pi * options.batches.size() + bi];
+        if (c.batch <= 1.0) continue;
+        mu_sum += (c.bytes - base_bytes) / ((c.batch - 1.0) * std::sqrt(c.params));
+        ++mu_n;
+      }
+    }
+    model.mu = mu_n > 0 ? mu_sum / static_cast<double>(mu_n) : 0.0;
+
+    double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+    for (const auto& c : grid) mean += c.bytes / static_cast<double>(grid.size());
+    for (const auto& c : grid) {
+      const double pred = model.at(c.params, c.batch);
+      ss_res += (c.bytes - pred) * (c.bytes - pred);
+      ss_tot += (c.bytes - mean) * (c.bytes - mean);
+    }
+    model.r2_bytes = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  }
+
+  // delta: slope of footprint vs params at a fixed (small) subbatch, in the
+  // large-model regime where persistent tensors dominate.
+  {
+    const auto pts = sweep_model_sizes(analyzer, targets, options.footprint_batch,
+                                       /*with_footprint=*/true);
+    std::vector<double> ps, fps;
+    for (const auto& c : pts) {
+      ps.push_back(c.params);
+      fps.push_back(c.footprint_bytes);
+    }
+    model.delta = util::fit_line(ps, fps).slope;
+  }
+
+  return model;
+}
+
+FitOptions recommended_fit_options(models::Domain domain) {
+  FitOptions opt;
+  switch (domain) {
+    case models::Domain::kWordLM:
+      // 100K-word embedding dominates until ~10B params; fit beyond it.
+      opt.min_params = 5e10;
+      opt.max_params = 1e12;
+      opt.footprint_batch = 128;
+      return opt;
+    case models::Domain::kCharLM:
+      opt.min_params = 1e9;
+      opt.max_params = 64e9;
+      opt.footprint_batch = 96;
+      return opt;
+    case models::Domain::kNMT:
+      opt.min_params = 4e9;
+      opt.max_params = 256e9;
+      opt.footprint_batch = 96;
+      return opt;
+    case models::Domain::kSpeech:
+      opt.min_params = 2e8;
+      opt.max_params = 3e9;
+      opt.footprint_batch = 128;
+      return opt;
+    case models::Domain::kImage:
+      opt.min_params = 1e8;
+      opt.max_params = 3e9;
+      opt.footprint_batch = 32;
+      return opt;
+  }
+  throw std::invalid_argument("unknown domain");
+}
+
+FirstOrderModel paper_first_order(models::Domain domain) {
+  FirstOrderModel m;
+  m.domain = domain;
+  m.r2_flops = m.r2_bytes = 1.0;
+  switch (domain) {
+    case models::Domain::kWordLM:
+      m.gamma = 481;
+      m.lambda = 1755;
+      m.mu = 30784;
+      m.delta = 11.94;
+      return m;
+    case models::Domain::kCharLM:
+      m.gamma = 900;
+      m.lambda = 3510;
+      m.mu = 102980;
+      m.delta = 12.47;
+      return m;
+    case models::Domain::kNMT:
+      m.gamma = 149;
+      m.lambda = 533;
+      m.mu = 22653;
+      m.delta = 10.32;
+      return m;
+    case models::Domain::kSpeech:
+      m.gamma = 775;
+      m.lambda = 3100;
+      m.mu = 162750;
+      m.delta = 32.94;
+      return m;
+    case models::Domain::kImage:
+      m.gamma = 1111;
+      m.lambda = 66.7;
+      m.mu = 268862;
+      m.delta = 42.57;
+      return m;
+  }
+  throw std::invalid_argument("unknown domain");
+}
+
+}  // namespace gf::analysis

@@ -1,0 +1,34 @@
+#include "src/analysis/step_analysis.h"
+
+namespace gf::analysis {
+
+ModelAnalyzer::ModelAnalyzer(const models::ModelSpec& spec)
+    : spec_(&spec),
+      flops_(spec.graph->total_flops()),
+      bytes_(spec.graph->total_bytes_accessed()) {}
+
+StepCounts ModelAnalyzer::counts_only(double hidden, double batch) const {
+  StepCounts c;
+  c.hidden = hidden;
+  c.batch = batch;
+  c.params = spec_->params_at(hidden);
+  const sym::Bindings bind = spec_->bind(hidden, batch);
+  c.flops = flops_.eval(bind);
+  c.bytes = bytes_.eval(bind);
+  return c;
+}
+
+StepCounts ModelAnalyzer::at(double hidden, double batch) const {
+  StepCounts c = counts_only(hidden, batch);
+  const auto fp = ir::minimal_footprint(*spec_->graph, spec_->bind(hidden, batch));
+  c.footprint_bytes = fp.total_bytes;
+  c.persistent_bytes = fp.persistent_bytes;
+  c.transient_bytes = fp.peak_transient_bytes;
+  return c;
+}
+
+StepCounts ModelAnalyzer::at_params(double target_params, double batch) const {
+  return at(spec_->hidden_for_params(target_params), batch);
+}
+
+}  // namespace gf::analysis

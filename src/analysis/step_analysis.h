@@ -1,0 +1,52 @@
+// Per-training-step characterization of a bound model (paper §4):
+// algorithmic FLOPs, bytes accessed, operational intensity, and minimal
+// memory footprint at a concrete (hidden, batch) point.
+#pragma once
+
+#include "src/ir/footprint.h"
+#include "src/models/common.h"
+
+namespace gf::analysis {
+
+/// Concrete counts for one training step at a bound configuration.
+struct StepCounts {
+  double hidden = 0.0;
+  double batch = 0.0;
+  double params = 0.0;
+  double flops = 0.0;            ///< algorithmic FLOPs per step
+  double bytes = 0.0;            ///< algorithmic bytes accessed per step
+  double footprint_bytes = 0.0;  ///< minimal memory footprint
+  double persistent_bytes = 0.0;
+  double transient_bytes = 0.0;
+
+  double operational_intensity() const { return bytes > 0 ? flops / bytes : 0.0; }
+  double flops_per_sample() const { return batch > 0 ? flops / batch : 0.0; }
+};
+
+/// Pre-aggregated symbolic totals for a model, computed once and evaluated
+/// many times across a sweep (the expensive part is summing ~40k op
+/// expressions; evaluation per binding is cheap).
+class ModelAnalyzer {
+ public:
+  explicit ModelAnalyzer(const models::ModelSpec& spec);
+
+  const models::ModelSpec& spec() const { return *spec_; }
+  const sym::Expr& flops_expr() const { return flops_; }
+  const sym::Expr& bytes_expr() const { return bytes_; }
+
+  /// Full counts (including the footprint graph traversal).
+  StepCounts at(double hidden, double batch) const;
+
+  /// Counts at a target parameter count (solves for hidden first).
+  StepCounts at_params(double target_params, double batch) const;
+
+  /// Cheap variant without the footprint traversal (footprint fields 0).
+  StepCounts counts_only(double hidden, double batch) const;
+
+ private:
+  const models::ModelSpec* spec_;
+  sym::Expr flops_;
+  sym::Expr bytes_;
+};
+
+}  // namespace gf::analysis

@@ -1,0 +1,47 @@
+#include "src/analysis/sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::analysis {
+
+std::vector<double> log_spaced(double lo, double hi, int points) {
+  if (lo <= 0 || hi <= lo || points < 2)
+    throw std::invalid_argument("log_spaced requires 0 < lo < hi and >= 2 points");
+  std::vector<double> out(static_cast<std::size_t>(points));
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) out[static_cast<std::size_t>(i)] = lo * std::exp(step * i);
+  return out;
+}
+
+std::vector<StepCounts> sweep_model_sizes(const ModelAnalyzer& analyzer,
+                                          const std::vector<double>& param_targets,
+                                          double batch, bool with_footprint,
+                                          conc::ThreadPool* pool) {
+  std::vector<StepCounts> out(param_targets.size());
+  auto body = [&](std::size_t i) {
+    const double h = analyzer.spec().hidden_for_params(param_targets[i]);
+    out[i] = with_footprint ? analyzer.at(h, batch) : analyzer.counts_only(h, batch);
+  };
+  conc::parallel_for(pool ? *pool : conc::ThreadPool::global(), 0, param_targets.size(),
+                     body);
+  return out;
+}
+
+std::vector<StepCounts> sweep_grid(const ModelAnalyzer& analyzer,
+                                   const std::vector<double>& param_targets,
+                                   const std::vector<double>& batches,
+                                   conc::ThreadPool* pool) {
+  const std::size_t n = param_targets.size() * batches.size();
+  std::vector<StepCounts> out(n);
+  auto body = [&](std::size_t idx) {
+    const std::size_t pi = idx / batches.size();
+    const std::size_t bi = idx % batches.size();
+    const double h = analyzer.spec().hidden_for_params(param_targets[pi]);
+    out[idx] = analyzer.counts_only(h, batches[bi]);
+  };
+  conc::parallel_for(pool ? *pool : conc::ThreadPool::global(), 0, n, body);
+  return out;
+}
+
+}  // namespace gf::analysis

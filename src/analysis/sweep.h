@@ -1,0 +1,30 @@
+// Model-size sweeps (the x-axes of Figures 7-10), parallelized over the
+// thread pool: each point evaluates the shared symbolic totals and runs a
+// footprint traversal under its own binding.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/step_analysis.h"
+#include "src/concurrency/thread_pool.h"
+
+namespace gf::analysis {
+
+/// Log-spaced parameter-count targets in [lo, hi].
+std::vector<double> log_spaced(double lo, double hi, int points);
+
+/// Evaluates `analyzer` at every parameter target with a fixed subbatch.
+/// Points run in parallel on `pool` (or the global pool when null).
+std::vector<StepCounts> sweep_model_sizes(const ModelAnalyzer& analyzer,
+                                          const std::vector<double>& param_targets,
+                                          double batch,
+                                          bool with_footprint = true,
+                                          conc::ThreadPool* pool = nullptr);
+
+/// Evaluates a (params x batch) grid; row-major over param_targets.
+std::vector<StepCounts> sweep_grid(const ModelAnalyzer& analyzer,
+                                   const std::vector<double>& param_targets,
+                                   const std::vector<double>& batches,
+                                   conc::ThreadPool* pool = nullptr);
+
+}  // namespace gf::analysis

@@ -1,0 +1,125 @@
+#include "src/concurrency/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace gf::conc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  {
+    std::lock_guard lock(mutex_);
+    if (shutting_down_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();  // tasks are exception-wrapped by callers (see parallel_for)
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk) {
+  if (begin >= end) return;
+  if (min_chunk == 0) min_chunk = 1;
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = pool.thread_count() * 4;
+  std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+  if (chunk < min_chunk) chunk = min_chunk;
+
+  // Small ranges: run inline, no dispatch overhead.
+  if (n <= chunk) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t num_tasks = (n + chunk - 1) / chunk;
+  remaining.store(num_tasks);
+
+  auto run_chunk = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    std::lock_guard lock(done_mutex);
+    if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
+  };
+
+  // One logical task per chunk; each drains the shared counter, so load is
+  // balanced even when iteration costs vary wildly (e.g. model sizes).
+  for (std::size_t t = 0; t < num_tasks - 1; ++t) pool.submit(run_chunk);
+  run_chunk();  // caller participates
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk) {
+  parallel_for(ThreadPool::global(), begin, end, body, min_chunk);
+}
+
+}  // namespace gf::conc

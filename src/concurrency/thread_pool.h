@@ -1,0 +1,65 @@
+// Work-queue thread pool and parallel_for.
+//
+// The analysis pipeline sweeps hundreds of model configurations (each one a
+// full graph build + traversal) and the numeric runtime blocks matmuls over
+// rows; both use this pool. The design follows the usual HPC pattern of one
+// long-lived pool sized to the hardware, with fork-join `parallel_for`
+// regions instead of per-task thread spawns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gf::conc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Shared process-wide pool (lazily constructed, hardware-sized).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations complete. Iterations are chunked to amortize dispatch cost.
+/// Exceptions thrown by `body` are captured and the first one rethrown.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+}  // namespace gf::conc

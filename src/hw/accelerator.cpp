@@ -1,0 +1,20 @@
+#include "src/hw/accelerator.h"
+
+#include <stdexcept>
+
+namespace gf::hw {
+
+void AcceleratorConfig::validate() const {
+  if (!(peak_flops > 0)) throw std::invalid_argument("peak_flops must be > 0");
+  if (!(mem_bandwidth > 0)) throw std::invalid_argument("mem_bandwidth must be > 0");
+  if (!(mem_capacity > 0)) throw std::invalid_argument("mem_capacity must be > 0");
+  if (!(cache_bytes >= 0)) throw std::invalid_argument("cache_bytes must be >= 0");
+  if (!(interconnect_bandwidth > 0))
+    throw std::invalid_argument("interconnect_bandwidth must be > 0");
+  if (!(achievable_compute_fraction > 0 && achievable_compute_fraction <= 1.0))
+    throw std::invalid_argument("achievable_compute_fraction must be in (0, 1]");
+  if (!(achievable_bandwidth_fraction > 0 && achievable_bandwidth_fraction <= 1.0))
+    throw std::invalid_argument("achievable_bandwidth_fraction must be in (0, 1]");
+}
+
+}  // namespace gf::hw

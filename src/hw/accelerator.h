@@ -1,0 +1,53 @@
+// Target accelerator configuration (paper Table 4): a V100-class device
+// with achievable-throughput deratings and the Roofline ridge point.
+#pragma once
+
+#include <string>
+
+namespace gf::hw {
+
+struct AcceleratorConfig {
+  std::string name = "V100-like";
+  double peak_flops = 15.67e12;        ///< 32-bit TFLOP/s
+  double cache_bytes = 6e6;            ///< on-chip (L2) cache
+  double mem_bandwidth = 898e9;        ///< HBM GB/s
+  double mem_capacity = 32e9;          ///< off-chip capacity
+  double interconnect_bandwidth = 56e9;///< per-device link GB/s
+  double achievable_compute_fraction = 0.80;
+  double achievable_bandwidth_fraction = 0.70;
+
+  double achievable_flops() const { return achievable_compute_fraction * peak_flops; }
+  double achievable_bandwidth() const {
+    return achievable_bandwidth_fraction * mem_bandwidth;
+  }
+
+  /// FLOP/B at which peak compute and peak bandwidth balance (17.4 for the
+  /// Table 4 device).
+  double ridge_point() const { return peak_flops / mem_bandwidth; }
+
+  /// Ridge point at achievable throughputs (19.9 for the Table 4 device).
+  double achievable_ridge_point() const {
+    return achievable_flops() / achievable_bandwidth();
+  }
+
+  /// Throws std::invalid_argument on non-physical values.
+  void validate() const;
+
+  /// The paper's Table 4 device.
+  static AcceleratorConfig v100_like() { return {}; }
+
+  /// A TPU-v2-class device (§5.1 mentions its 16 GB HBM): higher matrix
+  /// throughput, smaller/slower memory system, larger on-chip buffers.
+  static AcceleratorConfig tpu_v2_like() {
+    AcceleratorConfig a;
+    a.name = "TPUv2-like";
+    a.peak_flops = 22.5e12;   // per-core dense matrix throughput
+    a.cache_bytes = 24e6;     // large unified buffers
+    a.mem_bandwidth = 300e9;
+    a.mem_capacity = 16e9;
+    a.interconnect_bandwidth = 30e9;
+    return a;
+  }
+};
+
+}  // namespace gf::hw

@@ -1,0 +1,116 @@
+#include "src/hw/cache_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/ir/ops.h"
+
+namespace gf::hw {
+namespace {
+
+struct GemmDims {
+  double m = 0, n = 0, k = 0, batch = 1;
+  bool is_gemm = false;
+};
+
+/// Extracts the (im2col-)GEMM view of matrix-heavy ops.
+GemmDims gemm_dims(const ir::Op& op, const sym::Bindings& bind) {
+  GemmDims d;
+  switch (op.type()) {
+    case ir::OpType::kMatMul: {
+      const auto& mm = static_cast<const ir::MatMulOp&>(op);
+      d.m = mm.m().eval(bind);
+      d.n = mm.n().eval(bind);
+      d.k = mm.k().eval(bind);
+      d.batch = mm.batch_dim().eval(bind);
+      d.is_gemm = true;
+      return d;
+    }
+    case ir::OpType::kConv2D: {
+      // im2col: (N*Ho*Wo x Kh*Kw*Cin) . (Kh*Kw*Cin x Cout)
+      const auto& out = op.output(0)->shape();
+      const auto& f = op.input(1)->shape();
+      d.m = out.dim(0).eval(bind) * out.dim(1).eval(bind) * out.dim(2).eval(bind);
+      d.k = f.dim(0).eval(bind) * f.dim(1).eval(bind) * f.dim(2).eval(bind);
+      d.n = f.dim(3).eval(bind);
+      d.is_gemm = true;
+      return d;
+    }
+    case ir::OpType::kConv2DGradInput: {
+      // Transposed conv as GEMM over the incoming gradient.
+      const auto& dy = op.input(0)->shape();
+      const auto& f = op.input(1)->shape();
+      d.m = dy.dim(0).eval(bind) * dy.dim(1).eval(bind) * dy.dim(2).eval(bind);
+      d.k = f.dim(3).eval(bind);
+      d.n = f.dim(0).eval(bind) * f.dim(1).eval(bind) * f.dim(2).eval(bind);
+      d.is_gemm = true;
+      return d;
+    }
+    case ir::OpType::kConv2DGradFilter: {
+      // dW = im2col(input)^T . dy
+      const auto& dy = op.input(1)->shape();
+      const auto& f = op.output(0)->shape();
+      d.m = f.dim(0).eval(bind) * f.dim(1).eval(bind) * f.dim(2).eval(bind);
+      d.n = f.dim(3).eval(bind);
+      d.k = dy.dim(0).eval(bind) * dy.dim(1).eval(bind) * dy.dim(2).eval(bind);
+      d.is_gemm = true;
+      return d;
+    }
+    default:
+      return d;
+  }
+}
+
+}  // namespace
+
+double tiled_matmul_bytes(double m, double n, double k, double batch,
+                          double dtype_bytes, double cache_bytes) {
+  if (m <= 0 || n <= 0 || k <= 0 || batch <= 0 || dtype_bytes <= 0)
+    throw std::invalid_argument("tiled_matmul_bytes: dims must be positive");
+  // Square tile holding one block each of A, B and C.
+  double tile = std::floor(std::sqrt(cache_bytes / (3.0 * dtype_bytes)));
+  if (tile < 1.0) tile = 1.0;
+  const double passes_a = std::ceil(n / tile);
+  const double passes_b = std::ceil(m / tile);
+  const double elements = m * k * passes_a + k * n * passes_b + 2.0 * m * n;
+  return batch * elements * dtype_bytes;
+}
+
+CacheAwareResult cache_aware_step_time(const ir::Graph& graph,
+                                       const sym::Bindings& bindings,
+                                       const AcceleratorConfig& accel) {
+  accel.validate();
+  CacheAwareResult r;
+  const double xc = accel.achievable_flops();
+  const double xa = accel.achievable_bandwidth();
+
+  for (const auto& op : graph.ops()) {
+    const double flops = op->flops().eval(bindings);
+    const double alg_bytes = op->bytes_accessed().eval(bindings);
+    double bytes = alg_bytes;
+
+    const GemmDims d = gemm_dims(*op, bindings);
+    if (d.is_gemm) {
+      const double dtype = static_cast<double>(ir::dtype_bytes(op->output(0)->dtype()));
+      bytes = std::max(
+          alg_bytes, tiled_matmul_bytes(d.m, d.n, d.k, d.batch, dtype, accel.cache_bytes));
+    }
+
+    r.flops += flops;
+    r.algorithmic_bytes += alg_bytes;
+    r.cache_aware_bytes += bytes;
+    r.step_seconds += flops / xc + bytes / xa;
+  }
+  r.flop_utilization =
+      r.step_seconds > 0 ? r.flops / (r.step_seconds * accel.peak_flops) : 0.0;
+  return r;
+}
+
+RooflineTime best_case_step_time(const ir::Graph& graph, const sym::Bindings& bindings,
+                                 const AcceleratorConfig& accel) {
+  const double flops = graph.total_flops().eval(bindings);
+  const double bytes = graph.total_bytes_accessed().eval(bindings);
+  return roofline_step_time(accel, flops, bytes);
+}
+
+}  // namespace gf::hw

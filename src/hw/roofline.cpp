@@ -1,0 +1,21 @@
+#include "src/hw/roofline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gf::hw {
+
+RooflineTime roofline_step_time(const AcceleratorConfig& accel, double flops,
+                                double bytes) {
+  if (flops < 0 || bytes < 0)
+    throw std::invalid_argument("roofline: flops/bytes must be non-negative");
+  RooflineTime t;
+  t.compute_seconds = flops / accel.achievable_flops();
+  t.memory_seconds = bytes / accel.achievable_bandwidth();
+  t.compute_bound = t.compute_seconds >= t.memory_seconds;
+  const double secs = std::max(t.compute_seconds, t.memory_seconds);
+  t.flop_utilization = secs > 0 ? flops / (secs * accel.peak_flops) : 0.0;
+  return t;
+}
+
+}  // namespace gf::hw

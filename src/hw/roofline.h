@@ -1,0 +1,24 @@
+// Roofline run-time estimation (paper §5.2.2):
+//   rt = max( ct / (80% xc), at / (70% xa) )
+#pragma once
+
+#include "src/hw/accelerator.h"
+
+namespace gf::hw {
+
+struct RooflineTime {
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  bool compute_bound = false;
+  /// Fraction of PEAK FLOPs sustained over the step (the paper's
+  /// "algorithmic FLOP utilization": 80% when compute-bound best case).
+  double flop_utilization = 0.0;
+
+  double seconds() const { return compute_bound ? compute_seconds : memory_seconds; }
+};
+
+/// Step time for `flops` algorithmic FLOPs and `bytes` memory traffic.
+RooflineTime roofline_step_time(const AcceleratorConfig& accel, double flops,
+                                double bytes);
+
+}  // namespace gf::hw

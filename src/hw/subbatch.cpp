@@ -1,0 +1,62 @@
+#include "src/hw/subbatch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::hw {
+
+SubbatchPoint evaluate_subbatch(const analysis::FirstOrderModel& model, double params,
+                                double batch, const AcceleratorConfig& accel) {
+  SubbatchPoint pt;
+  pt.batch = batch;
+  const double ct = model.ct(params, batch);
+  const double at = model.at(params, batch);
+  pt.op_intensity = ct / at;
+  const RooflineTime t = roofline_step_time(accel, ct, at);
+  pt.step_seconds = t.seconds();
+  pt.per_sample_seconds = pt.step_seconds / batch;
+  // Footprint: persistent delta*p floor plus the batch-scaled activation
+  // share (activations scale like the mu term of the bytes model).
+  pt.footprint_bytes = model.ft(params) + 0.25 * model.mu * batch * std::sqrt(params);
+  return pt;
+}
+
+SubbatchChoice choose_subbatch(const analysis::FirstOrderModel& model, double params,
+                               const AcceleratorConfig& accel,
+                               const SubbatchOptions& options) {
+  if (options.min_batch < 1 || options.max_batch < options.min_batch)
+    throw std::invalid_argument("choose_subbatch: bad batch range");
+  accel.validate();
+
+  SubbatchChoice choice;
+  const double factor = std::pow(2.0, 1.0 / options.points_per_octave);
+  for (double b = options.min_batch; b <= options.max_batch * (1 + 1e-9); b *= factor)
+    choice.sweep.push_back(evaluate_subbatch(model, params, b, accel));
+
+  // Per-sample time decreases monotonically to the compute-bound limit
+  // gamma*p / xc; "best" is the smallest subbatch within tolerance of it.
+  const double limit = model.gamma * params / accel.achievable_flops();
+  for (const auto& pt : choice.sweep) {
+    if (pt.per_sample_seconds <= limit * (1.0 + options.tolerance)) {
+      choice.best = pt.batch;
+      break;
+    }
+  }
+  if (choice.best == 0) choice.best = choice.sweep.back().batch;
+
+  // Ridge match: OI(b) = ridge. OI(b) = gamma*b*sqrt(p)/(lambda*sqrt(p)+mu*b),
+  // solve for b in closed form.
+  const double ridge = accel.achievable_ridge_point();
+  const double rp = std::sqrt(params);
+  const double denominator = model.gamma * rp - ridge * model.mu;
+  choice.ridge =
+      denominator > 0 ? ridge * model.lambda * rp / denominator : options.max_batch;
+
+  // Saturation: OI reaches 95% of the b->inf limit gamma*sqrt(p)/mu.
+  // gamma*b*rp/(lambda*rp + mu*b) = 0.95*gamma*rp/mu  =>  b = 19*lambda*rp/mu.
+  choice.saturation = 19.0 * model.lambda * rp / model.mu;
+
+  return choice;
+}
+
+}  // namespace gf::hw

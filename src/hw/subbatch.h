@@ -1,0 +1,52 @@
+// Subbatch-size selection (paper §5.2.1, Figure 11).
+//
+// Three points of interest on the subbatch axis:
+//   * ridge      — graph-level operational intensity matches the
+//                  accelerator's achievable ridge point;
+//   * best       — smallest subbatch minimizing Roofline step time per
+//                  sample (the paper's recommendation; lands ~1.5x above
+//                  the ridge match for recurrent nets);
+//   * saturation — operational intensity reaches 95% of its b->inf limit
+//                  (maximum utilization, but 5-20x the memory footprint).
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/first_order.h"
+#include "src/hw/accelerator.h"
+#include "src/hw/roofline.h"
+
+namespace gf::hw {
+
+struct SubbatchPoint {
+  double batch = 0;
+  double op_intensity = 0;       ///< graph-level FLOP/B at this subbatch
+  double step_seconds = 0;       ///< Roofline step time
+  double per_sample_seconds = 0; ///< step_seconds / batch
+  double footprint_bytes = 0;    ///< first-order ft + activation scaling
+};
+
+struct SubbatchChoice {
+  double best = 0;        ///< smallest per-sample-time-minimizing subbatch
+  double ridge = 0;       ///< OI(b) == achievable ridge point
+  double saturation = 0;  ///< OI(b) == 95% of the b->inf limit
+  std::vector<SubbatchPoint> sweep;  ///< the Figure 11 series
+};
+
+struct SubbatchOptions {
+  double min_batch = 1;
+  double max_batch = 262144;
+  int points_per_octave = 1;      ///< sweep resolution (powers of two)
+  double tolerance = 0.02;        ///< "minimizing" = within 2% of the limit
+};
+
+/// Evaluates one subbatch point from the first-order model at `params`.
+SubbatchPoint evaluate_subbatch(const analysis::FirstOrderModel& model, double params,
+                                double batch, const AcceleratorConfig& accel);
+
+/// Full Figure 11 analysis at a fixed parameter count.
+SubbatchChoice choose_subbatch(const analysis::FirstOrderModel& model, double params,
+                               const AcceleratorConfig& accel,
+                               const SubbatchOptions& options = {});
+
+}  // namespace gf::hw

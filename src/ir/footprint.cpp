@@ -1,0 +1,92 @@
+#include "src/ir/footprint.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace gf::ir {
+namespace {
+
+/// Shared liveness traversal: invokes `on_step(op_index, transient_live)`
+/// right after each op's outputs are allocated (the per-op high-water
+/// point), and returns the persistent byte total.
+template <typename Callback>
+double traverse_liveness(const Graph& graph, const sym::Bindings& bindings,
+                         Callback&& on_step) {
+  std::unordered_map<const Tensor*, double> bytes_of;
+  std::unordered_map<const Tensor*, std::size_t> pending;
+  bytes_of.reserve(graph.tensors().size());
+  pending.reserve(graph.tensors().size());
+
+  double persistent = 0.0;
+  double live = 0.0;  // transient live bytes
+  for (const auto& t : graph.tensors()) {
+    const double b = t->bytes().eval(bindings);
+    bytes_of.emplace(t.get(), b);
+    pending.emplace(t.get(), t->consumers().size());
+    if (t->is_persistent()) {
+      persistent += b;
+    } else if (t->producer() == nullptr) {
+      // Graph inputs and gradient seeds are resident from step start.
+      live += b;
+    }
+  }
+
+  const std::vector<const Op*> order = graph.topological_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Op* op = order[i];
+    for (const Tensor* out : op->outputs())
+      if (!out->is_persistent()) live += bytes_of.at(out);
+
+    on_step(i, live);
+
+    // Retire inputs whose last consumer just ran.
+    for (const Tensor* in : op->inputs()) {
+      auto it = pending.find(in);
+      if (it->second == 0)
+        throw std::logic_error("footprint: consumer accounting underflow on '" +
+                               in->name() + "'");
+      if (--it->second == 0 && !in->is_persistent()) live -= bytes_of.at(in);
+    }
+
+    // Outputs nobody consumes (e.g. final states) die immediately after
+    // the op, but they did exist during it (sampled above).
+    for (const Tensor* out : op->outputs())
+      if (out->consumers().empty() && !out->is_persistent()) live -= bytes_of.at(out);
+  }
+  return persistent;
+}
+
+}  // namespace
+
+FootprintResult minimal_footprint(const Graph& graph, const sym::Bindings& bindings) {
+  FootprintResult result;
+  double peak = 0.0;
+  std::size_t peak_index = 0;
+  result.persistent_bytes =
+      traverse_liveness(graph, bindings, [&](std::size_t i, double live) {
+        if (live > peak) {
+          peak = live;
+          peak_index = i;
+        }
+      });
+  result.peak_transient_bytes = peak;
+  result.total_bytes = result.persistent_bytes + peak;
+  result.peak_op_index = peak_index;
+  return result;
+}
+
+std::vector<TimelinePoint> footprint_timeline(const Graph& graph,
+                                              const sym::Bindings& bindings) {
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(graph.num_ops());
+  const double persistent =
+      traverse_liveness(graph, bindings, [&](std::size_t i, double live) {
+        timeline.push_back({i, live});
+      });
+  for (TimelinePoint& pt : timeline) pt.live_bytes += persistent;
+  return timeline;
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,43 @@
+// Minimal memory footprint estimation (paper §4.5).
+//
+// Walks the graph in its deterministic topological order, allocating each
+// op's outputs before execution and freeing every tensor once its last
+// consumer has run. Persistent tensors (weights, weight gradients,
+// optimizer slots) are live for the whole step. The reported footprint is
+// the peak of live bytes over the traversal — the same quantity the paper
+// extracts from TensorFlow's allocator and from its own topological
+// estimator.
+#pragma once
+
+#include "src/ir/graph.h"
+#include "src/symbolic/expr.h"
+
+namespace gf::ir {
+
+struct FootprintResult {
+  /// Peak live bytes during the step (persistent + transient at the peak).
+  double total_bytes = 0.0;
+  /// Always-live bytes: weights, weight gradients, optimizer slots.
+  double persistent_bytes = 0.0;
+  /// Peak of the transient (activation/gradient) portion.
+  double peak_transient_bytes = 0.0;
+  /// Index (in topological order) of the op at which the peak occurred.
+  std::size_t peak_op_index = 0;
+};
+
+/// Evaluates the minimal footprint of one step under `bindings`.
+/// Throws if any tensor dimension remains unbound.
+FootprintResult minimal_footprint(const Graph& graph, const sym::Bindings& bindings);
+
+/// Live memory (persistent + transient) sampled after each op allocates
+/// its outputs, in topological order — the memory-over-time profile of a
+/// training step. The forward pass climbs as activations accumulate for
+/// backward; the peak typically sits at the loss; the backward pass frees.
+struct TimelinePoint {
+  std::size_t op_index = 0;    ///< position in topological order
+  double live_bytes = 0.0;     ///< persistent + transient live at this op
+};
+std::vector<TimelinePoint> footprint_timeline(const Graph& graph,
+                                              const sym::Bindings& bindings);
+
+}  // namespace gf::ir

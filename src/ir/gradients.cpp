@@ -1,0 +1,102 @@
+#include "src/ir/gradients.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace gf::ir {
+namespace {
+
+/// Collapses a list of gradient contributions into one tensor (AddN when
+/// more than one path reaches the same tensor).
+Tensor* finalize(Graph& g, const std::string& name, std::vector<Tensor*>& contributions) {
+  if (contributions.empty()) return nullptr;
+  if (contributions.size() == 1) return contributions[0];
+  return add_n(g, name, contributions);
+}
+
+}  // namespace
+
+TrainingStepResult build_training_step(Graph& graph, Tensor* loss,
+                                       const TrainingStepOptions& options) {
+  if (loss == nullptr) throw std::invalid_argument("build_training_step: null loss");
+  if (loss->shape().rank() != 0)
+    throw std::logic_error("build_training_step: loss must be scalar, got " +
+                           loss->shape().str());
+  if (loss->producer() == nullptr)
+    throw std::logic_error("build_training_step: loss must be produced by an op");
+  for (const auto& op : graph.ops())
+    if (op->type() == OpType::kApplyGradient)
+      throw std::logic_error(
+          "build_training_step: graph already contains a training step");
+
+  const std::size_t ops_before = graph.num_ops();
+
+  // Snapshot the forward schedule before appending anything.
+  const std::vector<const Op*> forward_order = graph.topological_order();
+
+  std::unordered_map<const Tensor*, std::vector<Tensor*>> contributions;
+  std::unordered_map<const Tensor*, int> fold_counter;
+
+  // Adds a gradient contribution, folding eagerly: recurrent models emit
+  // one weight-gradient contribution per timestep, and deferring their sum
+  // to a single terminal AddN would keep every contribution live at once
+  // (hundreds of GB at projected sizes). Pairwise accumulation mirrors the
+  // incremental aggregation real frameworks perform.
+  auto accumulate = [&](Tensor* target, Tensor* grad) {
+    auto& list = contributions[target];
+    list.push_back(grad);
+    if (list.size() == 2) {
+      const int n = fold_counter[target]++;
+      Tensor* folded = add(graph, "d_" + target->name() + ":acc" + std::to_string(n),
+                           list[0], list[1]);
+      list.clear();
+      list.push_back(folded);
+    }
+  };
+
+  // Seed: d(loss)/d(loss) = 1, a producerless gradient tensor.
+  Tensor* seed = graph.make_tensor("d_" + loss->name() + ":seed", loss->shape(),
+                                   loss->dtype(), TensorRole::kGradient);
+  contributions[loss].push_back(seed);
+
+  for (auto it = forward_order.rbegin(); it != forward_order.rend(); ++it) {
+    // build_backward mutates the graph, and ops own their wiring, so the
+    // const view from topological_order is lifted here, within the
+    // graph's own mutation API.
+    Op* op = const_cast<Op*>(*it);
+
+    bool any = false;
+    std::vector<Tensor*> grad_outputs(op->outputs().size(), nullptr);
+    for (std::size_t i = 0; i < op->outputs().size(); ++i) {
+      auto found = contributions.find(op->outputs()[i]);
+      if (found == contributions.end()) continue;
+      grad_outputs[i] =
+          finalize(graph, "d_" + op->outputs()[i]->name() + ":sum", found->second);
+      any = true;
+    }
+    if (!any) continue;  // op not on any path to the loss
+
+    const std::vector<Tensor*> input_grads = op->build_backward(grad_outputs);
+    if (input_grads.size() != op->inputs().size())
+      throw std::logic_error("op '" + op->name() +
+                             "' returned wrong number of input gradients");
+    for (std::size_t i = 0; i < input_grads.size(); ++i)
+      if (input_grads[i] != nullptr) accumulate(op->inputs()[i], input_grads[i]);
+  }
+
+  TrainingStepResult result;
+  for (Tensor* w : graph.weights()) {
+    auto found = contributions.find(w);
+    if (found == contributions.end()) continue;  // weight not reached by loss
+    Tensor* gw = finalize(graph, "d_" + w->name() + ":sum", found->second);
+    gw->set_role(TensorRole::kWeightGradient);
+    graph.add_op<ApplyGradientOp>("update_" + w->name(), w, gw, options.optimizer);
+    result.weight_gradients.emplace(w, gw);
+  }
+
+  result.ops_added = graph.num_ops() - ops_before;
+  return result;
+}
+
+}  // namespace gf::ir

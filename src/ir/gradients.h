@@ -1,0 +1,37 @@
+// Reverse-mode gradient-graph construction.
+//
+// Given a forward graph ending in a scalar loss, appends the backward ops
+// (each forward op emits its own gradients via Op::build_backward) and one
+// optimizer-update op per trainable weight. After this call the graph
+// models one full *training step*, which is the unit all of the paper's
+// compute/memory characterization is expressed in.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/ir/graph.h"
+#include "src/ir/ops.h"
+
+namespace gf::ir {
+
+struct TrainingStepOptions {
+  /// Optimizer applied to every weight; determines persistent slot state
+  /// (SGD: none — the configuration the paper's footprint numbers match).
+  Optimizer optimizer = Optimizer::kSGD;
+};
+
+struct TrainingStepResult {
+  /// Final (accumulated) gradient tensor per weight.
+  std::unordered_map<const Tensor*, Tensor*> weight_gradients;
+  /// Number of backward/update ops appended.
+  std::size_t ops_added = 0;
+};
+
+/// Appends backward and update ops for `loss` (must be a scalar produced by
+/// an op of the graph). Throws std::logic_error if some weight on the path
+/// cannot receive a gradient or if the loss has free batch semantics that
+/// prevent seeding.
+TrainingStepResult build_training_step(Graph& graph, Tensor* loss,
+                                       const TrainingStepOptions& options = {});
+
+}  // namespace gf::ir

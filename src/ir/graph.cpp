@@ -1,0 +1,132 @@
+#include "src/ir/graph.h"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gf::ir {
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+Tensor* Graph::add_input(std::string name, TensorShape shape, DataType dtype) {
+  return make_tensor(std::move(name), std::move(shape), dtype, TensorRole::kInput);
+}
+
+Tensor* Graph::add_weight(std::string name, TensorShape shape, DataType dtype) {
+  return make_tensor(std::move(name), std::move(shape), dtype, TensorRole::kWeight);
+}
+
+Tensor* Graph::make_tensor(std::string name, TensorShape shape, DataType dtype,
+                           TensorRole role) {
+  if (dtype == DataType::kFloat32) dtype = default_float_dtype_;
+  tensors_.push_back(std::make_unique<Tensor>(next_tensor_id_++, std::move(name),
+                                              std::move(shape), dtype, role));
+  return tensors_.back().get();
+}
+
+std::vector<Tensor*> Graph::weights() const {
+  std::vector<Tensor*> out;
+  for (const auto& t : tensors_)
+    if (t->role() == TensorRole::kWeight) out.push_back(t.get());
+  return out;
+}
+
+std::vector<Tensor*> Graph::inputs() const {
+  std::vector<Tensor*> out;
+  for (const auto& t : tensors_)
+    if (t->role() == TensorRole::kInput) out.push_back(t.get());
+  return out;
+}
+
+sym::Expr Graph::total_flops() const {
+  std::vector<sym::Expr> terms;
+  terms.reserve(ops_.size());
+  for (const auto& op : ops_) terms.push_back(op->flops());
+  return sym::make_add(std::move(terms));
+}
+
+sym::Expr Graph::total_bytes_accessed() const {
+  std::vector<sym::Expr> terms;
+  terms.reserve(ops_.size());
+  for (const auto& op : ops_) terms.push_back(op->bytes_accessed());
+  return sym::make_add(std::move(terms));
+}
+
+sym::Expr Graph::parameter_count() const {
+  std::vector<sym::Expr> terms;
+  for (const auto& t : tensors_)
+    if (t->role() == TensorRole::kWeight) terms.push_back(t->num_elements());
+  return sym::make_add(std::move(terms));
+}
+
+sym::Expr Graph::weight_bytes() const {
+  std::vector<sym::Expr> terms;
+  for (const auto& t : tensors_)
+    if (t->role() == TensorRole::kWeight) terms.push_back(t->bytes());
+  return sym::make_add(std::move(terms));
+}
+
+sym::Expr Graph::algorithmic_io() const {
+  std::vector<sym::Expr> terms;
+  for (const auto& t : tensors_)
+    if (t->role() == TensorRole::kInput) terms.push_back(t->bytes());
+  return sym::make_add(std::move(terms));
+}
+
+std::vector<const Op*> Graph::topological_order() const {
+  std::unordered_map<const Op*, std::size_t> index;
+  index.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) index.emplace(ops_[i].get(), i);
+
+  // In-degree = number of input tensors produced by some op.
+  std::vector<std::size_t> unmet(ops_.size(), 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    for (const Tensor* t : ops_[i]->inputs())
+      if (t->producer() != nullptr) ++unmet[i];
+
+  // Min-heap on insertion index: deterministic order that matches the
+  // builder's execution order, the role the framework schedule plays in
+  // the paper's footprint methodology.
+  std::priority_queue<std::size_t, std::vector<std::size_t>, std::greater<>> ready;
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    if (unmet[i] == 0) ready.push(i);
+
+  std::vector<const Op*> order;
+  order.reserve(ops_.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.top();
+    ready.pop();
+    const Op* op = ops_[i].get();
+    order.push_back(op);
+    for (const Tensor* out : op->outputs()) {
+      for (const Op* consumer : out->consumers()) {
+        const std::size_t j = index.at(consumer);
+        if (--unmet[j] == 0) ready.push(j);
+      }
+    }
+  }
+  if (order.size() != ops_.size())
+    throw std::logic_error("graph '" + name_ + "' contains a cycle");
+  return order;
+}
+
+void Graph::validate() const {
+  for (const auto& t : tensors_) {
+    if (t->producer() == nullptr) {
+      const TensorRole role = t->role();
+      const bool allowed = role == TensorRole::kInput || role == TensorRole::kWeight ||
+                           role == TensorRole::kOptimizerState ||
+                           role == TensorRole::kGradient;  // backward seed
+      if (!allowed)
+        throw std::logic_error("tensor '" + t->name() +
+                               "' has no producer but is not an input/weight/state");
+    }
+  }
+  for (const auto& op : ops_) {
+    if (op->outputs().empty() && op->type() != OpType::kApplyGradient)
+      throw std::logic_error("op '" + op->name() + "' produces no outputs");
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,96 @@
+// Compute graph container: owns tensors and ops, answers the paper's
+// aggregate questions (total algorithmic FLOPs / bytes, parameter count,
+// weight memory), and yields deterministic topological traversals for the
+// footprint estimator and the numeric executor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/op.h"
+#include "src/ir/tensor.h"
+
+namespace gf::ir {
+
+class Graph {
+ public:
+  explicit Graph(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Default floating-point precision for tensors created with kFloat32
+  /// (the declared default). Set to kFloat16 before building a model to
+  /// get the paper's §6.2.3 low-precision ablation: weights, activations,
+  /// and gradients all shrink 2x.
+  void set_default_float_dtype(DataType dtype) { default_float_dtype_ = dtype; }
+  DataType default_float_dtype() const { return default_float_dtype_; }
+
+  /// Declares a graph input (e.g. a batch of token ids or images).
+  Tensor* add_input(std::string name, TensorShape shape,
+                    DataType dtype = DataType::kFloat32);
+
+  /// Declares a trainable weight tensor.
+  Tensor* add_weight(std::string name, TensorShape shape,
+                     DataType dtype = DataType::kFloat32);
+
+  /// Creates and owns an op node; used via the builder functions in ops.h.
+  template <typename OpT, typename... Args>
+  OpT* add_op(Args&&... args) {
+    auto op = std::make_unique<OpT>(this, std::forward<Args>(args)...);
+    OpT* raw = op.get();
+    ops_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Internal: creates a tensor owned by the graph (ops call this through
+  /// Op::make_output; inputs/weights come from add_input/add_weight).
+  Tensor* make_tensor(std::string name, TensorShape shape, DataType dtype, TensorRole role);
+
+  const std::vector<std::unique_ptr<Op>>& ops() const { return ops_; }
+  const std::vector<std::unique_ptr<Tensor>>& tensors() const { return tensors_; }
+  std::size_t num_ops() const { return ops_.size(); }
+
+  /// All weight tensors, in declaration order.
+  std::vector<Tensor*> weights() const;
+  /// All input tensors, in declaration order.
+  std::vector<Tensor*> inputs() const;
+
+  /// Sum of op FLOPs over the whole graph (one training/inference step,
+  /// depending on what has been built).
+  sym::Expr total_flops() const;
+
+  /// Sum of op algorithmic bytes accessed over the whole graph.
+  sym::Expr total_bytes_accessed() const;
+
+  /// Number of trainable parameters (elements of all weight tensors).
+  sym::Expr parameter_count() const;
+
+  /// Bytes of all weight tensors.
+  sym::Expr weight_bytes() const;
+
+  /// Algorithmic IO (paper §2.1): bytes moved into the model's input
+  /// allocations per step (training data read from storage). Proportional
+  /// to batch size, independent of model size.
+  sym::Expr algorithmic_io() const;
+
+  /// Ops in a deterministic topological order (Kahn's algorithm; ties are
+  /// broken by insertion order, which matches execution order of the
+  /// builder — the same role the framework's schedule plays in the paper).
+  std::vector<const Op*> topological_order() const;
+
+  /// Structural sanity checks: every op input has a defined origin (graph
+  /// input, weight, or some op's output), no dangling tensors, and the
+  /// graph is acyclic. Throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Tensor>> tensors_;
+  std::vector<std::unique_ptr<Op>> ops_;
+  int next_tensor_id_ = 0;
+  DataType default_float_dtype_ = DataType::kFloat32;
+};
+
+}  // namespace gf::ir

@@ -1,0 +1,64 @@
+#include "src/ir/op.h"
+
+#include <stdexcept>
+
+#include "src/ir/graph.h"
+
+namespace gf::ir {
+
+const char* op_type_name(OpType type) {
+  switch (type) {
+    case OpType::kMatMul: return "MatMul";
+    case OpType::kConv2D: return "Conv2D";
+    case OpType::kConv2DGradInput: return "Conv2DGradInput";
+    case OpType::kConv2DGradFilter: return "Conv2DGradFilter";
+    case OpType::kPointwise: return "Pointwise";
+    case OpType::kBiasAdd: return "BiasAdd";
+    case OpType::kEmbeddingLookup: return "EmbeddingLookup";
+    case OpType::kEmbeddingGrad: return "EmbeddingGrad";
+    case OpType::kSoftmax: return "Softmax";
+    case OpType::kSoftmaxGrad: return "SoftmaxGrad";
+    case OpType::kSoftmaxXent: return "SoftmaxXent";
+    case OpType::kSoftmaxXentGrad: return "SoftmaxXentGrad";
+    case OpType::kReduce: return "Reduce";
+    case OpType::kBroadcast: return "Broadcast";
+    case OpType::kBatchNorm: return "BatchNorm";
+    case OpType::kBatchNormGrad: return "BatchNormGrad";
+    case OpType::kPool: return "Pool";
+    case OpType::kPoolGrad: return "PoolGrad";
+    case OpType::kConcat: return "Concat";
+    case OpType::kSplit: return "Split";
+    case OpType::kSlice: return "Slice";
+    case OpType::kReshape: return "Reshape";
+    case OpType::kApplyGradient: return "ApplyGradient";
+  }
+  return "Unknown";
+}
+
+Op::Op(Graph* graph, OpType type, std::string name)
+    : graph_(graph), type_(type), name_(std::move(name)) {
+  if (graph_ == nullptr) throw std::invalid_argument("Op requires a graph");
+}
+
+sym::Expr Op::bytes_accessed() const {
+  sym::Expr total(0.0);
+  for (const Tensor* t : inputs_) total = total + t->bytes();
+  for (const Tensor* t : outputs_) total = total + t->bytes();
+  return total;
+}
+
+void Op::bind_input(Tensor* t) {
+  if (t == nullptr) throw std::invalid_argument("Op '" + name_ + "': null input tensor");
+  inputs_.push_back(t);
+  t->add_consumer(this);
+}
+
+Tensor* Op::make_output(const std::string& suffix, TensorShape shape, DataType dtype,
+                        TensorRole role) {
+  Tensor* t = graph_->make_tensor(name_ + suffix, std::move(shape), dtype, role);
+  t->set_producer(this);
+  outputs_.push_back(t);
+  return t;
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,93 @@
+// Op base class: a node of the compute graph.
+//
+// Every op reports its *algorithmic* FLOPs and bytes accessed (paper §2.1):
+// the arithmetic the mathematical operation requires and the tensor bytes it
+// must read/write — independent of hardware, caching, or kernel details.
+// Ops also know how to emit their own gradient ops (reverse-mode), so the
+// paper's "backprop ≈ 2× forward FLOPs for matrix ops" emerges from graph
+// structure rather than being hard-coded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/tensor.h"
+#include "src/symbolic/expr.h"
+
+namespace gf::ir {
+
+class Graph;
+
+enum class OpType : std::uint8_t {
+  kMatMul,
+  kConv2D,
+  kConv2DGradInput,
+  kConv2DGradFilter,
+  kPointwise,
+  kBiasAdd,
+  kEmbeddingLookup,
+  kEmbeddingGrad,
+  kSoftmax,
+  kSoftmaxGrad,
+  kSoftmaxXent,
+  kSoftmaxXentGrad,
+  kReduce,
+  kBroadcast,
+  kBatchNorm,
+  kBatchNormGrad,
+  kPool,
+  kPoolGrad,
+  kConcat,
+  kSplit,
+  kSlice,
+  kReshape,
+  kApplyGradient,
+};
+
+const char* op_type_name(OpType type);
+
+class Op {
+ public:
+  Op(Graph* graph, OpType type, std::string name);
+  virtual ~Op() = default;
+
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+
+  OpType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  Graph& graph() const { return *graph_; }
+
+  const std::vector<Tensor*>& inputs() const { return inputs_; }
+  const std::vector<Tensor*>& outputs() const { return outputs_; }
+  Tensor* input(std::size_t i) const { return inputs_.at(i); }
+  Tensor* output(std::size_t i = 0) const { return outputs_.at(i); }
+
+  /// Algorithmic FLOPs for one execution of this op (symbolic).
+  virtual sym::Expr flops() const = 0;
+
+  /// Algorithmic bytes accessed: by default, all input bytes read plus all
+  /// output bytes written. Ops that touch only part of an input (embedding
+  /// lookups) or that move no data (reshape) override this.
+  virtual sym::Expr bytes_accessed() const;
+
+  /// Emits gradient ops into the graph. `grad_outputs[i]` is the gradient
+  /// flowing into `outputs()[i]` (never null). Returns one gradient tensor
+  /// per input, or nullptr for non-differentiable inputs (e.g. token ids).
+  virtual std::vector<Tensor*> build_backward(const std::vector<Tensor*>& grad_outputs) = 0;
+
+ protected:
+  // Wiring helpers used by op constructors.
+  void bind_input(Tensor* t);
+  Tensor* make_output(const std::string& suffix, TensorShape shape, DataType dtype,
+                      TensorRole role = TensorRole::kActivation);
+
+ private:
+  Graph* graph_;
+  OpType type_;
+  std::string name_;
+  std::vector<Tensor*> inputs_;
+  std::vector<Tensor*> outputs_;
+};
+
+}  // namespace gf::ir

@@ -1,0 +1,492 @@
+#include <cctype>
+#include "src/ir/serialize.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/ir/ops.h"
+#include "src/symbolic/sexpr.h"
+
+namespace gf::ir {
+namespace {
+
+// --- enum <-> string tables ---------------------------------------------
+
+const char* role_name(TensorRole role) {
+  switch (role) {
+    case TensorRole::kInput: return "input";
+    case TensorRole::kWeight: return "weight";
+    case TensorRole::kActivation: return "activation";
+    case TensorRole::kGradient: return "gradient";
+    case TensorRole::kWeightGradient: return "weight_gradient";
+    case TensorRole::kOptimizerState: return "optimizer_state";
+  }
+  return "?";
+}
+
+TensorRole role_from(const std::string& s) {
+  if (s == "input") return TensorRole::kInput;
+  if (s == "weight") return TensorRole::kWeight;
+  if (s == "activation") return TensorRole::kActivation;
+  if (s == "gradient") return TensorRole::kGradient;
+  if (s == "weight_gradient") return TensorRole::kWeightGradient;
+  if (s == "optimizer_state") return TensorRole::kOptimizerState;
+  throw std::invalid_argument("unknown tensor role '" + s + "'");
+}
+
+DataType dtype_from(const std::string& s) {
+  if (s == "f32") return DataType::kFloat32;
+  if (s == "f16") return DataType::kFloat16;
+  if (s == "i32") return DataType::kInt32;
+  if (s == "i64") return DataType::kInt64;
+  throw std::invalid_argument("unknown dtype '" + s + "'");
+}
+
+std::string shape_payload(const TensorShape& shape) {
+  std::string out;
+  for (std::size_t i = 0; i < shape.rank(); ++i) {
+    if (i) out += '|';
+    out += sym::to_sexpr(shape.dim(i));
+  }
+  return out;
+}
+
+TensorShape shape_from_payload(const std::string& payload) {
+  std::vector<sym::Expr> dims;
+  if (!payload.empty()) {
+    std::size_t start = 0;
+    while (start <= payload.size()) {
+      const std::size_t bar = payload.find('|', start);
+      const std::string piece = payload.substr(
+          start, bar == std::string::npos ? std::string::npos : bar - start);
+      dims.push_back(sym::parse_sexpr(piece));
+      if (bar == std::string::npos) break;
+      start = bar + 1;
+    }
+  }
+  return TensorShape(std::move(dims));
+}
+
+void check_name(const std::string& name) {
+  for (char c : name)
+    if (std::isspace(static_cast<unsigned char>(c)))
+      throw std::invalid_argument("serialize: names must not contain whitespace: '" +
+                                  name + "'");
+}
+
+// --- serialization ---------------------------------------------------------
+
+/// Canonical dense tensor numbering: producerless tensors first (in
+/// declaration order), then op outputs and optimizer slots in op order —
+/// the same order the loader assigns, so serialization is a fixed point.
+using IdMap = std::unordered_map<const Tensor*, int>;
+
+IdMap canonical_ids(const Graph& graph) {
+  IdMap ids;
+  int next = 0;
+  for (const auto& t : graph.tensors()) {
+    const bool slot =
+        t->role() == TensorRole::kOptimizerState && t->producer() == nullptr;
+    if (t->producer() == nullptr && !slot) ids.emplace(t.get(), next++);
+  }
+  for (const auto& op : graph.ops()) {
+    for (const Tensor* out : op->outputs()) ids.emplace(out, next++);
+    if (op->type() == OpType::kApplyGradient)
+      for (std::size_t i = 2; i < op->inputs().size(); ++i)
+        ids.emplace(op->inputs()[i], next++);
+  }
+  return ids;
+}
+
+void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
+  os << "op " << op_type_name(op.type()) << ' ' << op.name() << '\n';
+  os << "in";
+  for (const Tensor* t : op.inputs()) os << ' ' << ids.at(t);
+  os << "\nout";
+  for (const Tensor* t : op.outputs()) os << ' ' << ids.at(t);
+  os << '\n';
+
+  switch (op.type()) {
+    case OpType::kMatMul: {
+      const auto& mm = static_cast<const MatMulOp&>(op);
+      os << "attr trans " << mm.trans_a() << ' ' << mm.trans_b() << '\n';
+      break;
+    }
+    case OpType::kConv2D:
+      os << "attr stride " << static_cast<const Conv2DOp&>(op).stride() << '\n';
+      break;
+    case OpType::kConv2DGradInput:
+      os << "attr stride " << static_cast<const Conv2DGradInputOp&>(op).stride() << '\n';
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      break;
+    case OpType::kConv2DGradFilter:
+      os << "attr stride " << static_cast<const Conv2DGradFilterOp&>(op).stride()
+         << '\n';
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      break;
+    case OpType::kPointwise: {
+      const auto& p = static_cast<const PointwiseOp&>(op);
+      os << "attr fn " << pointwise_fn_name(p.fn()) << '\n';
+      if (p.fn() == PointwiseFn::kScale)
+        os << "attr alpha " << sym::to_sexpr(p.scale_alpha()) << '\n';
+      break;
+    }
+    case OpType::kEmbeddingGrad:
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      break;
+    case OpType::kReduce: {
+      const auto& r = static_cast<const ReduceOp&>(op);
+      os << "attr reduce " << (r.reduce_kind() == ReduceKind::kSum ? "sum" : "mean")
+         << ' ' << r.keep_last_n() << '\n';
+      break;
+    }
+    case OpType::kBroadcast:
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      break;
+    case OpType::kPool: {
+      const auto& p = static_cast<const PoolOp&>(op);
+      os << "attr pool " << (p.pool_kind() == PoolKind::kMax ? "max" : "avg") << ' '
+         << p.window_h() << ' ' << p.window_w() << '\n';
+      break;
+    }
+    case OpType::kPoolGrad: {
+      const auto& p = static_cast<const PoolGradOp&>(op);
+      os << "attr pool " << (p.pool_kind() == PoolKind::kMax ? "max" : "avg") << ' '
+         << p.window_h() << ' ' << p.window_w() << '\n';
+      break;
+    }
+    case OpType::kConcat:
+      os << "attr axis " << static_cast<const ConcatOp&>(op).axis() << '\n';
+      break;
+    case OpType::kSplit: {
+      const auto& s = static_cast<const SplitOp&>(op);
+      os << "attr split " << s.axis() << ' ' << s.parts() << '\n';
+      break;
+    }
+    case OpType::kSlice: {
+      const auto& s = static_cast<const SliceOp&>(op);
+      os << "attr axis " << s.axis() << '\n';
+      os << "attr offset " << sym::to_sexpr(s.offset()) << '\n';
+      os << "attr size " << sym::to_sexpr(op.output(0)->shape().dim(s.axis())) << '\n';
+      break;
+    }
+    case OpType::kReshape:
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      break;
+    case OpType::kApplyGradient: {
+      const auto& a = static_cast<const ApplyGradientOp&>(op);
+      const char* opt = a.optimizer() == Optimizer::kSGD        ? "sgd"
+                        : a.optimizer() == Optimizer::kMomentum ? "momentum"
+                                                                : "adam";
+      os << "attr optimizer " << opt << '\n';
+      break;
+    }
+    default:
+      break;  // no attributes
+  }
+}
+
+// --- deserialization --------------------------------------------------------
+
+struct OpRecord {
+  std::string type;
+  std::string name;
+  std::vector<int> inputs;
+  std::vector<int> outputs;
+  std::unordered_map<std::string, std::string> attrs;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::unique_ptr<Graph> read() {
+    std::string line;
+    next(line);
+    auto [head, rest] = split1(line);
+    if (head != "graph") fail("expected 'graph <name>'");
+    auto graph = std::make_unique<Graph>(rest);
+
+    OpRecord pending;
+    bool have_op = false;
+    while (next(line)) {
+      auto [kind, payload] = split1(line);
+      if (kind == "tensor") {
+        read_tensor(*graph, payload);
+      } else if (kind == "retag") {
+        if (have_op) {
+          apply_op(*graph, pending);
+          have_op = false;
+        }
+        std::istringstream ss(payload);
+        int id;
+        std::string role;
+        if (!(ss >> id >> role)) fail("malformed retag record");
+        tensor(id)->set_role(role_from(role));
+      } else if (kind == "op") {
+        if (have_op) apply_op(*graph, pending);
+        pending = OpRecord{};
+        auto [type, name] = split1(payload);
+        pending.type = type;
+        pending.name = name;
+        have_op = true;
+      } else if (kind == "in") {
+        pending.inputs = parse_ids(payload);
+      } else if (kind == "out") {
+        pending.outputs = parse_ids(payload);
+      } else if (kind == "attr") {
+        auto [key, value] = split1(payload);
+        pending.attrs[key] = value;
+      } else {
+        fail("unknown record '" + kind + "'");
+      }
+    }
+    if (have_op) apply_op(*graph, pending);
+    graph->validate();
+    return graph;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("deserialize: " + what + " (line " +
+                                std::to_string(line_number_) + ")");
+  }
+
+  bool next(std::string& line) {
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      if (!line.empty()) return true;
+    }
+    return false;
+  }
+
+  static std::pair<std::string, std::string> split1(const std::string& s) {
+    const std::size_t sp = s.find(' ');
+    if (sp == std::string::npos) return {s, ""};
+    return {s.substr(0, sp), s.substr(sp + 1)};
+  }
+
+  std::vector<int> parse_ids(const std::string& payload) {
+    std::vector<int> ids;
+    std::istringstream ss(payload);
+    int v;
+    while (ss >> v) ids.push_back(v);
+    return ids;
+  }
+
+  Tensor* tensor(int id) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) fail("reference to unknown tensor id " + std::to_string(id));
+    return it->second;
+  }
+
+  void read_tensor(Graph& g, const std::string& payload) {
+    std::istringstream ss(payload);
+    int id;
+    std::string role, dtype, name, shape;
+    if (!(ss >> id >> role >> dtype >> name)) fail("malformed tensor record");
+    std::getline(ss, shape);
+    if (!shape.empty() && shape.front() == ' ') shape.erase(0, 1);
+    Tensor* t =
+        g.make_tensor(name, shape_from_payload(shape), dtype_from(dtype), role_from(role));
+    by_id_.emplace(id, t);
+  }
+
+  TensorShape attr_shape(const OpRecord& r) {
+    auto it = r.attrs.find("shape");
+    if (it == r.attrs.end()) fail("op '" + r.name + "' missing shape attr");
+    return shape_from_payload(it->second);
+  }
+
+  std::string attr(const OpRecord& r, const std::string& key) {
+    auto it = r.attrs.find(key);
+    if (it == r.attrs.end()) fail("op '" + r.name + "' missing attr '" + key + "'");
+    return it->second;
+  }
+
+  void apply_op(Graph& g, const OpRecord& r) {
+    Op* op = construct(g, r);
+    // Re-key recorded output ids onto the freshly constructed tensors.
+    if (op->outputs().size() != r.outputs.size())
+      fail("op '" + r.name + "' output arity mismatch");
+    for (std::size_t i = 0; i < r.outputs.size(); ++i)
+      by_id_.emplace(r.outputs[i], op->outputs()[i]);
+  }
+
+  Op* construct(Graph& g, const OpRecord& r) {
+    const std::string& t = r.type;
+    auto in = [&](std::size_t i) { return tensor(r.inputs.at(i)); };
+
+    if (t == "MatMul") {
+      std::istringstream ss(attr(r, "trans"));
+      bool ta, tb;
+      ss >> ta >> tb;
+      return g.add_op<MatMulOp>(r.name, in(0), in(1), ta, tb);
+    }
+    if (t == "Conv2D")
+      return g.add_op<Conv2DOp>(r.name, in(0), in(1), std::stoi(attr(r, "stride")));
+    if (t == "Conv2DGradInput")
+      return g.add_op<Conv2DGradInputOp>(r.name, in(0), in(1), attr_shape(r),
+                                         std::stoi(attr(r, "stride")));
+    if (t == "Conv2DGradFilter")
+      return g.add_op<Conv2DGradFilterOp>(r.name, in(0), in(1), attr_shape(r),
+                                          std::stoi(attr(r, "stride")));
+    if (t == "Pointwise") {
+      const std::string fn_name = attr(r, "fn");
+      PointwiseFn fn = PointwiseFn::kAdd;
+      bool found = false;
+      for (int i = 0; i <= static_cast<int>(PointwiseFn::kReluGrad); ++i) {
+        if (fn_name == pointwise_fn_name(static_cast<PointwiseFn>(i))) {
+          fn = static_cast<PointwiseFn>(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) fail("unknown pointwise fn '" + fn_name + "'");
+      std::vector<Tensor*> inputs;
+      for (int id : r.inputs) inputs.push_back(tensor(id));
+      sym::Expr alpha(1.0);
+      if (auto it = r.attrs.find("alpha"); it != r.attrs.end())
+        alpha = sym::parse_sexpr(it->second);
+      return g.add_op<PointwiseOp>(r.name, fn, std::move(inputs), std::move(alpha));
+    }
+    if (t == "BiasAdd") return g.add_op<BiasAddOp>(r.name, in(0), in(1));
+    if (t == "EmbeddingLookup") return g.add_op<EmbeddingLookupOp>(r.name, in(0), in(1));
+    if (t == "EmbeddingGrad")
+      return g.add_op<EmbeddingGradOp>(r.name, in(0), in(1), attr_shape(r));
+    if (t == "Softmax") return g.add_op<SoftmaxOp>(r.name, in(0));
+    if (t == "SoftmaxGrad") return g.add_op<SoftmaxGradOp>(r.name, in(0), in(1));
+    if (t == "SoftmaxXent") return g.add_op<SoftmaxXentOp>(r.name, in(0), in(1));
+    if (t == "SoftmaxXentGrad")
+      return g.add_op<SoftmaxXentGradOp>(r.name, in(0), in(1), in(2));
+    if (t == "Reduce") {
+      std::istringstream ss(attr(r, "reduce"));
+      std::string kind;
+      std::size_t keep;
+      ss >> kind >> keep;
+      return g.add_op<ReduceOp>(r.name, in(0),
+                                kind == "sum" ? ReduceKind::kSum : ReduceKind::kMean,
+                                keep);
+    }
+    if (t == "Broadcast") return g.add_op<BroadcastOp>(r.name, in(0), attr_shape(r));
+    if (t == "BatchNorm") return g.add_op<BatchNormOp>(r.name, in(0), in(1), in(2));
+    if (t == "BatchNormGrad")
+      return g.add_op<BatchNormGradOp>(r.name, in(0), in(1), in(2));
+    if (t == "Pool" || t == "PoolGrad") {
+      std::istringstream ss(attr(r, "pool"));
+      std::string kind;
+      int wh, ww;
+      ss >> kind >> wh >> ww;
+      const PoolKind pk = kind == "max" ? PoolKind::kMax : PoolKind::kAvg;
+      if (t == "Pool") return g.add_op<PoolOp>(r.name, in(0), pk, wh, ww);
+      return g.add_op<PoolGradOp>(r.name, in(0), in(1), in(2), pk, wh, ww);
+    }
+    if (t == "Concat") {
+      std::vector<Tensor*> inputs;
+      for (int id : r.inputs) inputs.push_back(tensor(id));
+      return g.add_op<ConcatOp>(r.name, std::move(inputs),
+                                std::stoul(attr(r, "axis")));
+    }
+    if (t == "Split") {
+      std::istringstream ss(attr(r, "split"));
+      std::size_t axis, parts;
+      ss >> axis >> parts;
+      return g.add_op<SplitOp>(r.name, in(0), axis, parts);
+    }
+    if (t == "Slice")
+      return g.add_op<SliceOp>(r.name, in(0), std::stoul(attr(r, "axis")),
+                               sym::parse_sexpr(attr(r, "offset")),
+                               sym::parse_sexpr(attr(r, "size")));
+    if (t == "Reshape") return g.add_op<ReshapeOp>(r.name, in(0), attr_shape(r));
+    if (t == "ApplyGradient") {
+      const std::string opt = attr(r, "optimizer");
+      const Optimizer optimizer = opt == "sgd"        ? Optimizer::kSGD
+                                  : opt == "momentum" ? Optimizer::kMomentum
+                                                      : Optimizer::kAdam;
+      // Slot tensors are re-created by the constructor; only the weight
+      // and gradient references come from the record.
+      Op* op = g.add_op<ApplyGradientOp>(r.name, in(0), in(1), optimizer);
+      for (std::size_t i = 2; i < r.inputs.size(); ++i)
+        by_id_.emplace(r.inputs[i], op->inputs()[i]);
+      return op;
+    }
+    fail("unknown op type '" + t + "'");
+  }
+
+  std::istream& is_;
+  std::unordered_map<int, Tensor*> by_id_;
+  int line_number_ = 0;
+};
+
+}  // namespace
+
+void serialize(const Graph& graph, std::ostream& os) {
+  check_name(graph.name());
+  const IdMap ids = canonical_ids(graph);
+  os << "graph " << graph.name() << '\n';
+  for (const auto& t : graph.tensors()) {
+    const bool slot =
+        t->role() == TensorRole::kOptimizerState && t->producer() == nullptr;
+    if (t->producer() != nullptr || slot) continue;
+    check_name(t->name());
+    os << "tensor " << ids.at(t.get()) << ' ' << role_name(t->role()) << ' '
+       << dtype_name(t->dtype()) << ' ' << t->name() << ' '
+       << shape_payload(t->shape()) << '\n';
+  }
+  for (const auto& op : graph.ops()) {
+    check_name(op->name());
+    write_op(*op, ids, os);
+  }
+  // Role overrides for op-produced tensors (the gradient builder retags
+  // accumulated weight gradients as persistent after production).
+  for (const auto& t : graph.tensors())
+    if (t->producer() != nullptr && t->role() != TensorRole::kActivation)
+      os << "retag " << ids.at(t.get()) << ' ' << role_name(t->role()) << '\n';
+}
+
+std::string serialize(const Graph& graph) {
+  std::ostringstream ss;
+  serialize(graph, ss);
+  return ss.str();
+}
+
+std::unique_ptr<Graph> deserialize(std::istream& is) { return Reader(is).read(); }
+
+std::unique_ptr<Graph> deserialize(const std::string& text) {
+  std::istringstream ss(text);
+  return deserialize(ss);
+}
+
+std::string to_dot(const Graph& graph, std::size_t max_ops) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n  rankdir=TB;\n  node [shape=box];\n";
+  std::size_t count = 0;
+  std::unordered_map<const Op*, std::size_t> index;
+  for (const auto& op : graph.ops()) {
+    if (count >= max_ops) break;
+    index.emplace(op.get(), count);
+    os << "  op" << count << " [label=\"" << op->name() << "\\n("
+       << op_type_name(op->type()) << ")\"];\n";
+    ++count;
+  }
+  for (const auto& op : graph.ops()) {
+    auto from = index.find(op.get());
+    if (from == index.end()) continue;
+    for (const Tensor* out : op->outputs()) {
+      for (const Op* consumer : out->consumers()) {
+        auto to = index.find(consumer);
+        if (to == index.end()) continue;
+        os << "  op" << from->second << " -> op" << to->second << " [label=\""
+           << out->shape().str() << "\"];\n";
+      }
+    }
+  }
+  if (count < graph.num_ops())
+    os << "  truncated [label=\"... " << (graph.num_ops() - count)
+       << " more ops\", style=dashed];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gf::ir

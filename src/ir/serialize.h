@@ -1,0 +1,44 @@
+// Graph serialization.
+//
+// The original Catamount artifact's core workflow is loading saved compute
+// graphs (TensorFlow MetaGraphDefs) for offline analysis. This module is
+// the equivalent for this IR: a line-oriented text format that round-trips
+// graphs exactly (symbolic shapes included, via the s-expression codec),
+// plus a GraphViz export for inspection.
+//
+// Format sketch (one record per line, names contain no whitespace):
+//   graph <name>
+//   tensor <id> <role> <dtype> <name> <dim-sexpr>|<dim-sexpr>|...
+//   op <type> <name>
+//   in <tensor-id> ...
+//   out <tensor-id> ...
+//   attr <key> <payload-to-end-of-line>
+// Only producerless tensors (inputs, weights, gradient seeds) get tensor
+// records; op outputs and optimizer slots are re-created by the op
+// constructors on load and re-keyed via the recorded ids.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/ir/graph.h"
+
+namespace gf::ir {
+
+/// Serializes `graph` to the text format above.
+std::string serialize(const Graph& graph);
+void serialize(const Graph& graph, std::ostream& os);
+
+/// Reconstructs a graph from serialize()'s output. The result validates
+/// and is analytically identical (FLOPs/bytes/footprint/params) to the
+/// original. Throws std::invalid_argument with a line number on malformed
+/// input.
+std::unique_ptr<Graph> deserialize(const std::string& text);
+std::unique_ptr<Graph> deserialize(std::istream& is);
+
+/// GraphViz DOT rendering (ops as boxes, tensors as edges), for
+/// inspection of small graphs.
+std::string to_dot(const Graph& graph, std::size_t max_ops = 400);
+
+}  // namespace gf::ir

@@ -1,0 +1,88 @@
+#include "src/ir/tensor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/ir/op.h"
+
+namespace gf::ir {
+
+std::size_t dtype_bytes(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat16:
+      return 2;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+  }
+  throw std::logic_error("dtype_bytes: unknown dtype");
+}
+
+const char* dtype_name(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return "f32";
+    case DataType::kFloat16:
+      return "f16";
+    case DataType::kInt32:
+      return "i32";
+    case DataType::kInt64:
+      return "i64";
+  }
+  return "?";
+}
+
+sym::Expr TensorShape::num_elements() const {
+  sym::Expr n(1.0);
+  for (const sym::Expr& d : dims_) n = n * d;
+  return n;
+}
+
+std::vector<std::int64_t> TensorShape::eval(const sym::Bindings& bindings) const {
+  std::vector<std::int64_t> out;
+  out.reserve(dims_.size());
+  for (const sym::Expr& d : dims_) {
+    const double v = d.eval(bindings);
+    const double rounded = std::round(v);
+    if (v <= 0.0 || std::fabs(v - rounded) > 1e-6 * std::max(1.0, std::fabs(v)))
+      throw std::runtime_error("TensorShape::eval: dimension '" + d.str() +
+                               "' is not a positive integer under binding (got " +
+                               std::to_string(v) + ")");
+    out.push_back(static_cast<std::int64_t>(rounded));
+  }
+  return out;
+}
+
+std::string TensorShape::str() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ", ";
+    out += dims_[i].str();
+  }
+  return out + ")";
+}
+
+bool TensorShape::equals(const TensorShape& other) const {
+  if (dims_.size() != other.dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].equals(other.dims_[i])) return false;
+  return true;
+}
+
+Tensor::Tensor(int id, std::string name, TensorShape shape, DataType dtype, TensorRole role)
+    : id_(id), name_(std::move(name)), shape_(std::move(shape)), dtype_(dtype), role_(role) {}
+
+sym::Expr Tensor::bytes() const {
+  return num_elements() * sym::Expr(static_cast<double>(dtype_bytes(dtype_)));
+}
+
+void Tensor::set_producer(const Op* op) {
+  if (producer_ != nullptr)
+    throw std::logic_error("tensor '" + name_ + "' already has a producer");
+  producer_ = op;
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,104 @@
+// Tensors with symbolic shapes.
+//
+// A tensor is an edge in the compute graph: produced by at most one op,
+// consumed by any number. Shapes hold symbolic expressions so a single
+// graph instance can be analyzed across an entire model-size sweep by
+// re-binding symbols (the Catamount approach), instead of rebuilding the
+// graph per configuration.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::ir {
+
+class Op;
+
+enum class DataType : std::uint8_t { kFloat32, kFloat16, kInt32, kInt64 };
+
+/// Size of one element in bytes.
+std::size_t dtype_bytes(DataType dtype);
+const char* dtype_name(DataType dtype);
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<sym::Expr> dims) : dims_(dims) {}
+  explicit TensorShape(std::vector<sym::Expr> dims) : dims_(std::move(dims)) {}
+
+  std::size_t rank() const { return dims_.size(); }
+  const sym::Expr& dim(std::size_t i) const { return dims_.at(i); }
+  const std::vector<sym::Expr>& dims() const { return dims_; }
+
+  /// Product of all dims (1 for a scalar).
+  sym::Expr num_elements() const;
+
+  /// Concrete dims under a binding; throws on unbound symbols or
+  /// non-(positive-)integral results.
+  std::vector<std::int64_t> eval(const sym::Bindings& bindings) const;
+
+  std::string str() const;
+
+  bool equals(const TensorShape& other) const;
+
+ private:
+  std::vector<sym::Expr> dims_;
+};
+
+/// Roles determine footprint lifetime: weights (and anything else marked
+/// persistent) live for the whole training step; activations are freed
+/// once their last consumer has executed.
+enum class TensorRole : std::uint8_t {
+  kInput,
+  kWeight,
+  kActivation,
+  kGradient,
+  kWeightGradient,
+  kOptimizerState,
+};
+
+class Tensor {
+ public:
+  Tensor(int id, std::string name, TensorShape shape, DataType dtype, TensorRole role);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const TensorShape& shape() const { return shape_; }
+  DataType dtype() const { return dtype_; }
+  TensorRole role() const { return role_; }
+
+  bool is_persistent() const {
+    return role_ == TensorRole::kWeight || role_ == TensorRole::kWeightGradient ||
+           role_ == TensorRole::kOptimizerState;
+  }
+
+  sym::Expr num_elements() const { return shape_.num_elements(); }
+  /// Total storage in bytes (symbolic).
+  sym::Expr bytes() const;
+
+  const Op* producer() const { return producer_; }
+  const std::vector<const Op*>& consumers() const { return consumers_; }
+
+  // Wiring is done by Graph when ops are added.
+  void set_producer(const Op* op);
+  void add_consumer(const Op* op) { consumers_.push_back(op); }
+
+  /// Reclassifies a tensor; used by the gradient builder to mark final
+  /// weight gradients persistent once accumulation is complete.
+  void set_role(TensorRole role) { role_ = role; }
+
+ private:
+  int id_;
+  std::string name_;
+  TensorShape shape_;
+  DataType dtype_;
+  TensorRole role_;
+  const Op* producer_ = nullptr;
+  std::vector<const Op*> consumers_;
+};
+
+}  // namespace gf::ir

@@ -1,0 +1,42 @@
+#include "src/models/char_lm.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using sym::Expr;
+
+ModelSpec build_char_lm(const CharLmConfig& config) {
+  if (config.depth < 1) throw std::invalid_argument("char LM needs depth >= 1");
+  if (config.seq_length < 1) throw std::invalid_argument("char LM needs >= 1 timestep");
+
+  auto graph = std::make_unique<Graph>("char_lm");
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(ir::DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);
+  const Expr q(config.seq_length);
+
+  Tensor* ids = g.add_input("ids", {batch, q}, DataType::kInt32);
+  Tensor* labels = g.add_input("labels", {batch * q}, DataType::kInt32);
+  // Character embeddings are a small fraction of weights (vocab ~ 100).
+  Tensor* table = g.add_weight("embedding", {Expr(config.vocab), h});
+
+  Tensor* embedded = ir::embedding_lookup(g, "embed", table, ids);
+  std::vector<Tensor*> xs = split_timesteps(g, "seq", embedded, config.seq_length);
+
+  const auto states_per_step = rhn_layer(g, "rhn", xs, h, h, config.depth);
+  Tensor* states = stack_timesteps(g, "states", states_per_step);
+  Tensor* loss = sequence_output_loss(g, "output", states, config.seq_length, h,
+                                      config.vocab, labels);
+
+  return finalize_model("char_lm", Domain::kCharLM, std::move(graph), loss,
+                        config.seq_length, config.training);
+}
+
+}  // namespace gf::models

@@ -1,0 +1,18 @@
+// Character language model: embedding -> deep recurrent highway network ->
+// character softmax (paper §2.3, Figure 3).
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+struct CharLmConfig {
+  int vocab = 98;       ///< character set size (small; paper §2.3)
+  int depth = 10;       ///< highway sublayers per timestep
+  int seq_length = 150; ///< unrolled timesteps per sample (paper: 100-300)
+  TrainingOptions training;
+};
+
+ModelSpec build_char_lm(const CharLmConfig& config = {});
+
+}  // namespace gf::models

@@ -1,0 +1,67 @@
+#include "src/models/nmt.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using sym::Expr;
+
+ModelSpec build_nmt(const NmtConfig& config) {
+  if (config.src_length < 1 || config.tgt_length < 1)
+    throw std::invalid_argument("NMT needs >= 1 timestep on both sides");
+  if (config.decoder_layers < 1)
+    throw std::invalid_argument("NMT needs >= 1 decoder layer");
+
+  auto graph = std::make_unique<Graph>("nmt");
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(ir::DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);
+
+  // --- encoder: embedding -> bi-LSTM -> unifying LSTM ---------------------
+  Tensor* src_ids =
+      g.add_input("src_ids", {batch, Expr(config.src_length)}, DataType::kInt32);
+  Tensor* src_table = g.add_weight("src_embedding", {Expr(config.vocab_src), h});
+  Tensor* src_emb = ir::embedding_lookup(g, "src_embed", src_table, src_ids);
+  auto enc_xs = split_timesteps(g, "src_seq", src_emb, config.src_length);
+
+  auto bi = bilstm_layer(g, "enc_bilstm", enc_xs, h, h);            // (B, 2h) per t
+  auto enc_top = lstm_layer(g, "enc_lstm", bi, Expr(2) * h, h);     // (B, h) per t
+  Tensor* enc_states = stack_timesteps(g, "enc_states", enc_top);   // (B, T, h)
+
+  // --- decoder: embedding -> stacked LSTM -> attention + output select ----
+  Tensor* tgt_ids =
+      g.add_input("tgt_ids", {batch, Expr(config.tgt_length)}, DataType::kInt32);
+  Tensor* labels =
+      g.add_input("labels", {batch * Expr(config.tgt_length)}, DataType::kInt32);
+  Tensor* tgt_table = g.add_weight("tgt_embedding", {Expr(config.vocab_tgt), h});
+  Tensor* tgt_emb = ir::embedding_lookup(g, "tgt_embed", tgt_table, tgt_ids);
+  auto dec_xs = split_timesteps(g, "tgt_seq", tgt_emb, config.tgt_length);
+
+  for (int layer = 0; layer < config.decoder_layers; ++layer)
+    dec_xs = lstm_layer(g, "dec_lstm" + std::to_string(layer), dec_xs, h, h);
+
+  // Attention context + combine per decoder step (shared weights).
+  Tensor* w_query = g.add_weight("attn:Wq", {h, h});
+  Tensor* w_combine = g.add_weight("attn:Wc", {Expr(2) * h, h});
+  std::vector<Tensor*> attn_out(dec_xs.size());
+  for (std::size_t t = 0; t < dec_xs.size(); ++t)
+    attn_out[t] = attention_step(g, "attn:t" + std::to_string(t), enc_states,
+                                 config.src_length, dec_xs[t], h, h, w_query, w_combine);
+
+  Tensor* states = stack_timesteps(g, "dec_states", attn_out);
+  Tensor* loss = sequence_output_loss(g, "output", states, config.tgt_length, h,
+                                      config.vocab_tgt, labels);
+
+  // One NMT sample covers a source/target sentence pair; normalize per
+  // target wordpiece, the unit of the paper's 130M-WP dataset.
+  return finalize_model("nmt", Domain::kNMT, std::move(graph), loss,
+                        config.tgt_length, config.training);
+}
+
+}  // namespace gf::models

@@ -1,0 +1,20 @@
+// Neural machine translation: bidirectional-LSTM encoder, LSTM decoder,
+// Luong attention + output selection (paper §2.4, Figure 4).
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+struct NmtConfig {
+  int vocab_src = 32000;  ///< source wordpiece vocabulary
+  int vocab_tgt = 32000;  ///< target wordpiece vocabulary
+  int src_length = 25;    ///< encoder timesteps per sample
+  int tgt_length = 25;    ///< decoder timesteps per sample
+  int decoder_layers = 2; ///< stacked decoder LSTM layers
+  TrainingOptions training;
+};
+
+ModelSpec build_nmt(const NmtConfig& config = {});
+
+}  // namespace gf::models

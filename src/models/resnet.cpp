@@ -1,0 +1,119 @@
+#include "src/models/resnet.h"
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using ir::TensorShape;
+using sym::Expr;
+
+namespace {
+
+struct StagePlan {
+  std::array<int, 4> blocks;
+  bool bottleneck;
+};
+
+StagePlan plan_for_depth(int depth) {
+  switch (depth) {
+    case 18: return {{2, 2, 2, 2}, false};
+    case 34: return {{3, 4, 6, 3}, false};
+    case 50: return {{3, 4, 6, 3}, true};
+    case 101: return {{3, 4, 23, 3}, true};
+    case 152: return {{3, 8, 36, 3}, true};
+    default:
+      throw std::invalid_argument("ResNet depth must be one of 18/34/50/101/152");
+  }
+}
+
+Tensor* conv_bn(Graph& g, const std::string& name, Tensor* in, const Expr& out_ch,
+                int ksize, int stride, bool with_relu) {
+  const Expr in_ch = in->shape().dim(3);
+  Tensor* f = g.add_weight(name + ":f", {Expr(ksize), Expr(ksize), in_ch, out_ch});
+  Tensor* y = ir::conv2d(g, name + ":conv", in, f, stride);
+  Tensor* scale = g.add_weight(name + ":bn_scale", {out_ch});
+  Tensor* shift = g.add_weight(name + ":bn_shift", {out_ch});
+  y = ir::batch_norm(g, name + ":bn", y, scale, shift);
+  return with_relu ? ir::relu(g, name + ":relu", y) : y;
+}
+
+Tensor* bottleneck_block(Graph& g, const std::string& name, Tensor* in, const Expr& ch,
+                         int stride) {
+  const Expr out_ch = Expr(4) * ch;
+  Tensor* y = conv_bn(g, name + ":a", in, ch, 1, 1, true);
+  y = conv_bn(g, name + ":b", y, ch, 3, stride, true);
+  y = conv_bn(g, name + ":c", y, out_ch, 1, 1, false);
+  Tensor* skip = in;
+  if (stride != 1 || !in->shape().dim(3).equals(out_ch))
+    skip = conv_bn(g, name + ":proj", in, out_ch, 1, stride, false);
+  return ir::relu(g, name + ":out", ir::add(g, name + ":sum", y, skip));
+}
+
+Tensor* basic_block(Graph& g, const std::string& name, Tensor* in, const Expr& ch,
+                    int stride) {
+  Tensor* y = conv_bn(g, name + ":a", in, ch, 3, stride, true);
+  y = conv_bn(g, name + ":b", y, ch, 3, 1, false);
+  Tensor* skip = in;
+  if (stride != 1 || !in->shape().dim(3).equals(ch))
+    skip = conv_bn(g, name + ":proj", in, ch, 1, stride, false);
+  return ir::relu(g, name + ":out", ir::add(g, name + ":sum", y, skip));
+}
+
+}  // namespace
+
+ModelSpec build_resnet(const ResNetConfig& config) {
+  if (config.image_size % 32 != 0)
+    throw std::invalid_argument("image_size must be divisible by 32");
+  const StagePlan plan = plan_for_depth(config.depth);
+
+  auto graph = std::make_unique<Graph>("resnet" + std::to_string(config.depth));
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);  // base channels (64 standard)
+
+  Tensor* image =
+      g.add_input("image", {batch, Expr(config.image_size), Expr(config.image_size),
+                            Expr(3)});
+  Tensor* labels = g.add_input("labels", {batch}, DataType::kInt32);
+
+  // Stem: 7x7/2 conv + 2x2 max pool -> spatial /4.
+  Tensor* x = conv_bn(g, "stem", image, h, 7, 2, true);
+  x = ir::pool(g, "stem:pool", x, ir::PoolKind::kMax, 2, 2);
+
+  for (int stage = 0; stage < 4; ++stage) {
+    const Expr ch = Expr(static_cast<double>(1 << stage)) * h;
+    for (int block = 0; block < plan.blocks[static_cast<std::size_t>(stage)]; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string name =
+          "g" + std::to_string(stage + 1) + ":b" + std::to_string(block);
+      x = plan.bottleneck ? bottleneck_block(g, name, x, ch, stride)
+                          : basic_block(g, name, x, ch, stride);
+    }
+  }
+
+  // Head: global average pool -> FC -> softmax cross-entropy.
+  const int final_spatial = config.image_size / 32;
+  x = ir::pool(g, "head:gap", x, ir::PoolKind::kAvg, final_spatial, final_spatial);
+  const Expr feat = x->shape().dim(3);
+  x = ir::reshape(g, "head:flat", x, TensorShape{batch, feat});
+  Tensor* w_fc = g.add_weight("head:Wfc", {feat, Expr(config.classes)});
+  Tensor* b_fc = g.add_weight("head:bfc", {Expr(config.classes)});
+  Tensor* logits =
+      ir::bias_add(g, "head:logits_b", ir::matmul(g, "head:logits", x, w_fc), b_fc);
+  auto [per_row, probs] = ir::softmax_xent(g, "head:xent", logits, labels);
+  (void)probs;
+  Tensor* loss = ir::reduce_mean(g, "head:loss", per_row);
+
+  return finalize_model("resnet" + std::to_string(config.depth), Domain::kImage,
+                        std::move(graph), loss, /*samples_per_batch_row=*/1,
+                        config.training);
+}
+
+}  // namespace gf::models

@@ -1,0 +1,20 @@
+// ResNet image classifiers (paper §2.2, Figure 1): residual groups of
+// bottleneck (50/101/152) or basic (18/34) blocks. "hidden" is the base
+// channel width (64 in the standard models); the paper grows ResNets in
+// depth and width, so both knobs are exposed.
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+struct ResNetConfig {
+  int depth = 50;       ///< one of 18, 34, 50, 101, 152
+  int image_size = 224; ///< square input resolution (divisible by 32)
+  int classes = 1000;   ///< output classes
+  TrainingOptions training;
+};
+
+ModelSpec build_resnet(const ResNetConfig& config = {});
+
+}  // namespace gf::models

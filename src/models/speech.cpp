@@ -1,0 +1,94 @@
+#include "src/models/speech.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using sym::Expr;
+
+namespace {
+
+/// Temporal average pooling: merges groups of `factor` adjacent timesteps.
+std::vector<Tensor*> pool_time(Graph& g, const std::string& name,
+                               const std::vector<Tensor*>& xs, int factor) {
+  if (factor <= 1) return xs;
+  std::vector<Tensor*> out;
+  out.reserve(xs.size() / factor);
+  for (std::size_t t = 0; t + factor <= xs.size(); t += factor) {
+    Tensor* acc = xs[t];
+    for (int j = 1; j < factor; ++j)
+      acc = ir::add(g, name + ":sum" + std::to_string(t) + "_" + std::to_string(j), acc,
+                    xs[t + j]);
+    out.push_back(ir::scale(g, name + ":avg" + std::to_string(t), acc,
+                            Expr(1.0 / static_cast<double>(factor))));
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelSpec build_speech(const SpeechConfig& config) {
+  if (config.encoder_layers < 1)
+    throw std::invalid_argument("speech model needs >= 1 encoder layer");
+  int frames = config.audio_frames;
+  for (int layer = 1; layer < config.encoder_layers; ++layer) {
+    if (frames % config.pool != 0)
+      throw std::invalid_argument("audio_frames must divide by pool at every layer");
+    frames /= config.pool;
+  }
+
+  auto graph = std::make_unique<Graph>("speech_attention");
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(ir::DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);
+
+  // --- encoder: pyramidal bi-LSTM over audio frames -----------------------
+  Tensor* audio = g.add_input(
+      "audio", {batch, Expr(config.audio_frames), Expr(config.feature_dim)});
+  auto xs = split_timesteps(g, "audio_seq", audio, config.audio_frames);
+
+  Expr in_dim(config.feature_dim);
+  for (int layer = 0; layer < config.encoder_layers; ++layer) {
+    xs = bilstm_layer(g, "enc" + std::to_string(layer), xs, in_dim, h);
+    in_dim = Expr(2) * h;
+    if (layer + 1 < config.encoder_layers)
+      xs = pool_time(g, "pool" + std::to_string(layer), xs, config.pool);
+  }
+  const int enc_steps = static_cast<int>(xs.size());
+  Tensor* enc_states = stack_timesteps(g, "enc_states", xs);  // (B, T', 2h)
+
+  // --- decoder: char embedding -> LSTM -> attention context ----------------
+  Tensor* tgt_ids =
+      g.add_input("tgt_ids", {batch, Expr(config.decoder_length)}, DataType::kInt32);
+  Tensor* labels =
+      g.add_input("labels", {batch * Expr(config.decoder_length)}, DataType::kInt32);
+  Tensor* table = g.add_weight("char_embedding", {Expr(config.vocab), h});
+  Tensor* tgt_emb = ir::embedding_lookup(g, "tgt_embed", table, tgt_ids);
+  auto dec_xs = split_timesteps(g, "tgt_seq", tgt_emb, config.decoder_length);
+
+  dec_xs = lstm_layer(g, "dec_lstm", dec_xs, h, h);
+
+  Tensor* w_query = g.add_weight("attn:Wq", {h, Expr(2) * h});
+  Tensor* w_combine = g.add_weight("attn:Wc", {Expr(3) * h, h});
+  std::vector<Tensor*> attn_out(dec_xs.size());
+  for (std::size_t t = 0; t < dec_xs.size(); ++t)
+    attn_out[t] = attention_step(g, "attn:t" + std::to_string(t), enc_states, enc_steps,
+                                 dec_xs[t], Expr(2) * h, h, w_query, w_combine);
+
+  Tensor* states = stack_timesteps(g, "dec_states", attn_out);
+  Tensor* loss = sequence_output_loss(g, "output", states, config.decoder_length, h,
+                                      config.vocab, labels);
+
+  // One sample emits decoder_length characters; the speech dataset (Table 1)
+  // is measured in output characters.
+  return finalize_model("speech_attention", Domain::kSpeech, std::move(graph), loss,
+                        config.decoder_length, config.training);
+}
+
+}  // namespace gf::models

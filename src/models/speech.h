@@ -1,0 +1,22 @@
+// Speech recognition: pyramidal bidirectional-LSTM encoder with time
+// pooling, LSTM decoder with recurrent attention context, FC output select
+// (paper §2.5, Figure 5).
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+struct SpeechConfig {
+  int audio_frames = 300;  ///< encoder input timesteps (paper: ~300 unrolls)
+  int feature_dim = 40;    ///< filterbank features per frame
+  int encoder_layers = 3;  ///< bi-LSTM layers; time pooled /2 between layers
+  int pool = 2;            ///< temporal pooling factor between encoder layers
+  int decoder_length = 100;///< output characters per sample
+  int vocab = 98;          ///< character set size
+  TrainingOptions training;
+};
+
+ModelSpec build_speech(const SpeechConfig& config = {});
+
+}  // namespace gf::models

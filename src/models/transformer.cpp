@@ -1,0 +1,109 @@
+#include "src/models/transformer.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using ir::TensorShape;
+using sym::Expr;
+
+namespace {
+
+/// Dense projection applied to a (B, q, h) sequence via the flattened
+/// (B*q, h) view. Returns (B, q, out_dim).
+Tensor* seq_linear(Graph& g, const std::string& name, Tensor* x, const Expr& in_dim,
+                   const Expr& out_dim, int seq) {
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr rows = batch * Expr(seq);
+  Tensor* flat = ir::reshape(g, name + ":flat", x, TensorShape{rows, in_dim});
+  Tensor* w = g.add_weight(name + ":W", {in_dim, out_dim});
+  Tensor* b = g.add_weight(name + ":b", {out_dim});
+  Tensor* y = ir::bias_add(g, name + ":bias", ir::matmul(g, name + ":mm", flat, w), b);
+  return ir::reshape(g, name + ":unflat", y, TensorShape{batch, Expr(seq), out_dim});
+}
+
+/// Normalization over the feature axis with trainable scale/shift (the
+/// LayerNorm role; computationally modeled by the BatchNorm op — same
+/// algorithmic FLOPs/bytes and the same (2*h) parameters).
+Tensor* norm(Graph& g, const std::string& name, Tensor* x, const Expr& dim) {
+  Tensor* scale = g.add_weight(name + ":scale", {dim});
+  Tensor* shift = g.add_weight(name + ":shift", {dim});
+  return ir::batch_norm(g, name, x, scale, shift);
+}
+
+Tensor* attention_block(Graph& g, const std::string& name, Tensor* x, const Expr& h,
+                        int seq) {
+  Tensor* q = seq_linear(g, name + ":q", x, h, h, seq);
+  Tensor* k = seq_linear(g, name + ":k", x, h, h, seq);
+  Tensor* v = seq_linear(g, name + ":v", x, h, h, seq);
+
+  // scores = Q K^T / sqrt(h): (B, q, q).
+  Tensor* scores = ir::matmul(g, name + ":scores", q, k, false, /*trans_b=*/true);
+  Tensor* scaled =
+      ir::scale(g, name + ":scale", scores, Expr(1.0) / sym::sqrt(h));
+  Tensor* probs = ir::softmax(g, name + ":softmax", scaled);
+  // context = probs V: (B, q, h), then the output projection.
+  Tensor* context = ir::matmul(g, name + ":context", probs, v);
+  return seq_linear(g, name + ":out", context, h, h, seq);
+}
+
+Tensor* ffn_block(Graph& g, const std::string& name, Tensor* x, const Expr& h,
+                  int multiple, int seq) {
+  const Expr inner = Expr(multiple) * h;
+  Tensor* up = seq_linear(g, name + ":up", x, h, inner, seq);
+  Tensor* act = ir::relu(g, name + ":act", up);
+  return seq_linear(g, name + ":down", act, inner, h, seq);
+}
+
+}  // namespace
+
+ModelSpec build_transformer_lm(const TransformerLmConfig& config) {
+  if (config.layers < 1) throw std::invalid_argument("transformer needs >= 1 layer");
+  if (config.seq_length < 1)
+    throw std::invalid_argument("transformer needs >= 1 token");
+  if (config.ffn_multiple < 1)
+    throw std::invalid_argument("ffn_multiple must be >= 1");
+
+  auto graph = std::make_unique<Graph>("transformer_lm");
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);
+  const Expr q(config.seq_length);
+
+  Tensor* ids = g.add_input("ids", {batch, q}, DataType::kInt32);
+  Tensor* labels = g.add_input("labels", {batch * q}, DataType::kInt32);
+  Tensor* table = g.add_weight("embedding", {Expr(config.vocab), h});
+  // Learned positional embeddings, added to every token.
+  Tensor* positions = g.add_weight("positions", {q, h});
+
+  Tensor* x = ir::embedding_lookup(g, "embed", table, ids);  // (B, q, h)
+  Tensor* pos3 = g.add_op<ir::BroadcastOp>("pos_bcast", positions,
+                                           TensorShape{batch, q, h})
+                     ->output(0);
+  x = ir::add(g, "embed_pos", x, pos3);
+
+  for (int layer = 0; layer < config.layers; ++layer) {
+    const std::string name = "blk" + std::to_string(layer);
+    Tensor* attn = attention_block(g, name + ":attn", norm(g, name + ":ln1", x, h),
+                                   h, config.seq_length);
+    x = ir::add(g, name + ":res1", x, attn);
+    Tensor* ffn = ffn_block(g, name + ":ffn", norm(g, name + ":ln2", x, h), h,
+                            config.ffn_multiple, config.seq_length);
+    x = ir::add(g, name + ":res2", x, ffn);
+  }
+  x = norm(g, "final_ln", x, h);
+
+  Tensor* loss = sequence_output_loss(g, "output", x, config.seq_length, h,
+                                      config.vocab, labels);
+  return finalize_model("transformer_lm", Domain::kWordLM, std::move(graph), loss,
+                        config.seq_length, config.training);
+}
+
+}  // namespace gf::models

@@ -1,0 +1,28 @@
+// Extension beyond the paper's five families: a decoder-style Transformer
+// language model. The paper (2018/19) characterizes RNN LMs and argues
+// hardware should track their moderate intensity and huge footprints;
+// attention models were the immediate "what's next". This builder lets the
+// same pipeline answer how the segmentation changes: self-attention
+// processes the whole sequence with batched GEMMs instead of a serial
+// unroll, trading the RNN's weight re-streaming for O(q^2) score traffic.
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+struct TransformerLmConfig {
+  int vocab = 100000;   ///< vocabulary (embedding + softmax rows)
+  int layers = 4;       ///< transformer blocks
+  int seq_length = 80;  ///< tokens per sample (same default as the word LM)
+  int ffn_multiple = 4; ///< FFN inner width, as a multiple of hidden
+  TrainingOptions training;
+};
+
+/// Builds embedding -> L x (self-attention + FFN, residual + norm) ->
+/// vocabulary softmax as a training-step graph. Head count does not change
+/// algorithmic totals at graph granularity, so attention is modeled
+/// single-head. Domain is kWordLM (same task and dataset units).
+ModelSpec build_transformer_lm(const TransformerLmConfig& config = {});
+
+}  // namespace gf::models

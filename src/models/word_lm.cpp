@@ -1,0 +1,64 @@
+#include "src/models/word_lm.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gf::models {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Tensor;
+using ir::TensorShape;
+using sym::Expr;
+
+ModelSpec build_word_lm(const WordLmConfig& config) {
+  if (config.layers < 1) throw std::invalid_argument("word LM needs >= 1 layer");
+  if (config.seq_length < 1) throw std::invalid_argument("word LM needs >= 1 timestep");
+
+  auto graph = std::make_unique<Graph>("word_lm");
+  Graph& g = *graph;
+  if (config.training.half_precision)
+    g.set_default_float_dtype(DataType::kFloat16);
+  const Expr batch = Expr::symbol(kBatchSymbol);
+  const Expr h = Expr::symbol(kHiddenSymbol);
+  const Expr q(config.seq_length);
+  const Expr proj = Expr(config.projection_ratio) * h;
+
+  // Embedding dimension tracks the recurrent input width so the LSTM's
+  // fused gate matrix is the paper's (2h x 4h) shape.
+  const Expr embed_dim = config.projection ? proj : h;
+
+  Tensor* ids = g.add_input("ids", {batch, q}, DataType::kInt32);
+  Tensor* labels = g.add_input("labels", {batch * q}, DataType::kInt32);
+  Tensor* table = g.add_weight("embedding", {Expr(config.vocab), embed_dim});
+
+  Tensor* embedded = ir::embedding_lookup(g, "embed", table, ids);  // (B, q, E)
+  std::vector<Tensor*> xs = split_timesteps(g, "seq", embedded, config.seq_length);
+
+  if (config.projection && config.cell != RecurrentCell::kLSTM)
+    throw std::invalid_argument("LSTM projection requires the LSTM cell");
+
+  Expr in_dim = embed_dim;
+  for (int layer = 0; layer < config.layers; ++layer) {
+    const std::string name =
+        (config.cell == RecurrentCell::kGRU ? "gru" : "lstm") + std::to_string(layer);
+    if (config.cell == RecurrentCell::kGRU) {
+      xs = gru_layer(g, name, xs, in_dim, h);
+    } else {
+      xs = config.projection ? lstm_layer(g, name, xs, in_dim, h, false, &proj)
+                             : lstm_layer(g, name, xs, in_dim, h);
+    }
+    in_dim = config.projection ? proj : h;
+  }
+
+  Tensor* states = stack_timesteps(g, "states", xs);  // (B, q, D)
+  Tensor* loss = sequence_output_loss(g, "output", states, config.seq_length, in_dim,
+                                      config.vocab, labels);
+
+  std::string name = config.projection ? "word_lm_projected" : "word_lm";
+  if (config.cell == RecurrentCell::kGRU) name += "_gru";
+  return finalize_model(std::move(name), Domain::kWordLM, std::move(graph), loss,
+                        config.seq_length, config.training);
+}
+
+}  // namespace gf::models

@@ -1,0 +1,29 @@
+// Word language model: embedding -> stacked LSTM -> vocabulary softmax
+// (paper §2.3, Figure 2). The case-study variant (§6.1) adds LSTM output
+// projection and a larger vocabulary.
+#pragma once
+
+#include "src/models/common.h"
+
+namespace gf::models {
+
+enum class RecurrentCell : std::uint8_t { kLSTM, kGRU };
+
+struct WordLmConfig {
+  int vocab = 100000;  ///< word vocabulary (embedding + softmax rows)
+  int layers = 2;      ///< stacked recurrent layers
+  int seq_length = 80; ///< unrolled timesteps per sample
+  /// Recurrent cell; GRU is the cell-choice ablation (3/4 the weights per
+  /// layer, same asymptotic FLOPs/param). Projection requires LSTM.
+  RecurrentCell cell = RecurrentCell::kLSTM;
+  /// Enables the §6.1 LSTM projection optimization: each layer's output is
+  /// projected to `projection_ratio * hidden` before the next layer and the
+  /// softmax, cutting output-layer FLOPs.
+  bool projection = false;
+  double projection_ratio = 0.25;
+  TrainingOptions training;  ///< optimizer / precision knobs
+};
+
+ModelSpec build_word_lm(const WordLmConfig& config = {});
+
+}  // namespace gf::models

@@ -1,0 +1,58 @@
+#include "src/plan/allreduce.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gf::plan {
+
+double ring_allreduce_seconds(const AllReduceModel& model, double bytes, int workers) {
+  if (workers < 1) throw std::invalid_argument("allreduce: workers must be >= 1");
+  if (bytes < 0) throw std::invalid_argument("allreduce: bytes must be >= 0");
+  if (model.link_bandwidth <= 0)
+    throw std::invalid_argument("allreduce: bandwidth must be > 0");
+  if (workers == 1) return 0.0;
+  const double n = static_cast<double>(workers);
+  return 2.0 * (n - 1.0) / n * bytes / model.link_bandwidth +
+         2.0 * (n - 1.0) * model.hop_latency;
+}
+
+double hierarchical_allreduce_seconds(const HierarchicalAllReduceModel& model,
+                                      double bytes, int workers) {
+  if (workers < 1) throw std::invalid_argument("allreduce: workers must be >= 1");
+  if (bytes < 0) throw std::invalid_argument("allreduce: bytes must be >= 0");
+  if (model.intra_bandwidth <= 0 || model.inter_bandwidth <= 0 ||
+      model.workers_per_node < 1)
+    throw std::invalid_argument("allreduce: bad hierarchical model");
+  if (workers == 1) return 0.0;
+
+  const int k = std::min(model.workers_per_node, workers);
+  const int nodes = (workers + k - 1) / k;
+  if (nodes == 1) {
+    AllReduceModel flat;
+    flat.link_bandwidth = model.intra_bandwidth;
+    flat.hop_latency = model.hop_latency;
+    return ring_allreduce_seconds(flat, bytes, workers);
+  }
+
+  const double kd = static_cast<double>(k);
+  const double nd = static_cast<double>(nodes);
+  // Intra-node reduce-scatter + (later) allgather: (k-1)/k of the payload
+  // each way on the fast links.
+  const double intra =
+      2.0 * (kd - 1.0) / kd * bytes / model.intra_bandwidth +
+      2.0 * (kd - 1.0) * model.hop_latency;
+  // Inter-node ring allreduce over each leader's 1/k shard.
+  const double inter =
+      2.0 * (nd - 1.0) / nd * (bytes / kd) / model.inter_bandwidth +
+      2.0 * (nd - 1.0) * model.hop_latency;
+  return intra + inter;
+}
+
+double compressed_gradient_bytes(double params, double bits_per_value) {
+  if (params < 0) throw std::invalid_argument("params must be >= 0");
+  if (bits_per_value <= 0 || bits_per_value > 32)
+    throw std::invalid_argument("bits_per_value must be in (0, 32]");
+  return params * bits_per_value / 8.0;
+}
+
+}  // namespace gf::plan

@@ -1,0 +1,38 @@
+// Synchronous-SGD gradient reduction cost model: bandwidth-optimal ring
+// allreduce (Patarasuk & Yuan), the scheme the paper's §6.2.1 assumes.
+#pragma once
+
+namespace gf::plan {
+
+struct AllReduceModel {
+  double link_bandwidth = 56e9;  ///< bytes/s per device link (Table 4)
+  double hop_latency = 5e-6;     ///< per ring step software+wire latency
+};
+
+/// Time to allreduce `bytes` across `workers` devices:
+///   2 (N-1)/N * bytes / bw   +   2 (N-1) * hop_latency
+/// (reduce-scatter + allgather, each N-1 steps moving bytes/N per step).
+double ring_allreduce_seconds(const AllReduceModel& model, double bytes, int workers);
+
+/// Effective bytes on the wire after optional gradient compression
+/// (paper §6.2.3 cites QSGD / TernGrad / deep gradient compression):
+/// bits_per_value < 32 shrinks the payload proportionally.
+double compressed_gradient_bytes(double params, double bits_per_value);
+
+/// Two-level topology: fast intra-node links (NVLink-class) under a slower
+/// inter-node fabric — the cluster shape the paper's 56 GB/s "future
+/// intra-node and InfiniBand 400Gb" assumption abstracts over.
+struct HierarchicalAllReduceModel {
+  double intra_bandwidth = 300e9;  ///< bytes/s within a node
+  double inter_bandwidth = 56e9;   ///< bytes/s between node leaders
+  int workers_per_node = 8;
+  double hop_latency = 5e-6;
+};
+
+/// Reduce-scatter within each node, ring allreduce of the 1/k shard across
+/// node leaders, allgather within each node. Falls back to a flat ring
+/// when all workers fit one node.
+double hierarchical_allreduce_seconds(const HierarchicalAllReduceModel& model,
+                                      double bytes, int workers);
+
+}  // namespace gf::plan

@@ -1,0 +1,57 @@
+// The §6 word-LM case study: a step-by-step optimization plan that takes a
+// frontier word language model from thousands of days per epoch to ~a week
+// (Table 5). The pipeline runs from either the paper's published step
+// quantities (calibrated mode — reproduces Table 5 rows) or from this
+// library's own projected word-LM graph (graph-derived mode).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hw/accelerator.h"
+#include "src/plan/data_parallel.h"
+#include "src/plan/layer_parallel.h"
+
+namespace gf::plan {
+
+struct CaseStudyInputs {
+  std::string label;
+  double params = 0;
+  double subbatch = 128;
+  double samples_per_epoch = 0;       ///< training samples per epoch
+  double best_step_seconds = 0;       ///< Roofline step time (80% util ceiling)
+  double best_utilization = 0.80;
+  double cache_step_seconds = 0;      ///< cache-hierarchy-aware step time
+  double cache_utilization = 0;
+  double flops_per_step = 0;          ///< algorithmic FLOPs per worker step
+  double total_footprint_bytes = 0;   ///< single-worker training footprint
+  std::vector<LayerFootprint> layers; ///< per-layer memory for stage planning
+};
+
+/// Inputs calibrated to the paper's published §6.1/Table 5 quantities.
+CaseStudyInputs paper_calibrated_case_study();
+
+struct CaseStudyRow {
+  std::string stage;
+  int accelerators = 1;
+  double global_batch = 0;
+  std::vector<double> memory_per_accel_bytes;  ///< one entry, or one per stage
+  double epoch_days = 0;
+  double utilization = 0;
+};
+
+struct CaseStudyOptions {
+  int data_parallel_primary = 1024;   ///< "Option 1" worker count
+  int data_parallel_secondary = 512;  ///< "Option 2": basis for layer parallelism
+  int pipeline_stages = 4;
+  int pipeline_microbatches = 2;
+};
+
+/// Produces the Table 5 rows: best-case -> cache-aware -> data parallel
+/// (two options) -> + layer parallelism -> + embedding sharding.
+std::vector<CaseStudyRow> run_case_study(const CaseStudyInputs& inputs,
+                                         const hw::AcceleratorConfig& accel,
+                                         const AllReduceModel& network,
+                                         const CaseStudyOptions& options = {});
+
+}  // namespace gf::plan

@@ -1,0 +1,57 @@
+#include "src/plan/data_parallel.h"
+
+#include <stdexcept>
+
+namespace gf::plan {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+void check(const WorkerStep& w) {
+  if (w.step_seconds <= 0 || w.subbatch <= 0 || w.samples_per_epoch <= 0 || w.flops < 0)
+    throw std::invalid_argument("WorkerStep fields must be positive");
+}
+
+}  // namespace
+
+DataParallelPoint evaluate_data_parallel(const WorkerStep& worker,
+                                         const hw::AcceleratorConfig& accel,
+                                         const AllReduceModel& network, int workers) {
+  check(worker);
+  if (workers < 1) throw std::invalid_argument("workers must be >= 1");
+
+  DataParallelPoint pt;
+  pt.workers = workers;
+  pt.global_batch = worker.subbatch * workers;
+  pt.compute_seconds = worker.step_seconds;
+  pt.comm_seconds = ring_allreduce_seconds(network, worker.gradient_bytes, workers);
+  pt.step_seconds = pt.compute_seconds + pt.comm_seconds;
+
+  const double steps = worker.samples_per_epoch / pt.global_batch;
+  pt.epoch_days = steps * pt.step_seconds / kSecondsPerDay;
+  // Per-accelerator algorithmic FLOP rate vs peak; communication time is
+  // pure overhead (synchronous SGD does not overlap it here).
+  pt.flop_utilization = worker.flops / (pt.step_seconds * accel.peak_flops);
+  return pt;
+}
+
+std::vector<DataParallelPoint> data_parallel_sweep(const WorkerStep& worker,
+                                                   const hw::AcceleratorConfig& accel,
+                                                   const AllReduceModel& network,
+                                                   int max_workers) {
+  if (max_workers < 1) throw std::invalid_argument("max_workers must be >= 1");
+  std::vector<DataParallelPoint> out;
+  for (int n = 1; n <= max_workers; n *= 2)
+    out.push_back(evaluate_data_parallel(worker, accel, network, n));
+  return out;
+}
+
+int workers_for_epoch_days(const WorkerStep& worker, const hw::AcceleratorConfig& accel,
+                           const AllReduceModel& network, double days, int max_workers) {
+  for (int n = 1; n <= max_workers; n *= 2) {
+    if (evaluate_data_parallel(worker, accel, network, n).epoch_days <= days) return n;
+  }
+  return 0;
+}
+
+}  // namespace gf::plan

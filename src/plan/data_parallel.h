@@ -1,0 +1,46 @@
+// Data-parallel scaling model (paper §6.2.1, Figure 12): synchronous SGD,
+// each worker computes a subbatch step, then gradients ring-allreduce.
+#pragma once
+
+#include <vector>
+
+#include "src/hw/accelerator.h"
+#include "src/plan/allreduce.h"
+
+namespace gf::plan {
+
+/// Per-worker training-step characteristics, independent of worker count.
+struct WorkerStep {
+  double step_seconds = 0;       ///< one worker's compute step time
+  double flops = 0;              ///< algorithmic FLOPs per worker step
+  double subbatch = 0;           ///< samples per worker step
+  double gradient_bytes = 0;     ///< bytes reduced per step (4 * params)
+  double samples_per_epoch = 0;  ///< dataset samples / samples-per-row
+};
+
+struct DataParallelPoint {
+  int workers = 1;
+  double global_batch = 0;
+  double compute_seconds = 0;
+  double comm_seconds = 0;
+  double step_seconds = 0;       ///< compute + allreduce (synchronous)
+  double epoch_days = 0;
+  double flop_utilization = 0;   ///< algorithmic FLOPs vs peak, incl. comm
+};
+
+DataParallelPoint evaluate_data_parallel(const WorkerStep& worker,
+                                         const hw::AcceleratorConfig& accel,
+                                         const AllReduceModel& network, int workers);
+
+/// Sweeps powers-of-two worker counts (the Figure 12 series).
+std::vector<DataParallelPoint> data_parallel_sweep(const WorkerStep& worker,
+                                                   const hw::AcceleratorConfig& accel,
+                                                   const AllReduceModel& network,
+                                                   int max_workers);
+
+/// Smallest power-of-two worker count whose epoch time is below `days`.
+/// Returns 0 if unreachable at max_workers.
+int workers_for_epoch_days(const WorkerStep& worker, const hw::AcceleratorConfig& accel,
+                           const AllReduceModel& network, double days, int max_workers);
+
+}  // namespace gf::plan

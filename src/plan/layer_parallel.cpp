@@ -1,0 +1,123 @@
+#include "src/plan/layer_parallel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gf::plan {
+namespace {
+
+/// Contiguous assignment of layers to stages, one layer per stage when the
+/// counts match, otherwise a greedy partition targeting equal bytes.
+std::vector<double> assign_stages(const std::vector<LayerFootprint>& layers, int stages) {
+  if (stages < 1) throw std::invalid_argument("stages must be >= 1");
+  if (layers.empty()) throw std::invalid_argument("no layers to place");
+  std::vector<double> out(static_cast<std::size_t>(stages), 0.0);
+  if (static_cast<int>(layers.size()) <= stages) {
+    for (std::size_t i = 0; i < layers.size(); ++i) out[i] = layers[i].bytes;
+    return out;
+  }
+  double total = 0;
+  for (const auto& l : layers) total += l.bytes;
+  const double target = total / stages;
+  std::size_t stage = 0;
+  for (const auto& l : layers) {
+    if (out[stage] > 0 && out[stage] + l.bytes > target * 1.25 &&
+        stage + 1 < out.size())
+      ++stage;
+    out[stage] += l.bytes;
+  }
+  return out;
+}
+
+}  // namespace
+
+LayerParallelResult layer_parallel_step(double single_device_seconds,
+                                        const PipelineModel& pipeline,
+                                        const std::vector<LayerFootprint>& layers) {
+  if (single_device_seconds <= 0)
+    throw std::invalid_argument("single_device_seconds must be > 0");
+  if (pipeline.stages < 1 || pipeline.microbatches < 1)
+    throw std::invalid_argument("pipeline stages/microbatches must be >= 1");
+
+  LayerParallelResult r;
+  const double k = pipeline.stages;
+  const double u = pipeline.microbatches;
+  // Fill + drain bubble: (u + k - 1) microbatch stage slots of t/(k*u) each.
+  double step = (u + k - 1.0) / (k * u) * single_device_seconds;
+  // Boundary activations cross k-1 links per microbatch, forward + backward.
+  if (pipeline.boundary_activation_bytes > 0 && pipeline.stages > 1)
+    step += 2.0 * (k - 1.0) * u * pipeline.boundary_activation_bytes /
+            pipeline.link_bandwidth;
+  r.step_seconds = step;
+  r.speedup = single_device_seconds / step;
+  r.efficiency = r.speedup / k;
+  r.stage_bytes = assign_stages(layers, pipeline.stages);
+  return r;
+}
+
+ShardPlan shard_to_capacity(const std::vector<LayerFootprint>& layers, int stages,
+                            double capacity) {
+  if (capacity <= 0) throw std::invalid_argument("capacity must be > 0");
+  if (stages < 1) throw std::invalid_argument("stages must be >= 1");
+
+  // Base loads: non-shardable layers pinned to their stages (1:1 when the
+  // counts allow, greedy-contiguous otherwise); shardable bytes pooled.
+  std::vector<LayerFootprint> pinned;
+  double pool = 0;
+  for (const auto& l : layers) {
+    if (l.shardable)
+      pool += l.bytes;
+    else
+      pinned.push_back(l);
+  }
+  std::vector<double> base(static_cast<std::size_t>(stages), 0.0);
+  if (!pinned.empty()) {
+    const auto assigned = assign_stages(pinned, stages);
+    // assign_stages fills from stage 0; keep pinned layers away from
+    // stage 0 when there is room, mirroring the paper's placement
+    // (embedding stage first, recurrent/output stages after).
+    const std::size_t offset =
+        (pinned.size() < static_cast<std::size_t>(stages)) ? stages - pinned.size() : 0;
+    for (std::size_t i = 0; i < assigned.size(); ++i) {
+      const std::size_t slot = std::min(i + offset, base.size() - 1);
+      base[slot] += assigned[i];
+    }
+  }
+  for (double b : base)
+    if (b > capacity * (1 + 1e-9))
+      throw std::runtime_error("a non-shardable stage alone exceeds capacity");
+
+  ShardPlan plan;
+  plan.stage_bytes = base;
+  plan.pieces = 0;
+  if (pool <= 0) {
+    plan.pieces = 1;
+    return plan;
+  }
+
+  // Water-fill the pool over the base loads: find the level where the
+  // total headroom below it equals the pool.
+  double lo = 0, hi = capacity;
+  double room_at_capacity = 0;
+  for (double b : base) room_at_capacity += std::max(0.0, capacity - b);
+  if (pool > room_at_capacity * (1 + 1e-9))
+    throw std::runtime_error("even a perfect shard cannot fit stage capacity");
+  for (int iter = 0; iter < 100; ++iter) {
+    const double level = 0.5 * (lo + hi);
+    double room = 0;
+    for (double b : base) room += std::max(0.0, level - b);
+    (room >= pool ? hi : lo) = level;
+  }
+  const double level = hi;
+  for (std::size_t i = 0; i < plan.stage_bytes.size(); ++i) {
+    const double take = std::max(0.0, level - base[i]);
+    if (take > 1e-6 * level) ++plan.pieces;
+    plan.stage_bytes[i] = base[i] + take;
+  }
+  if (plan.pieces == 0) plan.pieces = 1;
+  return plan;
+}
+
+}  // namespace gf::plan

@@ -1,0 +1,60 @@
+// Layer-wise model parallelism and memory placement (paper §6.2.2).
+//
+// When a data-parallel worker's training-step footprint exceeds one
+// accelerator's memory, its layers are placed on a chain of accelerators.
+// Microbatch pipelining recovers part of the lost concurrency: with k
+// stages and u microbatches, a step that took t seconds on one device takes
+//   (u + k - 1) / (k * u) * t   (+ boundary activation transfers),
+// a speedup of k*u/(u+k-1) on k devices. Per-stage memory is the stage's
+// layer footprints; oversized shardable weights (the word LM's embedding
+// table) can be split across stages with spare capacity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/plan/allreduce.h"
+
+namespace gf::plan {
+
+struct LayerFootprint {
+  std::string name;
+  double bytes = 0;
+  bool shardable = false;  ///< weight table that can be split across stages
+};
+
+struct PipelineModel {
+  int stages = 4;
+  int microbatches = 2;
+  double boundary_activation_bytes = 0;  ///< per microbatch, per boundary
+  double link_bandwidth = 56e9;
+};
+
+struct LayerParallelResult {
+  double step_seconds = 0;
+  double speedup = 0;             ///< vs the single-device step
+  double efficiency = 0;          ///< speedup / stages
+  std::vector<double> stage_bytes;///< per-stage memory before sharding
+};
+
+/// Pipeline timing for a step that takes `single_device_seconds` on one
+/// accelerator, assuming balanced stages.
+LayerParallelResult layer_parallel_step(double single_device_seconds,
+                                        const PipelineModel& pipeline,
+                                        const std::vector<LayerFootprint>& layers);
+
+struct ShardPlan {
+  std::vector<double> stage_bytes;  ///< per-stage memory after sharding
+  int pieces = 1;                   ///< stages holding a slice of the pool
+};
+
+/// Splits shardable weights across stages so no stage exceeds `capacity`.
+/// Non-shardable layers pin their stage's base load; the pooled shardable
+/// bytes are water-filled on top (lowest stages first), which both evens
+/// the loads and minimizes the number of pieces. Throws std::runtime_error
+/// if a non-shardable layer alone exceeds capacity or if even a perfect
+/// split cannot fit.
+ShardPlan shard_to_capacity(const std::vector<LayerFootprint>& layers, int stages,
+                            double capacity);
+
+}  // namespace gf::plan

@@ -1,0 +1,31 @@
+// Allocation accounting, mirroring the TensorFlow-allocator measurement the
+// paper compares its topological footprint estimates against (Figure 10).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace gf::rt {
+
+class ArenaAccounting {
+ public:
+  void allocate(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void release(std::size_t bytes) {
+    if (bytes > current_)
+      throw std::logic_error("arena accounting underflow");
+    current_ -= bytes;
+  }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace gf::rt

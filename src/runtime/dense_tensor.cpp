@@ -1,0 +1,48 @@
+#include "src/runtime/dense_tensor.h"
+
+#include <stdexcept>
+
+namespace gf::rt {
+
+DenseTensor::DenseTensor(std::vector<std::int64_t> shape, ir::DataType dtype)
+    : shape_(std::move(shape)), dtype_(dtype) {
+  numel_ = 1;
+  for (std::int64_t d : shape_) {
+    if (d <= 0) throw std::invalid_argument("DenseTensor dims must be positive");
+    numel_ *= d;
+  }
+  if (dtype_ == ir::DataType::kFloat32 || dtype_ == ir::DataType::kFloat16) {
+    dtype_ = ir::DataType::kFloat32;  // runtime computes in fp32
+    fbuf_.assign(static_cast<std::size_t>(numel_), 0.0f);
+  } else {
+    dtype_ = ir::DataType::kInt32;
+    ibuf_.assign(static_cast<std::size_t>(numel_), 0);
+  }
+}
+
+DenseTensor DenseTensor::zeros(std::vector<std::int64_t> shape, ir::DataType dtype) {
+  return DenseTensor(std::move(shape), dtype);
+}
+
+std::size_t DenseTensor::byte_size() const {
+  return static_cast<std::size_t>(numel_) * ir::dtype_bytes(dtype_);
+}
+
+float* DenseTensor::fdata() {
+  if (!is_float()) throw std::logic_error("fdata() on integer tensor");
+  return fbuf_.data();
+}
+const float* DenseTensor::fdata() const {
+  if (!is_float()) throw std::logic_error("fdata() on integer tensor");
+  return fbuf_.data();
+}
+std::int32_t* DenseTensor::idata() {
+  if (is_float()) throw std::logic_error("idata() on float tensor");
+  return ibuf_.data();
+}
+const std::int32_t* DenseTensor::idata() const {
+  if (is_float()) throw std::logic_error("idata() on float tensor");
+  return ibuf_.data();
+}
+
+}  // namespace gf::rt

@@ -1,0 +1,51 @@
+// Concrete tensors for the numeric executor.
+//
+// The runtime plays the role TFprof + TensorFlow play in the paper's
+// methodology (§4.1): it executes training-step graphs at small concrete
+// sizes, measures executed FLOPs/bytes and allocator peaks independently of
+// the symbolic layer, and lets tests check gradient math end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/tensor.h"
+
+namespace gf::rt {
+
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  DenseTensor(std::vector<std::int64_t> shape, ir::DataType dtype);
+
+  static DenseTensor zeros(std::vector<std::int64_t> shape,
+                           ir::DataType dtype = ir::DataType::kFloat32);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  ir::DataType dtype() const { return dtype_; }
+  std::int64_t numel() const { return numel_; }
+  std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t byte_size() const;
+
+  bool is_float() const { return dtype_ == ir::DataType::kFloat32; }
+
+  float* fdata();
+  const float* fdata() const;
+  std::int32_t* idata();
+  const std::int32_t* idata() const;
+
+  float& f(std::int64_t i) { return fdata()[i]; }
+  float f(std::int64_t i) const { return fdata()[i]; }
+  std::int32_t& i32(std::int64_t i) { return idata()[i]; }
+  std::int32_t i32(std::int64_t i) const { return idata()[i]; }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  ir::DataType dtype_ = ir::DataType::kFloat32;
+  std::int64_t numel_ = 0;
+  std::vector<float> fbuf_;
+  std::vector<std::int32_t> ibuf_;
+};
+
+}  // namespace gf::rt

@@ -1,0 +1,299 @@
+#include "src/runtime/executor.h"
+
+#include <chrono>
+#include <random>
+#include <stdexcept>
+
+#include "src/runtime/kernels.h"
+
+namespace gf::rt {
+namespace {
+
+std::size_t algorithmic_bytes_of(const ir::Tensor& t,
+                                 const std::vector<std::int64_t>& shape) {
+  std::size_t n = 1;
+  for (std::int64_t d : shape) n *= static_cast<std::size_t>(d);
+  return n * ir::dtype_bytes(t.dtype());
+}
+
+/// Upper bound (exclusive) for random integer content, inferred from how
+/// the tensor is consumed (embedding rows, softmax classes).
+std::int64_t infer_int_range(const ir::Tensor* t, const sym::Bindings& bind) {
+  for (const ir::Op* op : t->consumers()) {
+    if (op->type() == ir::OpType::kEmbeddingLookup && op->input(1) == t)
+      return static_cast<std::int64_t>(op->input(0)->shape().dim(0).eval(bind));
+    if (op->type() == ir::OpType::kSoftmaxXent && op->input(1) == t)
+      return static_cast<std::int64_t>(op->input(0)->shape().dim(1).eval(bind));
+    if (op->type() == ir::OpType::kSoftmaxXentGrad && op->input(1) == t)
+      return static_cast<std::int64_t>(op->input(0)->shape().dim(1).eval(bind));
+  }
+  return 2;
+}
+
+}  // namespace
+
+Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options)
+    : graph_(&graph), bindings_(std::move(bindings)), options_(options),
+      pool_(options.pool ? options.pool : &conc::ThreadPool::global()) {
+  for (const auto& t : graph.tensors()) {
+    shapes_.emplace(t.get(), t->shape().eval(bindings_));
+  }
+  // Persistent state: weights (random), optimizer slots (zero).
+  for (const auto& t : graph.tensors()) {
+    if (t->role() == ir::TensorRole::kWeight ||
+        t->role() == ir::TensorRole::kOptimizerState) {
+      DenseTensor value(shapes_.at(t.get()), t->dtype());
+      if (t->role() == ir::TensorRole::kWeight) random_fill(t.get(), value);
+      arena_.allocate(algorithmic_bytes_of(*t, shapes_.at(t.get())));
+      persistent_.emplace(t.get(), std::move(value));
+    }
+  }
+}
+
+void Executor::random_fill(const ir::Tensor* tensor, DenseTensor& value) {
+  std::mt19937 rng(options_.seed ^ (0x9e3779b9u * static_cast<unsigned>(tensor->id())));
+  if (value.is_float()) {
+    const bool is_weight = tensor->role() == ir::TensorRole::kWeight;
+    std::normal_distribution<float> dist(0.0f, is_weight ? 0.2f : 1.0f);
+    for (std::int64_t i = 0; i < value.numel(); ++i) value.f(i) = dist(rng);
+  } else {
+    const std::int64_t range = infer_int_range(tensor, bindings_);
+    std::uniform_int_distribution<std::int32_t> dist(
+        0, static_cast<std::int32_t>(range - 1));
+    for (std::int64_t i = 0; i < value.numel(); ++i) value.i32(i) = dist(rng);
+  }
+}
+
+void Executor::set_input(const ir::Tensor* tensor, DenseTensor value) {
+  if (tensor->role() != ir::TensorRole::kInput)
+    throw std::invalid_argument("set_input: not an input tensor");
+  const auto& expected = shapes_.at(tensor);
+  if (value.shape() != expected)
+    throw std::invalid_argument("set_input: shape mismatch for " + tensor->name());
+  pinned_inputs_[tensor] = std::move(value);
+}
+
+DenseTensor& Executor::weight_value(const ir::Tensor* tensor) {
+  auto it = persistent_.find(tensor);
+  if (it == persistent_.end())
+    throw std::invalid_argument("weight_value: not persistent: " + tensor->name());
+  return it->second;
+}
+
+const DenseTensor& Executor::value(const ir::Tensor* tensor) const {
+  if (auto it = persistent_.find(tensor); it != persistent_.end()) return it->second;
+  if (auto it = transient_.find(tensor); it != transient_.end()) return it->second;
+  if (auto it = pinned_inputs_.find(tensor); it != pinned_inputs_.end())
+    return it->second;
+  throw std::invalid_argument("value: '" + tensor->name() +
+                              "' was not retained (call retain() before run_step)");
+}
+
+DenseTensor& Executor::storage(const ir::Tensor* tensor) {
+  if (auto it = persistent_.find(tensor); it != persistent_.end()) return it->second;
+  if (auto it = transient_.find(tensor); it != transient_.end()) return it->second;
+  if (auto it = pinned_inputs_.find(tensor); it != pinned_inputs_.end())
+    return it->second;
+  throw std::logic_error("storage: tensor '" + tensor->name() + "' not materialized");
+}
+
+DenseTensor& Executor::materialize(const ir::Tensor* tensor) {
+  if (tensor->is_persistent()) {
+    // Weight gradients are produced fresh each step.
+    auto [it, inserted] = persistent_.try_emplace(tensor);
+    if (inserted) {
+      it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
+      arena_.allocate(algorithmic_bytes_of(*tensor, shapes_.at(tensor)));
+    }
+    return it->second;
+  }
+  auto [it, inserted] = transient_.try_emplace(tensor);
+  if (inserted) {
+    it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
+    arena_.allocate(algorithmic_bytes_of(*tensor, shapes_.at(tensor)));
+  }
+  return it->second;
+}
+
+ProfileReport Executor::run_step() {
+  // Drop any non-retained leftovers from a previous step.
+  for (auto it = transient_.begin(); it != transient_.end();) {
+    if (!retained_.contains(it->first)) {
+      arena_.release(algorithmic_bytes_of(*it->first, shapes_.at(it->first)));
+      it = transient_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  ProfileReport report;
+  std::unordered_map<const ir::Tensor*, std::size_t> pending;
+  for (const auto& t : graph_->tensors()) pending[t.get()] = t->consumers().size();
+
+  // Materialize producerless tensors: inputs (pinned or random) and
+  // gradient seeds (ones).
+  for (const auto& t : graph_->tensors()) {
+    if (t->producer() != nullptr || t->is_persistent()) continue;
+    if (t->role() == ir::TensorRole::kInput && pinned_inputs_.contains(t.get())) continue;
+    DenseTensor& v = materialize(t.get());
+    if (t->role() == ir::TensorRole::kGradient) {
+      for (std::int64_t i = 0; i < v.numel(); ++i) v.f(i) = 1.0f;
+    } else {
+      random_fill(t.get(), v);
+    }
+  }
+
+  auto free_if_dead = [&](const ir::Tensor* t) {
+    if (t->is_persistent() || retained_.contains(t)) return;
+    if (pending.at(t) != 0) return;
+    if (pinned_inputs_.contains(t)) return;
+    auto it = transient_.find(t);
+    if (it != transient_.end()) {
+      arena_.release(algorithmic_bytes_of(*t, shapes_.at(t)));
+      transient_.erase(it);
+    }
+  };
+
+  const auto order = graph_->topological_order();
+  for (const ir::Op* op : order) {
+    const auto start = std::chrono::steady_clock::now();
+    execute_op(*op, report);
+    const auto stop = std::chrono::steady_clock::now();
+    // Attribute the stats the kernel accumulated (execute_op fills
+    // flops/bytes via report.add with zero time; adjust the timing here).
+    report.per_type[op->type()].seconds +=
+        std::chrono::duration<double>(stop - start).count();
+    report.total_seconds += std::chrono::duration<double>(stop - start).count();
+
+    for (const ir::Tensor* in : op->inputs()) {
+      --pending.at(in);
+      free_if_dead(in);
+    }
+    for (const ir::Tensor* out : op->outputs()) free_if_dead(out);
+  }
+
+  report.peak_allocated_bytes = arena_.peak_bytes();
+  return report;
+}
+
+void Executor::execute_op(const ir::Op& op, ProfileReport& report) {
+  using ir::OpType;
+  KernelStats stats;
+
+  std::vector<const DenseTensor*> in;
+  in.reserve(op.inputs().size());
+  for (const ir::Tensor* t : op.inputs()) in.push_back(&storage(t));
+
+  switch (op.type()) {
+    case OpType::kMatMul: {
+      const auto& mm = static_cast<const ir::MatMulOp&>(op);
+      matmul(*in[0], *in[1], materialize(op.output(0)), mm.trans_a(), mm.trans_b(),
+             *pool_, stats);
+      break;
+    }
+    case OpType::kConv2D: {
+      const auto& c = static_cast<const ir::Conv2DOp&>(op);
+      conv2d(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      break;
+    }
+    case OpType::kConv2DGradInput: {
+      const auto& c = static_cast<const ir::Conv2DGradInputOp&>(op);
+      conv2d_grad_input(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      break;
+    }
+    case OpType::kConv2DGradFilter: {
+      const auto& c = static_cast<const ir::Conv2DGradFilterOp&>(op);
+      conv2d_grad_filter(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      break;
+    }
+    case OpType::kPointwise: {
+      const auto& p = static_cast<const ir::PointwiseOp&>(op);
+      pointwise(p.fn(), in, p.scale_alpha().eval(bindings_), materialize(op.output(0)),
+                stats);
+      break;
+    }
+    case OpType::kBiasAdd:
+      bias_add(*in[0], *in[1], materialize(op.output(0)), stats);
+      break;
+    case OpType::kEmbeddingLookup:
+      embedding_lookup(*in[0], *in[1], materialize(op.output(0)), stats);
+      break;
+    case OpType::kEmbeddingGrad:
+      embedding_grad(*in[0], *in[1], materialize(op.output(0)), stats);
+      break;
+    case OpType::kSoftmax:
+      softmax(*in[0], materialize(op.output(0)), stats);
+      break;
+    case OpType::kSoftmaxGrad:
+      softmax_grad(*in[0], *in[1], materialize(op.output(0)), stats);
+      break;
+    case OpType::kSoftmaxXent:
+      softmax_xent(*in[0], *in[1], materialize(op.output(0)),
+                   materialize(op.output(1)), stats);
+      break;
+    case OpType::kSoftmaxXentGrad:
+      softmax_xent_grad(*in[0], *in[1], *in[2], materialize(op.output(0)), stats);
+      break;
+    case OpType::kReduce: {
+      const auto& r = static_cast<const ir::ReduceOp&>(op);
+      reduce(r.reduce_kind(), *in[0], materialize(op.output(0)), stats);
+      break;
+    }
+    case OpType::kBroadcast:
+      broadcast(*in[0], materialize(op.output(0)), stats);
+      break;
+    case OpType::kBatchNorm:
+      batch_norm(*in[0], *in[1], *in[2], materialize(op.output(0)), stats);
+      break;
+    case OpType::kBatchNormGrad:
+      batch_norm_grad(*in[0], *in[1], *in[2], materialize(op.output(0)),
+                      materialize(op.output(1)), materialize(op.output(2)), stats);
+      break;
+    case OpType::kPool: {
+      const auto& p = static_cast<const ir::PoolOp&>(op);
+      pool(p.pool_kind(), *in[0], materialize(op.output(0)), p.window_h(), p.window_w(),
+           stats);
+      break;
+    }
+    case OpType::kPoolGrad: {
+      const auto& p = static_cast<const ir::PoolGradOp&>(op);
+      pool_grad(p.pool_kind(), *in[0], *in[1], *in[2], materialize(op.output(0)),
+                p.window_h(), p.window_w(), stats);
+      break;
+    }
+    case OpType::kConcat: {
+      const auto& c = static_cast<const ir::ConcatOp&>(op);
+      concat(in, c.axis(), materialize(op.output(0)), stats);
+      break;
+    }
+    case OpType::kSplit: {
+      const auto& s = static_cast<const ir::SplitOp&>(op);
+      std::vector<DenseTensor*> outs;
+      for (const ir::Tensor* t : op.outputs()) outs.push_back(&materialize(t));
+      split(*in[0], s.axis(), outs, stats);
+      break;
+    }
+    case OpType::kSlice: {
+      const auto& s = static_cast<const ir::SliceOp&>(op);
+      slice(*in[0], s.axis(), static_cast<std::int64_t>(s.offset().eval(bindings_)),
+            materialize(op.output(0)), stats);
+      break;
+    }
+    case OpType::kReshape:
+      reshape_copy(*in[0], materialize(op.output(0)), stats);
+      break;
+    case OpType::kApplyGradient: {
+      if (!options_.apply_updates) break;
+      const auto& a = static_cast<const ir::ApplyGradientOp&>(op);
+      std::vector<DenseTensor*> slots;
+      for (std::size_t i = 2; i < op.inputs().size(); ++i)
+        slots.push_back(&weight_value(op.inputs()[i]));
+      apply_gradient(a.optimizer(), weight_value(op.inputs()[0]), *in[1], slots,
+                     options_.learning_rate, stats);
+      break;
+    }
+  }
+  report.add(op.type(), stats.flops, stats.bytes, 0.0);
+}
+
+}  // namespace gf::rt

@@ -1,0 +1,69 @@
+// Graph executor: runs one training step of a bound graph numerically.
+//
+// Weights and optimizer slots persist across steps (so repeated run_step()
+// calls really train), activations are allocated and freed by liveness
+// (so the arena peak independently measures the footprint the symbolic
+// estimator predicts), and every kernel reports executed FLOPs/bytes into
+// a TFprof-style profile.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/concurrency/thread_pool.h"
+#include "src/ir/graph.h"
+#include "src/runtime/arena.h"
+#include "src/runtime/dense_tensor.h"
+#include "src/runtime/profiler.h"
+
+namespace gf::rt {
+
+struct ExecutorOptions {
+  unsigned seed = 42;
+  double learning_rate = 0.05;
+  /// When false, ApplyGradient ops are skipped (weights frozen) — used by
+  /// finite-difference gradient checks.
+  bool apply_updates = true;
+  conc::ThreadPool* pool = nullptr;  ///< defaults to the global pool
+};
+
+class Executor {
+ public:
+  Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options = {});
+
+  /// Pins an input to a fixed value (otherwise inputs are randomly filled
+  /// each step from the deterministic per-tensor stream).
+  void set_input(const ir::Tensor* tensor, DenseTensor value);
+
+  /// Keeps the named activation's value available after run_step().
+  void retain(const ir::Tensor* tensor) { retained_.insert(tensor); }
+
+  /// Mutable access to persistent state (weights / optimizer slots).
+  DenseTensor& weight_value(const ir::Tensor* tensor);
+
+  /// Value of a retained or persistent tensor after the last step.
+  const DenseTensor& value(const ir::Tensor* tensor) const;
+
+  /// Executes one full training step; returns the execution profile.
+  ProfileReport run_step();
+
+ private:
+  DenseTensor& materialize(const ir::Tensor* tensor);
+  void random_fill(const ir::Tensor* tensor, DenseTensor& value);
+  void execute_op(const ir::Op& op, ProfileReport& report);
+  DenseTensor& storage(const ir::Tensor* tensor);
+
+  const ir::Graph* graph_;
+  sym::Bindings bindings_;
+  ExecutorOptions options_;
+  conc::ThreadPool* pool_;
+
+  std::unordered_map<const ir::Tensor*, std::vector<std::int64_t>> shapes_;
+  std::unordered_map<const ir::Tensor*, DenseTensor> persistent_;
+  std::unordered_map<const ir::Tensor*, DenseTensor> pinned_inputs_;
+  std::unordered_map<const ir::Tensor*, DenseTensor> transient_;
+  std::unordered_set<const ir::Tensor*> retained_;
+  ArenaAccounting arena_;
+};
+
+}  // namespace gf::rt

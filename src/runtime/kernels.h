@@ -1,0 +1,86 @@
+// Numeric kernels for every op type in the IR.
+//
+// Correctness over speed: these run small bound graphs so tests can verify
+// shape propagation, gradient math (finite-difference checks), and that
+// executed work matches the symbolic algorithmic counts. The only
+// performance concession is a row-parallel GEMM on the thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "src/concurrency/thread_pool.h"
+#include "src/ir/ops.h"
+#include "src/runtime/dense_tensor.h"
+
+namespace gf::rt {
+
+/// Executed-work counters, accumulated by every kernel from its actual
+/// loop trip counts — the runtime-side mirror of the symbolic counts.
+struct KernelStats {
+  double flops = 0;
+  double bytes = 0;
+};
+
+// Dense (optionally batched/transposed) GEMM. Shapes follow MatMulOp.
+void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool trans_a,
+            bool trans_b, conc::ThreadPool& pool, KernelStats& stats);
+
+// NHWC convolution, "same" padding (odd kernel), square stride.
+void conv2d(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
+            int stride, KernelStats& stats);
+void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTensor& dx,
+                       int stride, KernelStats& stats);
+void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTensor& df,
+                        int stride, KernelStats& stats);
+
+void pointwise(ir::PointwiseFn fn, const std::vector<const DenseTensor*>& inputs,
+               double scale_alpha, DenseTensor& out, KernelStats& stats);
+
+void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
+              KernelStats& stats);
+
+void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
+                      KernelStats& stats);
+void embedding_grad(const DenseTensor& ids, const DenseTensor& dy, DenseTensor& dtable,
+                    KernelStats& stats);
+
+void softmax(const DenseTensor& logits, DenseTensor& out, KernelStats& stats);
+void softmax_grad(const DenseTensor& y, const DenseTensor& dy, DenseTensor& dx,
+                  KernelStats& stats);
+void softmax_xent(const DenseTensor& logits, const DenseTensor& labels, DenseTensor& loss,
+                  DenseTensor& probs, KernelStats& stats);
+void softmax_xent_grad(const DenseTensor& probs, const DenseTensor& labels,
+                       const DenseTensor& dloss, DenseTensor& dlogits,
+                       KernelStats& stats);
+
+void reduce(ir::ReduceKind kind, const DenseTensor& in, DenseTensor& out,
+            KernelStats& stats);
+void broadcast(const DenseTensor& in, DenseTensor& out, KernelStats& stats);
+
+void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTensor& shift,
+                DenseTensor& out, KernelStats& stats);
+void batch_norm_grad(const DenseTensor& in, const DenseTensor& scale,
+                     const DenseTensor& dy, DenseTensor& dx, DenseTensor& dscale,
+                     DenseTensor& dshift, KernelStats& stats);
+
+void pool(ir::PoolKind kind, const DenseTensor& in, DenseTensor& out, int window_h,
+          int window_w, KernelStats& stats);
+void pool_grad(ir::PoolKind kind, const DenseTensor& in, const DenseTensor& out,
+               const DenseTensor& dy, DenseTensor& dx, int window_h, int window_w,
+               KernelStats& stats);
+
+void concat(const std::vector<const DenseTensor*>& inputs, std::size_t axis,
+            DenseTensor& out, KernelStats& stats);
+void split(const DenseTensor& in, std::size_t axis,
+           const std::vector<DenseTensor*>& outs, KernelStats& stats);
+void slice(const DenseTensor& in, std::size_t axis, std::int64_t offset, DenseTensor& out,
+           KernelStats& stats);
+void reshape_copy(const DenseTensor& in, DenseTensor& out, KernelStats& stats);
+
+/// In-place optimizer update; slots may be empty (SGD) / 1 (momentum) /
+/// 2 (Adam). Learning rate is the caller's.
+void apply_gradient(ir::Optimizer optimizer, DenseTensor& weight, const DenseTensor& grad,
+                    const std::vector<DenseTensor*>& slots, double learning_rate,
+                    KernelStats& stats);
+
+}  // namespace gf::rt

@@ -1,0 +1,41 @@
+#include "src/runtime/profiler.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+namespace gf::rt {
+
+void ProfileReport::add(ir::OpType type, double flops, double bytes, double seconds) {
+  OpTypeProfile& p = per_type[type];
+  ++p.count;
+  p.flops += flops;
+  p.bytes += bytes;
+  p.seconds += seconds;
+  total_flops += flops;
+  total_bytes += bytes;
+  total_seconds += seconds;
+}
+
+void ProfileReport::print(std::ostream& os) const {
+  std::vector<std::pair<ir::OpType, OpTypeProfile>> rows(per_type.begin(),
+                                                         per_type.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.flops > b.second.flops; });
+  util::Table table({"op type", "count", "FLOPs", "bytes", "time"});
+  for (const auto& [type, p] : rows)
+    table.add_row({ir::op_type_name(type), std::to_string(p.count),
+                   util::format_si(p.flops), util::format_bytes(p.bytes),
+                   util::format_duration(p.seconds, 2)});
+  table.add_separator();
+  table.add_row({"total", "", util::format_si(total_flops), util::format_bytes(total_bytes),
+                 util::format_duration(total_seconds, 2)});
+  table.print(os);
+  os << "peak allocated: " << util::format_bytes(static_cast<double>(peak_allocated_bytes))
+     << "\n";
+}
+
+}  // namespace gf::rt

@@ -1,0 +1,30 @@
+// TFprof-style per-op-type execution profile.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+
+#include "src/ir/op.h"
+
+namespace gf::rt {
+
+struct OpTypeProfile {
+  std::size_t count = 0;
+  double flops = 0;
+  double bytes = 0;
+  double seconds = 0;
+};
+
+struct ProfileReport {
+  std::map<ir::OpType, OpTypeProfile> per_type;
+  double total_flops = 0;
+  double total_bytes = 0;
+  double total_seconds = 0;
+  std::size_t peak_allocated_bytes = 0;
+
+  void add(ir::OpType type, double flops, double bytes, double seconds);
+  /// Pretty table sorted by FLOPs, one row per op type.
+  void print(std::ostream& os) const;
+};
+
+}  // namespace gf::rt

@@ -1,0 +1,150 @@
+#include "src/scaling/domains.h"
+
+#include <stdexcept>
+
+namespace gf::scaling {
+namespace {
+
+std::vector<DomainScaling> make_table() {
+  std::vector<DomainScaling> table;
+
+  {
+    DomainScaling d;
+    d.domain = models::Domain::kWordLM;
+    d.metric = "nat/word";
+    d.sample_unit = "word";
+    d.current_sota_error = 3.37;
+    d.desired_sota_error = 2.48;  // Shannon-style entropy bound estimates
+    d.current_samples = 768e6;
+    d.current_dataset_gb = 3.9;
+    d.curve = {.alpha = 13.0, .beta_g = -0.066};
+    d.size_curve = {.sigma = 9.4e-4, .beta_p = 0.68};
+    d.paper_data_scale = 100;
+    d.paper_model_scale = 23;
+    d.paper_target_params = 23.8e9;
+    d.paper_target_samples = 77e9;
+    d.paper_subbatch = 128;
+    d.paper_tflops_per_step = 1444;
+    d.paper_mem_tb_per_step = 41.5;
+    d.paper_footprint_gb = 272;
+    d.paper_step_seconds = 115;
+    d.paper_epoch_days = 31e3;
+    table.push_back(d);
+  }
+  {
+    DomainScaling d;
+    d.domain = models::Domain::kCharLM;
+    d.metric = "bit/char";
+    d.sample_unit = "char";
+    d.current_sota_error = 1.30;
+    d.desired_sota_error = 0.70;
+    d.current_samples = 3.48e9;
+    d.current_dataset_gb = 3.9;
+    d.curve = {.alpha = 9.39, .beta_g = -0.092};
+    d.size_curve = {.sigma = 1.2e-5, .beta_p = 0.89};
+    d.paper_data_scale = 971;
+    d.paper_model_scale = 456;
+    d.paper_target_params = 146e9;
+    d.paper_target_samples = 3.4e12;
+    d.paper_subbatch = 96;
+    d.paper_tflops_per_step = 12618;
+    d.paper_mem_tb_per_step = 488.1;
+    d.paper_footprint_gb = 1703;
+    d.paper_step_seconds = 1007;
+    d.paper_epoch_days = 3.5e6;
+    table.push_back(d);
+  }
+  {
+    DomainScaling d;
+    d.domain = models::Domain::kNMT;
+    d.metric = "% WPER";
+    d.error_unit_scale = 0.01;
+    d.sample_unit = "wordpiece";
+    d.current_sota_error = 28.0;
+    d.desired_sota_error = 12.0;
+    d.current_samples = 130e6;
+    d.current_dataset_gb = 2.6;
+    d.curve = {.alpha = 3.06, .beta_g = -0.128};
+    d.size_curve = {.sigma = 6.4e-4, .beta_p = 0.68};
+    d.paper_data_scale = 750;
+    d.paper_model_scale = 90;
+    d.paper_target_params = 18.9e9;
+    d.paper_target_samples = 97.4e9;
+    d.paper_subbatch = 96;
+    d.paper_tflops_per_step = 499;
+    d.paper_mem_tb_per_step = 18.4;
+    d.paper_footprint_gb = 185;
+    d.paper_step_seconds = 39.8;
+    d.paper_epoch_days = 16e3;
+    table.push_back(d);
+  }
+  {
+    DomainScaling d;
+    d.domain = models::Domain::kSpeech;
+    d.metric = "% CER";
+    d.error_unit_scale = 0.01;
+    d.sample_unit = "char";
+    d.current_sota_error = 9.5;
+    d.desired_sota_error = 4.0;
+    d.current_samples = 425e6;
+    d.current_dataset_gb = 1674;
+    d.curve = {.alpha = 30.5, .beta_g = -0.291};
+    d.size_curve = {.sigma = 2.4e-3, .beta_p = 0.54};
+    d.paper_data_scale = 33;
+    d.paper_model_scale = 6.6;
+    d.paper_target_params = 727e6;
+    d.paper_target_samples = 14e9;
+    d.paper_subbatch = 128;
+    d.paper_tflops_per_step = 72;
+    d.paper_mem_tb_per_step = 2.8;
+    d.paper_footprint_gb = 30;
+    d.paper_step_seconds = 5.8;
+    d.paper_epoch_days = 93;
+    table.push_back(d);
+  }
+  {
+    DomainScaling d;
+    d.domain = models::Domain::kImage;
+    d.metric = "% top-1";
+    d.error_unit_scale = 0.01;
+    d.sample_unit = "image";
+    d.current_sota_error = 19.4;
+    d.desired_sota_error = 5.0;
+    d.current_samples = 1.3e6;
+    d.current_dataset_gb = 152;
+    d.curve = {.alpha = 15.0, .beta_g = -0.309};
+    d.size_curve = {.sigma = 2.0e-2, .beta_p = 0.57};
+    d.paper_data_scale = 81;
+    d.paper_model_scale = 12;
+    d.paper_target_params = 732e6;
+    d.paper_target_samples = 103e6;
+    d.paper_subbatch = 32;
+    d.paper_tflops_per_step = 28;
+    d.paper_mem_tb_per_step = 0.4;
+    d.paper_footprint_gb = 34;
+    d.paper_step_seconds = 2.3;
+    d.paper_epoch_days = 84;
+    table.push_back(d);
+  }
+
+  for (auto& d : table) {
+    d.curve.validate();
+    d.size_curve.validate();
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::vector<DomainScaling>& domain_table() {
+  static const std::vector<DomainScaling> table = make_table();
+  return table;
+}
+
+const DomainScaling& domain_scaling(models::Domain domain) {
+  for (const auto& d : domain_table())
+    if (d.domain == domain) return d;
+  throw std::invalid_argument("no scaling data for domain");
+}
+
+}  // namespace gf::scaling

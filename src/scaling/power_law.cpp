@@ -1,0 +1,54 @@
+#include "src/scaling/power_law.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::scaling {
+
+void LearningCurve::validate() const {
+  if (!(alpha > 0)) throw std::invalid_argument("learning curve: alpha must be > 0");
+  if (!(beta_g >= -0.5 && beta_g < 0))
+    throw std::invalid_argument("learning curve: beta_g must be in [-0.5, 0)");
+  if (irreducible_error < 0)
+    throw std::invalid_argument("learning curve: irreducible error must be >= 0");
+}
+
+double LearningCurve::error_at(double samples) const {
+  if (samples <= 0) throw std::invalid_argument("samples must be positive");
+  const double power = alpha * std::pow(samples, beta_g) + irreducible_error;
+  return std::min(best_guess_error, power);
+}
+
+double LearningCurve::samples_for_error(double error) const {
+  if (error <= irreducible_error)
+    throw std::domain_error("requested error is at or below the irreducible floor");
+  // Invert error = alpha * m^beta_g + irreducible.
+  return std::pow((error - irreducible_error) / alpha, 1.0 / beta_g);
+}
+
+LearningCurve::Region LearningCurve::region_at(double samples) const {
+  const double power = alpha * std::pow(samples, beta_g);
+  if (power + irreducible_error >= best_guess_error) return Region::kSmallData;
+  // Within 5% of the floor counts as irreducible.
+  if (irreducible_error > 0 && power < 0.05 * irreducible_error)
+    return Region::kIrreducible;
+  return Region::kPowerLaw;
+}
+
+void ModelSizeCurve::validate() const {
+  if (!(sigma > 0)) throw std::invalid_argument("model-size curve: sigma must be > 0");
+  if (!(beta_p >= 0.5 && beta_p < 1.0))
+    throw std::invalid_argument("model-size curve: beta_p must be in [0.5, 1)");
+}
+
+double ModelSizeCurve::params_at(double samples) const {
+  if (samples <= 0) throw std::invalid_argument("samples must be positive");
+  return sigma * std::pow(samples, beta_p);
+}
+
+double ModelSizeCurve::scale_for_data_scale(double data_scale) const {
+  if (data_scale <= 0) throw std::invalid_argument("data scale must be positive");
+  return std::pow(data_scale, beta_p);
+}
+
+}  // namespace gf::scaling

@@ -1,0 +1,49 @@
+// Power-law learning curves and model-size scaling (paper §3, Figure 6,
+// after Hestness et al. 2017).
+//
+// Generalization error over dataset size m has three regions:
+//   small-data:  error ~ best-guess (random/prior-level predictions)
+//   power-law:   error ~ alpha * m^beta_g   (beta_g in [-0.5, 0))
+//   irreducible: error ~ floor set by data stochasticity
+// Model capacity needed to fit m samples: params ~ sigma * m^beta_p,
+// beta_p in [0.5, 1).
+#pragma once
+
+#include <string>
+
+namespace gf::scaling {
+
+/// Full three-region learning curve. The power-law constants are the
+/// measured quantities; the two plateaus clip it on either side.
+struct LearningCurve {
+  double alpha = 1.0;              ///< power-law prefactor
+  double beta_g = -0.1;            ///< power-law exponent, in [-0.5, 0)
+  double best_guess_error = 1e30;  ///< small-data plateau (disabled by default)
+  double irreducible_error = 0.0;  ///< large-data floor
+
+  /// Error predicted at dataset size m.
+  double error_at(double samples) const;
+
+  /// Smallest dataset size achieving `error` on the clipped curve.
+  /// Throws std::domain_error if error <= irreducible_error.
+  double samples_for_error(double error) const;
+
+  enum class Region { kSmallData, kPowerLaw, kIrreducible };
+  Region region_at(double samples) const;
+
+  /// Validates the exponent range from the paper; throws otherwise.
+  void validate() const;
+};
+
+/// Model-size scaling: params(m) = sigma * m^beta_p.
+struct ModelSizeCurve {
+  double sigma = 1.0;
+  double beta_p = 0.7;  ///< in [0.5, 1)
+
+  double params_at(double samples) const;
+  /// Relative model growth for a relative data growth.
+  double scale_for_data_scale(double data_scale) const;
+  void validate() const;
+};
+
+}  // namespace gf::scaling

@@ -1,0 +1,27 @@
+#include "src/scaling/projection.h"
+
+#include <cmath>
+
+namespace gf::scaling {
+
+FrontierProjection project_frontier(const DomainScaling& d) {
+  FrontierProjection out;
+  out.domain = d.domain;
+  // Anchor the power law at the current SOTA point: relative data growth
+  // depends only on the error ratio and the exponent.
+  out.data_scale =
+      std::pow(d.desired_sota_error / d.current_sota_error, 1.0 / d.curve.beta_g);
+  out.target_samples = d.current_samples * out.data_scale;
+  out.target_dataset_gb = d.current_dataset_gb * out.data_scale;
+  out.model_scale = d.size_curve.scale_for_data_scale(out.data_scale);
+  // Table 1's sigma yields parameters in millions.
+  out.current_params = d.size_curve.params_at(d.current_samples) * 1e6;
+  out.target_params = out.current_params * out.model_scale;
+  return out;
+}
+
+double fitted_current_error(const DomainScaling& d) {
+  return d.curve.error_at(d.current_samples);
+}
+
+}  // namespace gf::scaling

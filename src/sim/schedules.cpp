@@ -1,0 +1,164 @@
+#include "src/sim/schedules.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace gf::sim {
+
+SimulationResult simulate_ring_allreduce(int workers, double bytes,
+                                         double link_bandwidth, double hop_latency) {
+  if (workers < 1) throw std::invalid_argument("workers must be >= 1");
+  if (bytes < 0 || link_bandwidth <= 0)
+    throw std::invalid_argument("bad payload or bandwidth");
+  Simulator sim;
+  if (workers == 1) return sim.run();
+
+  const int n = workers;
+  std::vector<ResourceId> links(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    links[static_cast<std::size_t>(i)] = sim.add_resource("link" + std::to_string(i));
+
+  const double chunk_seconds = (bytes / n) / link_bandwidth + hop_latency;
+  // 2(n-1) phases (reduce-scatter then allgather). In phase p, link i
+  // forwards the chunk it received in phase p-1 on link i-1.
+  std::vector<TaskId> previous(static_cast<std::size_t>(n), -1);
+  for (int phase = 0; phase < 2 * (n - 1); ++phase) {
+    std::vector<TaskId> current(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<TaskId> deps;
+      const int upstream = (i + n - 1) % n;
+      if (previous[static_cast<std::size_t>(upstream)] != -1)
+        deps.push_back(previous[static_cast<std::size_t>(upstream)]);
+      current[static_cast<std::size_t>(i)] = sim.add_task(
+          "p" + std::to_string(phase) + ":l" + std::to_string(i),
+          links[static_cast<std::size_t>(i)], chunk_seconds, std::move(deps));
+    }
+    previous = std::move(current);
+  }
+  return sim.run();
+}
+
+SimulationResult simulate_data_parallel_step(const DataParallelSim& config) {
+  const int n = static_cast<int>(config.worker_compute_seconds.size());
+  if (n < 1) throw std::invalid_argument("need at least one worker");
+  Simulator sim;
+
+  std::vector<ResourceId> devices(static_cast<std::size_t>(n));
+  std::vector<ResourceId> links(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    devices[static_cast<std::size_t>(i)] = sim.add_resource("dev" + std::to_string(i));
+    links[static_cast<std::size_t>(i)] = sim.add_resource("link" + std::to_string(i));
+  }
+
+  std::vector<TaskId> compute(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    compute[static_cast<std::size_t>(i)] =
+        sim.add_task("compute" + std::to_string(i), devices[static_cast<std::size_t>(i)],
+                     config.worker_compute_seconds[static_cast<std::size_t>(i)]);
+
+  if (n == 1) return sim.run();
+
+  const double chunk_seconds =
+      (config.gradient_bytes / n) / config.link_bandwidth + config.hop_latency;
+  std::vector<TaskId> previous(static_cast<std::size_t>(n), -1);
+  for (int phase = 0; phase < 2 * (n - 1); ++phase) {
+    std::vector<TaskId> current(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // A chunk leaving device i requires i's local gradient (compute done)
+      // and, after the first phase, the chunk received from upstream.
+      std::vector<TaskId> deps{compute[static_cast<std::size_t>(i)]};
+      const int upstream = (i + n - 1) % n;
+      if (previous[static_cast<std::size_t>(upstream)] != -1)
+        deps.push_back(previous[static_cast<std::size_t>(upstream)]);
+      current[static_cast<std::size_t>(i)] = sim.add_task(
+          "ar:p" + std::to_string(phase) + ":l" + std::to_string(i),
+          links[static_cast<std::size_t>(i)], chunk_seconds, std::move(deps));
+    }
+    previous = std::move(current);
+  }
+  return sim.run();
+}
+
+SimulationResult simulate_pipeline(const PipelineSim& config) {
+  const int k = static_cast<int>(config.stage_seconds.size());
+  if (k < 1) throw std::invalid_argument("need at least one stage");
+  if (config.microbatches < 1) throw std::invalid_argument("need >= 1 microbatch");
+  const int u = config.microbatches;
+
+  Simulator sim;
+  std::vector<ResourceId> devices(static_cast<std::size_t>(k));
+  std::vector<ResourceId> links(static_cast<std::size_t>(k > 1 ? k - 1 : 0));
+  for (int s = 0; s < k; ++s)
+    devices[static_cast<std::size_t>(s)] = sim.add_resource("stage" + std::to_string(s));
+  for (int s = 0; s + 1 < k; ++s)
+    links[static_cast<std::size_t>(s)] = sim.add_resource("link" + std::to_string(s));
+
+  const double xfer =
+      config.boundary_bytes > 0 ? config.boundary_bytes / config.link_bandwidth : 0.0;
+
+  auto stage_task = [&](const std::string& name, int s, double dur,
+                        std::vector<TaskId> deps) {
+    return sim.add_task(name, devices[static_cast<std::size_t>(s)], dur,
+                        std::move(deps));
+  };
+  auto link_task = [&](const std::string& name, int link, std::vector<TaskId> deps) {
+    return sim.add_task(name, links[static_cast<std::size_t>(link)], xfer,
+                        std::move(deps));
+  };
+
+  if (!config.separate_backward) {
+    // Fused fwd+bwd microbatch tasks flowing forward: the analytic model.
+    std::vector<TaskId> prev_stage_done(static_cast<std::size_t>(u), -1);
+    for (int s = 0; s < k; ++s) {
+      const double dur = config.stage_seconds[static_cast<std::size_t>(s)] / u;
+      for (int m = 0; m < u; ++m) {
+        std::vector<TaskId> deps;
+        if (prev_stage_done[static_cast<std::size_t>(m)] != -1) {
+          if (xfer > 0) {
+            const TaskId t = link_task(
+                "x:s" + std::to_string(s - 1) + ":m" + std::to_string(m), s - 1,
+                {prev_stage_done[static_cast<std::size_t>(m)]});
+            deps.push_back(t);
+          } else {
+            deps.push_back(prev_stage_done[static_cast<std::size_t>(m)]);
+          }
+        }
+        prev_stage_done[static_cast<std::size_t>(m)] = stage_task(
+            "s" + std::to_string(s) + ":m" + std::to_string(m), s, dur,
+            std::move(deps));
+      }
+    }
+    return sim.run();
+  }
+
+  // Separate waves: forward (1/3 of the fused time) ripples down, backward
+  // (2/3) ripples back up; backward for microbatch m at stage s needs the
+  // forward at s and the backward from s+1.
+  std::vector<std::vector<TaskId>> fwd(static_cast<std::size_t>(k),
+                                       std::vector<TaskId>(static_cast<std::size_t>(u)));
+  for (int s = 0; s < k; ++s) {
+    const double dur = config.stage_seconds[static_cast<std::size_t>(s)] / (3.0 * u);
+    for (int m = 0; m < u; ++m) {
+      std::vector<TaskId> deps;
+      if (s > 0) deps.push_back(fwd[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(m)]);
+      fwd[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)] = stage_task(
+          "f:s" + std::to_string(s) + ":m" + std::to_string(m), s, dur, std::move(deps));
+    }
+  }
+  std::vector<std::vector<TaskId>> bwd(static_cast<std::size_t>(k),
+                                       std::vector<TaskId>(static_cast<std::size_t>(u)));
+  for (int s = k - 1; s >= 0; --s) {
+    const double dur =
+        2.0 * config.stage_seconds[static_cast<std::size_t>(s)] / (3.0 * u);
+    for (int m = 0; m < u; ++m) {
+      std::vector<TaskId> deps{fwd[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)]};
+      if (s + 1 < k)
+        deps.push_back(bwd[static_cast<std::size_t>(s + 1)][static_cast<std::size_t>(m)]);
+      bwd[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)] = stage_task(
+          "b:s" + std::to_string(s) + ":m" + std::to_string(m), s, dur, std::move(deps));
+    }
+  }
+  return sim.run();
+}
+
+}  // namespace gf::sim

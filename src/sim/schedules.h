@@ -1,0 +1,46 @@
+// Schedule builders: explicit task graphs for the paper's parallelism
+// patterns, executed on the discrete-event simulator.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace gf::sim {
+
+/// Bandwidth-optimal ring allreduce: N devices, N unidirectional links;
+/// 2(N-1) phases each moving bytes/N per link. The simulated makespan
+/// equals the analytic 2(N-1)/N * bytes/bw + 2(N-1)*latency exactly,
+/// PROVIDED every device's payload is ready at time zero.
+SimulationResult simulate_ring_allreduce(int workers, double bytes,
+                                         double link_bandwidth,
+                                         double hop_latency = 0.0);
+
+/// One synchronous-SGD data-parallel step: per-worker compute (possibly
+/// heterogeneous — the straggler knob the closed forms cannot express),
+/// then ring allreduce of the gradients. Returns the full schedule; the
+/// makespan is the step time.
+struct DataParallelSim {
+  std::vector<double> worker_compute_seconds;  ///< one entry per worker
+  double gradient_bytes = 0;
+  double link_bandwidth = 56e9;
+  double hop_latency = 0.0;
+};
+SimulationResult simulate_data_parallel_step(const DataParallelSim& config);
+
+/// Microbatched pipeline over k stages (layer parallelism, §6.2.2).
+/// `combined` mode runs one fused fwd+bwd task per microbatch per stage —
+/// the abstraction behind the analytic (u+k-1)/(k*u) model, matched
+/// exactly. `separate` mode schedules forward and backward waves
+/// individually (backward costs 2x forward and flows in reverse), exposing
+/// the larger bubble real pipelines pay.
+struct PipelineSim {
+  std::vector<double> stage_seconds;  ///< full-batch fwd+bwd time per stage
+  int microbatches = 2;
+  bool separate_backward = false;
+  double boundary_bytes = 0.0;  ///< activation transfer per microbatch
+  double link_bandwidth = 56e9;
+};
+SimulationResult simulate_pipeline(const PipelineSim& config);
+
+}  // namespace gf::sim

@@ -1,0 +1,114 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace gf::sim {
+
+ResourceId Simulator::add_resource(std::string name) {
+  resources_.push_back({std::move(name)});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId Simulator::add_task(std::string name, ResourceId resource, double duration,
+                           std::vector<TaskId> deps) {
+  if (resource < 0 || static_cast<std::size_t>(resource) >= resources_.size())
+    throw std::invalid_argument("add_task: unknown resource");
+  if (duration < 0) throw std::invalid_argument("add_task: negative duration");
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId d : deps)
+    if (d < 0 || d >= id)
+      throw std::invalid_argument("add_task: dependency must reference an earlier task");
+  tasks_.push_back({std::move(name), resource, duration, std::move(deps)});
+  return id;
+}
+
+SimulationResult Simulator::run() const {
+  SimulationResult result;
+  result.tasks.assign(tasks_.size(), {});
+  result.resource_busy_seconds.assign(resources_.size(), 0.0);
+
+  // Dependency bookkeeping.
+  std::vector<std::size_t> unmet(tasks_.size(), 0);
+  std::vector<std::vector<TaskId>> dependents(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    unmet[i] = tasks_[i].deps.size();
+    for (TaskId d : tasks_[i].deps)
+      dependents[static_cast<std::size_t>(d)].push_back(static_cast<TaskId>(i));
+  }
+
+  // Per-resource FIFO ready queues (ties by task id for determinism).
+  std::vector<std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>>> ready(
+      resources_.size());
+  std::vector<double> resource_free(resources_.size(), 0.0);
+  std::vector<TaskId> running(resources_.size(), -1);
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (unmet[i] == 0)
+      ready[static_cast<std::size_t>(tasks_[i].resource)].push(static_cast<TaskId>(i));
+
+  // Event loop keyed on task completion times.
+  using Completion = std::pair<double, TaskId>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+
+  auto try_dispatch = [&](ResourceId r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (running[ri] != -1 || ready[ri].empty()) return;
+    const TaskId id = ready[ri].top();
+    ready[ri].pop();
+    const auto ti = static_cast<std::size_t>(id);
+    // A task may start once its resource is free AND its deps are done;
+    // deps are guaranteed done (it is in the ready queue), so start at the
+    // later of resource-free time and the max dep finish.
+    double start = resource_free[ri];
+    for (TaskId d : tasks_[ti].deps)
+      start = std::max(start, result.tasks[static_cast<std::size_t>(d)].finish);
+    result.tasks[ti].start = start;
+    result.tasks[ti].finish = start + tasks_[ti].duration;
+    result.resource_busy_seconds[ri] += tasks_[ti].duration;
+    running[ri] = id;
+    completions.push({result.tasks[ti].finish, id});
+  };
+
+  for (std::size_t r = 0; r < resources_.size(); ++r)
+    try_dispatch(static_cast<ResourceId>(r));
+
+  std::size_t finished = 0;
+  std::vector<ResourceId> affected;
+  while (!completions.empty()) {
+    const auto [time, id] = completions.top();
+    completions.pop();
+    ++finished;
+    result.makespan = std::max(result.makespan, time);
+    const auto ti = static_cast<std::size_t>(id);
+    const auto ri = static_cast<std::size_t>(tasks_[ti].resource);
+    resource_free[ri] = time;
+    running[ri] = -1;
+
+    // Only the freed resource and the resources of newly-ready tasks can
+    // gain work; dispatching just those keeps the loop O(tasks + edges).
+    affected.clear();
+    affected.push_back(tasks_[ti].resource);
+    for (TaskId dep : dependents[ti]) {
+      const auto di = static_cast<std::size_t>(dep);
+      if (--unmet[di] == 0) {
+        ready[static_cast<std::size_t>(tasks_[di].resource)].push(dep);
+        affected.push_back(tasks_[di].resource);
+      }
+    }
+    for (ResourceId r : affected) try_dispatch(r);
+  }
+
+  if (finished != tasks_.size())
+    throw std::logic_error("simulator: deadlock — unsatisfiable dependencies");
+
+  if (result.makespan > 0) {
+    double busiest = 0;
+    for (double b : result.resource_busy_seconds) busiest = std::max(busiest, b);
+    result.bottleneck_utilization = busiest / result.makespan;
+  }
+  return result;
+}
+
+}  // namespace gf::sim

@@ -1,0 +1,72 @@
+// Discrete-event cluster simulator.
+//
+// The paper's §6 cluster results are closed-form (ring-allreduce cost,
+// pipeline-bubble fractions, synchronous-SGD step time). This simulator is
+// the independent check: it executes an explicit task graph — compute
+// segments pinned to devices, transfers pinned to links — under resource
+// exclusivity and dependency ordering, and reports the critical-path
+// schedule. Tests require the simulated times to match the analytic models
+// exactly where the models are exact, and the simulator then answers
+// questions the closed forms cannot (stragglers, jitter, skewed stages).
+//
+// Model: every task runs on one resource (device or link), resources run
+// one task at a time in ready order (FIFO among ready tasks, ties by task
+// id), and a task becomes ready when all its dependencies finished.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gf::sim {
+
+using ResourceId = std::int32_t;
+using TaskId = std::int32_t;
+
+struct Resource {
+  std::string name;
+};
+
+struct Task {
+  std::string name;
+  ResourceId resource = -1;
+  double duration = 0.0;          ///< seconds of exclusive resource time
+  std::vector<TaskId> deps;       ///< must finish before this starts
+};
+
+struct TaskSchedule {
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct SimulationResult {
+  double makespan = 0.0;
+  std::vector<TaskSchedule> tasks;           ///< indexed by TaskId
+  std::vector<double> resource_busy_seconds; ///< indexed by ResourceId
+  /// Busy fraction of the bottleneck resource.
+  double bottleneck_utilization = 0.0;
+};
+
+class Simulator {
+ public:
+  ResourceId add_resource(std::string name);
+
+  /// Adds a task; dependencies may only reference earlier tasks.
+  TaskId add_task(std::string name, ResourceId resource, double duration,
+                  std::vector<TaskId> deps = {});
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_resources() const { return resources_.size(); }
+  const Task& task(TaskId id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+
+  /// Runs the event loop; throws std::logic_error on dependency cycles
+  /// (impossible by construction) or invalid references.
+  SimulationResult run() const;
+
+ private:
+  std::vector<Resource> resources_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace gf::sim

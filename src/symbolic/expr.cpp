@@ -1,0 +1,175 @@
+#include "src/symbolic/expr.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace gf::sym {
+
+// --- Rational -------------------------------------------------------------
+
+Rational::Rational(std::int64_t n, std::int64_t d) : num(n), den(d) {
+  if (den == 0) throw std::invalid_argument("Rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return {num * o.den + o.num * den, den * o.den};
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return {num * o.num, den * o.den};
+}
+
+std::string Rational::str() const {
+  if (den == 1) return std::to_string(num);
+  return std::to_string(num) + "/" + std::to_string(den);
+}
+
+// --- Expr basics ------------------------------------------------------------
+
+Expr::Expr() : node_(make_constant(0.0).node_ptr()) {}
+Expr::Expr(double v) : node_(make_constant(v).node_ptr()) {}
+Expr::Expr(int v) : node_(make_constant(static_cast<double>(v)).node_ptr()) {}
+Expr::Expr(std::int64_t v) : node_(make_constant(static_cast<double>(v)).node_ptr()) {}
+Expr::Expr(NodePtr node) : node_(std::move(node)) {
+  if (!node_) throw std::invalid_argument("Expr from null node");
+}
+
+Expr Expr::symbol(std::string name) { return make_symbol(std::move(name)); }
+
+Kind Expr::kind() const { return node_->kind; }
+
+double Expr::constant_value() const {
+  if (!is_constant()) throw std::logic_error("constant_value() on non-constant: " + str());
+  return node_->value;
+}
+
+const std::string& Expr::symbol_name() const {
+  if (!is_symbol()) throw std::logic_error("symbol_name() on non-symbol: " + str());
+  return node_->symbol;
+}
+
+double Expr::eval(const Bindings& bindings) const {
+  const ExprNode& n = *node_;
+  switch (n.kind) {
+    case Kind::kConstant:
+      return n.value;
+    case Kind::kSymbol: {
+      const auto it = bindings.find(n.symbol);
+      if (it == bindings.end())
+        throw std::runtime_error("eval: unbound symbol '" + n.symbol + "'");
+      return it->second;
+    }
+    case Kind::kAdd: {
+      double s = 0.0;
+      for (const Expr& c : n.children) s += c.eval(bindings);
+      return s;
+    }
+    case Kind::kMul: {
+      double p = 1.0;
+      for (const Expr& c : n.children) p *= c.eval(bindings);
+      return p;
+    }
+    case Kind::kPow:
+      return std::pow(n.children[0].eval(bindings), n.exponent.to_double());
+    case Kind::kMax: {
+      double m = n.children[0].eval(bindings);
+      for (std::size_t i = 1; i < n.children.size(); ++i)
+        m = std::max(m, n.children[i].eval(bindings));
+      return m;
+    }
+    case Kind::kLog:
+      return std::log(n.children[0].eval(bindings));
+  }
+  throw std::logic_error("eval: unknown expression kind");
+}
+
+Expr Expr::subs(const Bindings& bindings) const {
+  std::map<std::string, Expr, std::less<>> replacements;
+  for (const auto& [name, value] : bindings) replacements.emplace(name, Expr(value));
+  return subs(replacements);
+}
+
+Expr Expr::subs(const std::map<std::string, Expr, std::less<>>& replacements) const {
+  const ExprNode& n = *node_;
+  switch (n.kind) {
+    case Kind::kConstant:
+      return *this;
+    case Kind::kSymbol: {
+      const auto it = replacements.find(n.symbol);
+      return it == replacements.end() ? *this : it->second;
+    }
+    case Kind::kAdd: {
+      std::vector<Expr> terms;
+      terms.reserve(n.children.size());
+      for (const Expr& c : n.children) terms.push_back(c.subs(replacements));
+      return make_add(std::move(terms));
+    }
+    case Kind::kMul: {
+      std::vector<Expr> factors;
+      factors.reserve(n.children.size());
+      for (const Expr& c : n.children) factors.push_back(c.subs(replacements));
+      return make_mul(std::move(factors));
+    }
+    case Kind::kPow:
+      return make_pow(n.children[0].subs(replacements), n.exponent);
+    case Kind::kMax: {
+      std::vector<Expr> args;
+      args.reserve(n.children.size());
+      for (const Expr& c : n.children) args.push_back(c.subs(replacements));
+      return make_max(std::move(args));
+    }
+    case Kind::kLog:
+      return make_log(n.children[0].subs(replacements));
+  }
+  throw std::logic_error("subs: unknown expression kind");
+}
+
+namespace {
+void collect_symbols(const ExprNode& n, std::set<std::string>& out) {
+  if (n.kind == Kind::kSymbol) {
+    out.insert(n.symbol);
+    return;
+  }
+  for (const Expr& c : n.children) collect_symbols(c.node(), out);
+}
+}  // namespace
+
+std::set<std::string> Expr::free_symbols() const {
+  std::set<std::string> out;
+  collect_symbols(*node_, out);
+  return out;
+}
+
+bool Expr::equals(const Expr& other) const {
+  return node_ == other.node_ || node_->key() == other.node_->key();
+}
+
+// --- operators --------------------------------------------------------------
+
+Expr operator+(const Expr& a, const Expr& b) { return make_add({a, b}); }
+Expr operator-(const Expr& a, const Expr& b) { return make_add({a, make_mul({Expr(-1.0), b})}); }
+Expr operator-(const Expr& a) { return make_mul({Expr(-1.0), a}); }
+Expr operator*(const Expr& a, const Expr& b) { return make_mul({a, b}); }
+Expr operator/(const Expr& a, const Expr& b) { return make_mul({a, make_pow(b, Rational(-1))}); }
+Expr& operator+=(Expr& a, const Expr& b) { return a = a + b; }
+Expr& operator-=(Expr& a, const Expr& b) { return a = a - b; }
+Expr& operator*=(Expr& a, const Expr& b) { return a = a * b; }
+Expr& operator/=(Expr& a, const Expr& b) { return a = a / b; }
+
+Expr pow(const Expr& base, const Rational& exponent) { return make_pow(base, exponent); }
+Expr sqrt(const Expr& e) { return make_pow(e, Rational(1, 2)); }
+Expr max(const Expr& a, const Expr& b) { return make_max({a, b}); }
+Expr log(const Expr& e) { return make_log(e); }
+
+}  // namespace gf::sym

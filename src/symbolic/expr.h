@@ -1,0 +1,151 @@
+// Symbolic expression engine.
+//
+// This is the C++ stand-in for the sympy layer the original Catamount
+// artifact depends on. Compute-graph dimensions (batch, hidden, sequence
+// length, vocabulary, ...) are symbols; every op derives its algorithmic
+// FLOPs and bytes as closed-form expressions over them, and analyses bind
+// the symbols to numbers at the very end.
+//
+// Design notes:
+//  * `Expr` is a small value type wrapping an immutable, shared node DAG —
+//    copying is cheap and thread-safe, matching the C++ Core Guidelines'
+//    preference for value semantics at API boundaries.
+//  * Expressions are kept in a canonical form by smart constructors
+//    (`make_add` etc. in simplify.cpp): sums are flattened with like terms
+//    collected, products are flattened with like bases merged into powers,
+//    and constant subexpressions are folded. Equal values therefore
+//    compare equal structurally, which the tests rely on.
+//  * Exponents are exact rationals so `sqrt(p)` stays exact through
+//    arithmetic — the paper's Table 2 models are built around `sqrt(p)`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gf::sym {
+
+/// Exact rational exponent (normalized, positive denominator).
+struct Rational {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  Rational() = default;
+  Rational(std::int64_t n) : num(n), den(1) {}  // NOLINT: implicit by design
+  Rational(std::int64_t n, std::int64_t d);
+
+  Rational operator+(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator-() const { return {-num, den}; }
+  bool operator==(const Rational& o) const = default;
+  bool is_integer() const { return den == 1; }
+  double to_double() const { return static_cast<double>(num) / static_cast<double>(den); }
+  std::string str() const;
+};
+
+enum class Kind : std::uint8_t { kConstant, kSymbol, kAdd, kMul, kPow, kMax, kLog };
+
+class ExprNode;
+using NodePtr = std::shared_ptr<const ExprNode>;
+
+/// Bindings of symbol names to concrete values for eval()/subs().
+using Bindings = std::map<std::string, double, std::less<>>;
+
+class Expr {
+ public:
+  /// Default-constructs the constant 0.
+  Expr();
+  Expr(double v);        // NOLINT: implicit constant lift by design
+  Expr(int v);           // NOLINT
+  Expr(std::int64_t v);  // NOLINT
+
+  /// Creates (or re-uses the canonical node for) the named symbol.
+  static Expr symbol(std::string name);
+
+  Kind kind() const;
+  bool is_constant() const { return kind() == Kind::kConstant; }
+  bool is_symbol() const { return kind() == Kind::kSymbol; }
+  /// Value of a constant node; throws if not constant.
+  double constant_value() const;
+  /// Name of a symbol node; throws if not a symbol.
+  const std::string& symbol_name() const;
+
+  /// Numerically evaluates with every free symbol bound.
+  /// Throws std::runtime_error naming the first unbound symbol.
+  double eval(const Bindings& bindings) const;
+
+  /// Substitutes bound symbols with constants and re-simplifies;
+  /// unbound symbols survive (partial evaluation).
+  Expr subs(const Bindings& bindings) const;
+
+  /// Substitutes symbols with arbitrary expressions and re-simplifies.
+  Expr subs(const std::map<std::string, Expr, std::less<>>& replacements) const;
+
+  std::set<std::string> free_symbols() const;
+
+  /// Canonical-form structural equality. Because construction is
+  /// canonicalizing, algebraically equal polynomials compare equal.
+  bool equals(const Expr& other) const;
+
+  /// Human-readable rendering, deterministic for canonical forms.
+  std::string str() const;
+
+  const ExprNode& node() const { return *node_; }
+  const NodePtr& node_ptr() const { return node_; }
+
+  explicit Expr(NodePtr node);
+
+ private:
+  NodePtr node_;
+};
+
+/// Immutable expression node. Children are stored in canonical order.
+class ExprNode {
+ public:
+  ExprNode(Kind kind, double value, std::string symbol, Rational exponent,
+           std::vector<Expr> children);
+
+  Kind kind;
+  double value;              // kConstant
+  std::string symbol;        // kSymbol
+  Rational exponent;         // kPow: children[0] ^ exponent
+  std::vector<Expr> children;
+
+  /// Deterministic canonical key used for ordering and equality.
+  const std::string& key() const { return key_; }
+
+ private:
+  std::string key_;
+};
+
+// --- smart constructors (canonicalizing) ------------------------------
+
+Expr make_constant(double v);
+Expr make_symbol(std::string name);
+Expr make_add(std::vector<Expr> terms);
+Expr make_mul(std::vector<Expr> factors);
+Expr make_pow(Expr base, Rational exponent);
+Expr make_max(std::vector<Expr> args);
+Expr make_log(Expr arg);  // natural log
+
+// --- operators ----------------------------------------------------------
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+Expr& operator+=(Expr& a, const Expr& b);
+Expr& operator-=(Expr& a, const Expr& b);
+Expr& operator*=(Expr& a, const Expr& b);
+Expr& operator/=(Expr& a, const Expr& b);
+
+Expr pow(const Expr& base, const Rational& exponent);
+Expr sqrt(const Expr& e);
+Expr max(const Expr& a, const Expr& b);
+Expr log(const Expr& e);
+
+}  // namespace gf::sym

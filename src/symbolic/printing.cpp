@@ -1,0 +1,146 @@
+// Deterministic human-readable rendering of canonical expressions.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+namespace {
+
+std::string render_double(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string render(const Expr& e);
+
+bool needs_parens_in_product(const Expr& e) {
+  return e.kind() == Kind::kAdd;
+}
+
+std::string render_pow(const Expr& e) {
+  const ExprNode& n = e.node();
+  const Expr& base = n.children[0];
+  const Rational& exp = n.exponent;
+  if (exp == Rational(1, 2)) return "sqrt(" + render(base) + ")";
+  if (exp.num < 0) {
+    // Standalone reciprocal: 1/x, 1/x^2, 1/sqrt(x).
+    const Expr flipped = make_pow(base, -exp);
+    std::string piece = render(flipped);
+    if (flipped.kind() == Kind::kAdd || flipped.kind() == Kind::kMul)
+      piece = "(" + piece + ")";
+    return "1/" + piece;
+  }
+  std::string b = render(base);
+  if (base.kind() == Kind::kAdd || base.kind() == Kind::kMul) b = "(" + b + ")";
+  if (exp.is_integer()) return b + "^" + std::to_string(exp.num);
+  return b + "^(" + exp.str() + ")";
+}
+
+/// Renders a product, splitting positive and negative exponents into a
+/// numerator/denominator pair for readability.
+std::string render_mul(const Expr& e) {
+  const ExprNode& n = e.node();
+  std::string num, den;
+  double coeff = 1.0;
+  int den_factors = 0;
+  auto append = [](std::string& s, const std::string& piece) {
+    if (!s.empty()) s += "*";
+    s += piece;
+  };
+  for (const Expr& f : n.children) {
+    if (f.is_constant()) {
+      coeff *= f.constant_value();
+      continue;
+    }
+    if (f.kind() == Kind::kPow && f.node().exponent.num < 0) {
+      const Expr flipped = make_pow(f.node().children[0], -f.node().exponent);
+      std::string piece = render(flipped);
+      if (needs_parens_in_product(flipped)) piece = "(" + piece + ")";
+      append(den, piece);
+      ++den_factors;
+      continue;
+    }
+    std::string piece = render(f);
+    if (needs_parens_in_product(f)) piece = "(" + piece + ")";
+    append(num, piece);
+  }
+  std::string out;
+  if (coeff == -1.0 && !num.empty()) out = "-";
+  else if (coeff != 1.0 || num.empty()) out = render_double(coeff);
+  if (!num.empty()) {
+    if (!out.empty() && out != "-") out += "*";
+    out += num;
+  }
+  if (!den.empty()) {
+    out += "/";
+    out += (den_factors > 1) ? "(" + den + ")" : den;
+  }
+  return out;
+}
+
+std::string render_add(const Expr& e) {
+  const ExprNode& n = e.node();
+  std::vector<std::string> pieces;
+  pieces.reserve(n.children.size());
+  for (const Expr& t : n.children) pieces.push_back(render(t));
+  // Lead with a positive term when one exists: "x - y", not "-y + x".
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    if (!pieces[0].empty() && pieces[0][0] == '-' && !pieces[i].empty() &&
+        pieces[i][0] != '-') {
+      std::rotate(pieces.begin(), pieces.begin() + i, pieces.begin() + i + 1);
+      break;
+    }
+  }
+  std::string out = pieces[0];
+  for (std::size_t i = 1; i < pieces.size(); ++i) {
+    if (!pieces[i].empty() && pieces[i][0] == '-')
+      out += " - " + pieces[i].substr(1);
+    else
+      out += " + " + pieces[i];
+  }
+  return out;
+}
+
+std::string render(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kConstant:
+      return render_double(e.constant_value());
+    case Kind::kSymbol:
+      return e.symbol_name();
+    case Kind::kAdd:
+      return render_add(e);
+    case Kind::kMul:
+      return render_mul(e);
+    case Kind::kPow:
+      return render_pow(e);
+    case Kind::kMax: {
+      std::string out = "max(";
+      const auto& children = e.node().children;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += render(children[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kLog:
+      return "log(" + render(e.node().children[0]) + ")";
+  }
+  throw std::logic_error("render: unknown kind");
+}
+
+}  // namespace
+
+std::string Expr::str() const { return render(*this); }
+
+}  // namespace gf::sym

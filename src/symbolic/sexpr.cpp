@@ -1,0 +1,161 @@
+#include "src/symbolic/sexpr.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace gf::sym {
+namespace {
+
+void render(const Expr& e, std::string& out) {
+  switch (e.kind()) {
+    case Kind::kConstant: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", e.constant_value());
+      out += buf;
+      return;
+    }
+    case Kind::kSymbol:
+      out += e.symbol_name();
+      return;
+    case Kind::kAdd:
+    case Kind::kMul:
+    case Kind::kMax:
+    case Kind::kLog: {
+      out += '(';
+      out += e.kind() == Kind::kAdd   ? "+"
+             : e.kind() == Kind::kMul ? "*"
+             : e.kind() == Kind::kMax ? "max"
+                                      : "log";
+      for (const Expr& c : e.node().children) {
+        out += ' ';
+        render(c, out);
+      }
+      out += ')';
+      return;
+    }
+    case Kind::kPow: {
+      out += "(^ ";
+      render(e.node().children[0], out);
+      out += ' ' + std::to_string(e.node().exponent.num) + ' ' +
+             std::to_string(e.node().exponent.den) + ')';
+      return;
+    }
+  }
+  throw std::logic_error("to_sexpr: unknown kind");
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Expr parse() {
+    const Expr e = parse_expr();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("parse_sexpr: " + what + " at position " +
+                                std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  std::string token() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')') break;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a token");
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::int64_t parse_int() {
+    const std::string t = token();
+    char* end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') fail("expected an integer, got '" + t + "'");
+    return v;
+  }
+
+  Expr parse_expr() {
+    skip_space();
+    if (peek() == '(') {
+      ++pos_;  // consume '('
+      const std::string op = token();
+      if (op == "^") {
+        Expr base = parse_expr();
+        const std::int64_t num = parse_int();
+        const std::int64_t den = parse_int();
+        expect_close();
+        return make_pow(std::move(base), Rational(num, den));
+      }
+      std::vector<Expr> args;
+      skip_space();
+      while (peek() != ')') {
+        args.push_back(parse_expr());
+        skip_space();
+      }
+      ++pos_;  // consume ')'
+      if (args.empty()) fail("operator '" + op + "' needs arguments");
+      if (op == "+") return make_add(std::move(args));
+      if (op == "*") return make_mul(std::move(args));
+      if (op == "max") return make_max(std::move(args));
+      if (op == "log") {
+        if (args.size() != 1) fail("log takes one argument");
+        return make_log(args[0]);
+      }
+      fail("unknown operator '" + op + "'");
+    }
+    const std::string t = token();
+    const char first = t[0];
+    if (std::isdigit(static_cast<unsigned char>(first)) || first == '-' ||
+        first == '+' || first == '.') {
+      char* end = nullptr;
+      const double v = std::strtod(t.c_str(), &end);
+      if (end == nullptr || *end != '\0') fail("bad number '" + t + "'");
+      return Expr(v);
+    }
+    for (char c : t)
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+        fail("bad symbol name '" + t + "'");
+    return Expr::symbol(t);
+  }
+
+  void expect_close() {
+    skip_space();
+    if (peek() != ')') fail("expected ')'");
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_sexpr(const Expr& e) {
+  std::string out;
+  render(e, out);
+  return out;
+}
+
+Expr parse_sexpr(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace gf::sym

@@ -1,0 +1,26 @@
+// S-expression serialization for symbolic expressions.
+//
+// The graph serializer needs a round-trippable encoding of symbolic shapes
+// (the pretty printer in printing.cpp is for humans and is not parsed).
+// Grammar:
+//   expr   := number | symbol | "(" op expr... ")"
+//   op     := "+" | "*" | "max" | "log" | "^"
+//   "^"    := (^ base num den)          — rational exponent
+// Numbers use %.17g so doubles round-trip exactly. Symbols are
+// [A-Za-z_][A-Za-z0-9_]* (the only names the library creates).
+#pragma once
+
+#include <string>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+
+/// Canonical s-expression encoding of `e`.
+std::string to_sexpr(const Expr& e);
+
+/// Parses an s-expression produced by to_sexpr (or written by hand).
+/// Throws std::invalid_argument with position info on malformed input.
+Expr parse_sexpr(const std::string& text);
+
+}  // namespace gf::sym

@@ -1,0 +1,269 @@
+// Canonicalizing smart constructors for the expression engine.
+//
+// Invariants established here (and relied upon by equals()/str()):
+//  * Add nodes are flat, contain at most one constant (never 0), and hold
+//    like terms merged with a single numeric coefficient each, sorted by key.
+//  * Mul nodes are flat, contain at most one constant (never 1), and hold
+//    like bases merged into a single power each, sorted by key.
+//  * Pow nodes never have exponent 0 or 1, never a constant base, and never
+//    a Mul/Pow base (powers distribute over products — all graph dimensions
+//    are positive, so this is sound).
+//  * Max nodes are flat, deduplicated, and hold at most one constant.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+namespace {
+
+std::string double_key(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string build_key(Kind kind, double value, const std::string& symbol,
+                      const Rational& exponent, const std::vector<Expr>& children) {
+  switch (kind) {
+    case Kind::kConstant:
+      return "C:" + double_key(value);
+    case Kind::kSymbol:
+      return "S:" + symbol;
+    case Kind::kPow:
+      return "P(" + children[0].node().key() + "^" + exponent.str() + ")";
+    case Kind::kAdd:
+    case Kind::kMul:
+    case Kind::kMax:
+    case Kind::kLog: {
+      std::string out = kind == Kind::kAdd   ? "A("
+                        : kind == Kind::kMul ? "M("
+                        : kind == Kind::kMax ? "X("
+                                             : "L(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ',';
+        out += children[i].node().key();
+      }
+      out += ')';
+      return out;
+    }
+  }
+  throw std::logic_error("build_key: unknown kind");
+}
+
+Expr node(Kind kind, double value, std::string symbol, Rational exponent,
+          std::vector<Expr> children) {
+  return Expr(std::make_shared<const ExprNode>(kind, value, std::move(symbol), exponent,
+                                               std::move(children)));
+}
+
+void sort_by_key(std::vector<Expr>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Expr& a, const Expr& b) { return a.node().key() < b.node().key(); });
+}
+
+/// Splits an Add term into (numeric coefficient, residual monomial).
+/// A pure constant yields an empty residual vector.
+std::pair<double, std::vector<Expr>> split_term(const Expr& term) {
+  if (term.is_constant()) return {term.constant_value(), {}};
+  if (term.kind() == Kind::kMul) {
+    double coeff = 1.0;
+    std::vector<Expr> rest;
+    for (const Expr& f : term.node().children) {
+      if (f.is_constant())
+        coeff *= f.constant_value();
+      else
+        rest.push_back(f);
+    }
+    return {coeff, std::move(rest)};
+  }
+  return {1.0, {term}};
+}
+
+/// Rebuilds a monomial from canonical non-constant factors without
+/// re-running full Mul canonicalization (the factors are already merged).
+Expr rebuild_monomial(std::vector<Expr> factors) {
+  if (factors.empty()) return Expr(1.0);
+  if (factors.size() == 1) return factors[0];
+  sort_by_key(factors);
+  return node(Kind::kMul, 0.0, {}, Rational(1), std::move(factors));
+}
+
+}  // namespace
+
+ExprNode::ExprNode(Kind kind_in, double value_in, std::string symbol_in,
+                   Rational exponent_in, std::vector<Expr> children_in)
+    : kind(kind_in),
+      value(value_in),
+      symbol(std::move(symbol_in)),
+      exponent(exponent_in),
+      children(std::move(children_in)),
+      key_(build_key(kind, value, symbol, exponent, children)) {}
+
+Expr make_constant(double v) { return node(Kind::kConstant, v, {}, Rational(1), {}); }
+
+Expr make_symbol(std::string name) {
+  if (name.empty()) throw std::invalid_argument("symbol name must be non-empty");
+  return node(Kind::kSymbol, 0.0, std::move(name), Rational(1), {});
+}
+
+Expr make_add(std::vector<Expr> terms) {
+  double constant = 0.0;
+  // monomial key -> (canonical factors, accumulated coefficient)
+  std::map<std::string, std::pair<std::vector<Expr>, double>> monomials;
+
+  auto absorb = [&](auto&& self, const Expr& term, double outer) -> void {
+    if (term.kind() == Kind::kAdd) {
+      for (const Expr& c : term.node().children) self(self, c, outer);
+      return;
+    }
+    auto [coeff, rest] = split_term(term);
+    coeff *= outer;
+    if (rest.empty()) {
+      constant += coeff;
+      return;
+    }
+    if (rest.size() == 1 && rest[0].kind() == Kind::kAdd) {
+      // A numeric coefficient times a sum: distribute so that e.g.
+      // -(a + b) cancels against a + b. Children of a canonical Add are
+      // never Adds themselves, so this recursion terminates.
+      for (const Expr& c : rest[0].node().children) self(self, c, coeff);
+      return;
+    }
+    std::string key;
+    for (const Expr& f : rest) key += f.node().key(), key += '|';
+    auto [it, inserted] = monomials.try_emplace(std::move(key), std::move(rest), 0.0);
+    it->second.second += coeff;
+  };
+  for (const Expr& t : terms) absorb(absorb, t, 1.0);
+
+  std::vector<Expr> children;
+  children.reserve(monomials.size() + 1);
+  if (constant != 0.0) children.push_back(make_constant(constant));
+  for (auto& [key, entry] : monomials) {
+    auto& [factors, coeff] = entry;
+    if (coeff == 0.0) continue;
+    if (coeff == 1.0) {
+      children.push_back(rebuild_monomial(std::move(factors)));
+    } else {
+      std::vector<Expr> with_coeff = std::move(factors);
+      with_coeff.push_back(make_constant(coeff));
+      sort_by_key(with_coeff);
+      children.push_back(node(Kind::kMul, 0.0, {}, Rational(1), std::move(with_coeff)));
+    }
+  }
+  if (children.empty()) return make_constant(0.0);
+  if (children.size() == 1) return children[0];
+  sort_by_key(children);
+  return node(Kind::kAdd, 0.0, {}, Rational(1), std::move(children));
+}
+
+Expr make_mul(std::vector<Expr> factors) {
+  double constant = 1.0;
+  // base key -> (base, accumulated exponent)
+  std::map<std::string, std::pair<Expr, Rational>> bases;
+
+  auto absorb_base = [&](const Expr& base, Rational exp) {
+    auto [it, inserted] = bases.try_emplace(base.node().key(), base, Rational(0));
+    it->second.second = it->second.second + exp;
+  };
+  auto absorb = [&](auto&& self, const Expr& factor) -> void {
+    switch (factor.kind()) {
+      case Kind::kConstant:
+        constant *= factor.constant_value();
+        return;
+      case Kind::kMul:
+        for (const Expr& c : factor.node().children) self(self, c);
+        return;
+      case Kind::kPow:
+        absorb_base(factor.node().children[0], factor.node().exponent);
+        return;
+      default:
+        absorb_base(factor, Rational(1));
+        return;
+    }
+  };
+  for (const Expr& f : factors) absorb(absorb, f);
+
+  if (constant == 0.0) return make_constant(0.0);
+
+  std::vector<Expr> children;
+  children.reserve(bases.size() + 1);
+  for (auto& [key, entry] : bases) {
+    auto& [base, exp] = entry;
+    if (exp.num == 0) continue;
+    children.push_back(make_pow(base, exp));
+  }
+  // make_pow may have folded to constants (e.g. integer bases); re-split.
+  std::vector<Expr> symbolic;
+  symbolic.reserve(children.size());
+  for (Expr& c : children) {
+    if (c.is_constant())
+      constant *= c.constant_value();
+    else
+      symbolic.push_back(std::move(c));
+  }
+  if (constant == 0.0) return make_constant(0.0);
+  if (symbolic.empty()) return make_constant(constant);
+  if (constant != 1.0) symbolic.push_back(make_constant(constant));
+  if (symbolic.size() == 1) return symbolic[0];
+  sort_by_key(symbolic);
+  return node(Kind::kMul, 0.0, {}, Rational(1), std::move(symbolic));
+}
+
+Expr make_pow(Expr base, Rational exponent) {
+  if (exponent.num == 0) return make_constant(1.0);
+  if (exponent == Rational(1)) return base;
+  if (base.is_constant())
+    return make_constant(std::pow(base.constant_value(), exponent.to_double()));
+  if (base.kind() == Kind::kPow)
+    return make_pow(base.node().children[0], base.node().exponent * exponent);
+  if (base.kind() == Kind::kMul) {
+    // Distribute over products: all dimensions this library manipulates
+    // are positive, so (x*y)^e == x^e * y^e holds.
+    std::vector<Expr> factors;
+    factors.reserve(base.node().children.size());
+    for (const Expr& c : base.node().children) factors.push_back(make_pow(c, exponent));
+    return make_mul(std::move(factors));
+  }
+  return node(Kind::kPow, 0.0, {}, exponent, {std::move(base)});
+}
+
+Expr make_max(std::vector<Expr> args) {
+  if (args.empty()) throw std::invalid_argument("max of zero arguments");
+  bool have_constant = false;
+  double constant = 0.0;
+  std::map<std::string, Expr> uniq;
+  auto absorb = [&](auto&& self, const Expr& a) -> void {
+    if (a.kind() == Kind::kMax) {
+      for (const Expr& c : a.node().children) self(self, c);
+      return;
+    }
+    if (a.is_constant()) {
+      constant = have_constant ? std::max(constant, a.constant_value()) : a.constant_value();
+      have_constant = true;
+      return;
+    }
+    uniq.try_emplace(a.node().key(), a);
+  };
+  for (const Expr& a : args) absorb(absorb, a);
+
+  std::vector<Expr> children;
+  children.reserve(uniq.size() + 1);
+  if (have_constant) children.push_back(make_constant(constant));
+  for (auto& [key, e] : uniq) children.push_back(e);
+  if (children.size() == 1) return children[0];
+  sort_by_key(children);
+  return node(Kind::kMax, 0.0, {}, Rational(1), std::move(children));
+}
+
+Expr make_log(Expr arg) {
+  if (arg.is_constant()) return make_constant(std::log(arg.constant_value()));
+  return node(Kind::kLog, 0.0, {}, Rational(1), {std::move(arg)});
+}
+
+}  // namespace gf::sym

@@ -1,0 +1,97 @@
+#include "src/util/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gf::util {
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_sig(double v, int digits) {
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  char buf[64];
+  if (a >= 1e-4 && a < 1e7) {
+    // Plain decimal with `digits` significant digits.
+    const int int_digits = (a >= 1.0) ? static_cast<int>(std::floor(std::log10(a))) + 1 : 0;
+    int decimals = digits - int_digits;
+    if (decimals < 0) decimals = 0;
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    // Trim trailing zeros after a decimal point for readability.
+    std::string s = buf;
+    if (s.find('.') != std::string::npos) {
+      while (!s.empty() && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+    }
+    return s;
+  }
+  std::snprintf(buf, sizeof buf, "%.*e", digits - 1, v);
+  return buf;
+}
+
+std::string format_si(double v, int decimals) {
+  static constexpr std::array<const char*, 7> kSuffix = {"", "K", "M", "G", "T", "P", "E"};
+  const double a = std::fabs(v);
+  if (a < 1000.0) return format_fixed(v, (a >= 100 || a == std::floor(a)) ? 0 : decimals);
+  int tier = 0;
+  double scaled = v;
+  while (std::fabs(scaled) >= 1000.0 && tier + 1 < static_cast<int>(kSuffix.size())) {
+    scaled /= 1000.0;
+    ++tier;
+  }
+  return format_fixed(scaled, decimals) + kSuffix[tier];
+}
+
+std::string format_bytes(double bytes, int decimals) {
+  static constexpr std::array<const char*, 7> kUnit = {"B",  "KB", "MB", "GB",
+                                                       "TB", "PB", "EB"};
+  int tier = 0;
+  double scaled = bytes;
+  while (std::fabs(scaled) >= 1000.0 && tier + 1 < static_cast<int>(kUnit.size())) {
+    scaled /= 1000.0;
+    ++tier;
+  }
+  return format_fixed(scaled, tier == 0 ? 0 : decimals) + " " + kUnit[tier];
+}
+
+std::string format_duration(double seconds, int decimals) {
+  const double a = std::fabs(seconds);
+  if (a < 1e-3) return format_fixed(seconds * 1e6, decimals) + " us";
+  if (a < 1.0) return format_fixed(seconds * 1e3, decimals) + " ms";
+  if (a < 120.0) return format_fixed(seconds, decimals) + " s";
+  if (a < 2.0 * 3600.0) return format_fixed(seconds / 60.0, decimals) + " min";
+  if (a < 2.0 * 86400.0) return format_fixed(seconds / 3600.0, decimals) + " hours";
+  if (a < 2.0 * 365.25 * 86400.0) return format_fixed(seconds / 86400.0, decimals) + " days";
+  return format_fixed(seconds / (365.25 * 86400.0), decimals) + " years";
+}
+
+std::string format_grouped(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_scale(double v) {
+  if (v >= 100.0) return format_fixed(v, 0) + "x";
+  if (v >= 10.0) return format_fixed(v, 1) + "x";
+  return format_fixed(v, 1) + "x";
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace gf::util

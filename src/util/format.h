@@ -1,0 +1,41 @@
+// Small string-formatting helpers used across the library.
+//
+// gcc 12 does not ship std::format, so we provide the handful of
+// human-readable numeric formatters the benches and reports need:
+// SI-scaled magnitudes (1.3G), byte sizes (272 GB), and durations
+// rendered in the unit the paper uses (seconds, days, years).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gf::util {
+
+/// Render `v` with `digits` significant digits (plain, no exponent when
+/// reasonable; falls back to scientific for very large/small magnitudes).
+std::string format_sig(double v, int digits = 3);
+
+/// Render with fixed number of digits after the decimal point.
+std::string format_fixed(double v, int decimals);
+
+/// SI-scaled magnitude: 1234 -> "1.23K", 2.5e9 -> "2.50G".
+/// Uses K/M/G/T/P/E suffixes; values < 1000 are printed plainly.
+std::string format_si(double v, int decimals = 2);
+
+/// Byte size with binary-friendly decimal units as used in the paper
+/// (KB/MB/GB/TB, powers of 1000 to match the paper's GB figures).
+std::string format_bytes(double bytes, int decimals = 1);
+
+/// Seconds rendered adaptively: us / ms / s / min / hours / days / years.
+std::string format_duration(double seconds, int decimals = 1);
+
+/// "123,456,789" – thousands separators for integer counts.
+std::string format_grouped(std::uint64_t v);
+
+/// Multiplier like the paper's scale columns: 971.3 -> "971x", 6.6 -> "6.6x".
+std::string format_scale(double v);
+
+/// Percent: 0.145 -> "14.5%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace gf::util

@@ -1,0 +1,124 @@
+#include "src/util/least_squares.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::util {
+namespace {
+
+double mean(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double r_squared_of(std::span<const double> ys, const std::vector<double>& pred) {
+  const double ybar = mean(ys);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_res += (ys[i] - pred[i]) * (ys[i] - pred[i]);
+    ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  if (ss_tot == 0.0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_line requires >=2 matched points");
+  const double xbar = mean(xs), ybar = mean(ys);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - xbar) * (xs[i] - xbar);
+    sxy += (xs[i] - xbar) * (ys[i] - ybar);
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_line: degenerate xs");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = ybar - fit.slope * xbar;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = fit.slope * xs[i] + fit.intercept;
+  fit.r_squared = r_squared_of(ys, pred);
+  return fit;
+}
+
+double fit_proportional(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("fit_proportional requires matched points");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * ys[i];
+    den += xs[i] * xs[i];
+  }
+  if (den == 0.0) throw std::invalid_argument("fit_proportional: all xs are zero");
+  return num / den;
+}
+
+PowerLawFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_power_law requires >=2 matched points");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0)
+      throw std::invalid_argument("fit_power_law requires positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit lf = fit_line(lx, ly);
+  PowerLawFit fit;
+  fit.a = std::exp(lf.intercept);
+  fit.b = lf.slope;
+  fit.r_squared = lf.r_squared;
+  return fit;
+}
+
+std::vector<double> solve_least_squares(const std::vector<double>& a_rowmajor,
+                                        std::size_t cols,
+                                        std::span<const double> y) {
+  if (cols == 0 || a_rowmajor.size() % cols != 0)
+    throw std::invalid_argument("solve_least_squares: bad matrix shape");
+  const std::size_t rows = a_rowmajor.size() / cols;
+  if (rows != y.size() || rows < cols)
+    throw std::invalid_argument("solve_least_squares: underdetermined system");
+
+  // Normal equations: (A^T A) c = A^T y.
+  std::vector<double> ata(cols * cols, 0.0), aty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      aty[i] += a_rowmajor[r * cols + i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j)
+        ata[i * cols + j] += a_rowmajor[r * cols + i] * a_rowmajor[r * cols + j];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(cols);
+  for (std::size_t i = 0; i < cols; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < cols; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < cols; ++r)
+      if (std::fabs(ata[r * cols + k]) > std::fabs(ata[pivot * cols + k])) pivot = r;
+    if (std::fabs(ata[pivot * cols + k]) < 1e-30)
+      throw std::runtime_error("solve_least_squares: singular normal matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < cols; ++c) std::swap(ata[k * cols + c], ata[pivot * cols + c]);
+      std::swap(aty[k], aty[pivot]);
+    }
+    for (std::size_t r = k + 1; r < cols; ++r) {
+      const double f = ata[r * cols + k] / ata[k * cols + k];
+      for (std::size_t c = k; c < cols; ++c) ata[r * cols + c] -= f * ata[k * cols + c];
+      aty[r] -= f * aty[k];
+    }
+  }
+  std::vector<double> c(cols, 0.0);
+  for (std::size_t ki = cols; ki-- > 0;) {
+    double s = aty[ki];
+    for (std::size_t j = ki + 1; j < cols; ++j) s -= ata[ki * cols + j] * c[j];
+    c[ki] = s / ata[ki * cols + ki];
+  }
+  return c;
+}
+
+}  // namespace gf::util

@@ -1,0 +1,42 @@
+// Small dense least-squares fitters used to recover the paper's
+// first-order models (Table 2) from model-size sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gf::util {
+
+/// Result of fitting y ~ slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares for a line. Requires xs.size() == ys.size() >= 2.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Proportional fit y ~ slope * x (no intercept), used for the paper's
+/// "FLOPs grow linearly in parameters" trends where the asymptote passes
+/// through the origin.
+double fit_proportional(std::span<const double> xs, std::span<const double> ys);
+
+/// Power-law fit y ~ a * x^b via log-log linear regression.
+/// All xs and ys must be strictly positive.
+struct PowerLawFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+};
+PowerLawFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// General linear least squares: finds coefficients c minimizing
+/// ||A c - y||^2 where A is row-major with `cols` columns. Solved via
+/// normal equations with Gaussian elimination and partial pivoting —
+/// adequate for the tiny (<=4 column) systems this library builds.
+std::vector<double> solve_least_squares(const std::vector<double>& a_rowmajor,
+                                        std::size_t cols,
+                                        std::span<const double> y);
+
+}  // namespace gf::util

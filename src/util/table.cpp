@@ -1,0 +1,80 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace gf::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) throw std::invalid_argument("Table requires at least one column");
+  aligns_[0] = Align::kLeft;  // first column is usually a label
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row has wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::set_align(std::size_t column, Align align) {
+  aligns_.at(column) = align;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit_cell = [&](const std::string& s, std::size_t c) {
+    const std::size_t pad = width[c] - s.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << s;
+    else os << s << std::string(pad, ' ');
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 != width.size()) os << '+';
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(headers_[c], c);
+    os << (c + 1 == headers_.size() ? "\n" : " |");
+  }
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      emit_cell(row[c], c);
+      os << (c + 1 == row.size() ? "\n" : " |");
+    }
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 != cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_)
+    if (!row.empty()) emit(row);
+}
+
+}  // namespace gf::util

@@ -1,0 +1,49 @@
+// Console table rendering for the bench harness.
+//
+// Every bench that regenerates a paper table/figure prints its rows through
+// this type so output stays aligned, diff-able, and machine-scrapable
+// (an optional CSV form is emitted alongside the pretty table).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gf::util {
+
+enum class Align { kLeft, kRight };
+
+/// Lightweight fixed-schema text table.
+///
+/// Usage:
+///   Table t({"Domain", "Data scale", "Model scale"});
+///   t.add_row({"Word LMs", "100x", "23x"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. The row must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  /// Renders the table with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Renders rows as comma-separated values (no pretty padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<Align> aligns_;
+};
+
+}  // namespace gf::util

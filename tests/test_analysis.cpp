@@ -1,0 +1,142 @@
+// Analysis-layer tests: step characterization, sweeps, and the Table 2
+// first-order fits against both internal consistency and paper constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/first_order.h"
+#include "src/models/models.h"
+
+namespace gf::analysis {
+namespace {
+
+TEST(LogSpaced, EndpointsAndMonotonicity) {
+  const auto v = log_spaced(1e6, 1e9, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v.front(), 1e6, 1);
+  EXPECT_NEAR(v.back(), 1e9, 1e3);
+  EXPECT_NEAR(v[1] / v[0], 10.0, 1e-6);
+  EXPECT_THROW(log_spaced(1e9, 1e6, 4), std::invalid_argument);
+  EXPECT_THROW(log_spaced(1e6, 1e9, 1), std::invalid_argument);
+}
+
+TEST(ModelAnalyzer, CountsOnlyMatchesFullAnalysis) {
+  const auto spec = models::build_char_lm({.vocab = 30, .depth = 2, .seq_length = 4});
+  const ModelAnalyzer an(spec);
+  const StepCounts a = an.counts_only(16, 8);
+  const StepCounts b = an.at(16, 8);
+  EXPECT_DOUBLE_EQ(a.flops, b.flops);
+  EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.footprint_bytes, 0.0);
+  EXPECT_GT(b.footprint_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(b.footprint_bytes, b.persistent_bytes + b.transient_bytes);
+}
+
+TEST(ModelAnalyzer, AtParamsHitsTarget) {
+  const auto spec = models::build_nmt({.vocab_src = 100,
+                                       .vocab_tgt = 100,
+                                       .src_length = 3,
+                                       .tgt_length = 3,
+                                       .decoder_layers = 1});
+  const ModelAnalyzer an(spec);
+  const StepCounts c = an.at_params(1e6, 4);
+  EXPECT_NEAR(c.params, 1e6, 10);
+}
+
+TEST(Sweep, ParallelAndSerialAgree) {
+  const auto spec = models::build_word_lm({.vocab = 50, .layers = 1, .seq_length = 4});
+  const ModelAnalyzer an(spec);
+  const auto targets = log_spaced(1e5, 1e7, 6);
+  conc::ThreadPool single(1);
+  const auto serial = sweep_model_sizes(an, targets, 8, true, &single);
+  const auto parallel = sweep_model_sizes(an, targets, 8, true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].flops, parallel[i].flops);
+    EXPECT_DOUBLE_EQ(serial[i].footprint_bytes, parallel[i].footprint_bytes);
+  }
+}
+
+TEST(Sweep, GridShapeIsRowMajor) {
+  const auto spec = models::build_word_lm({.vocab = 50, .layers = 1, .seq_length = 3});
+  const ModelAnalyzer an(spec);
+  const auto grid = sweep_grid(an, {1e5, 1e6}, {4, 8, 16});
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid[0].batch, 4);
+  EXPECT_DOUBLE_EQ(grid[2].batch, 16);
+  EXPECT_NEAR(grid[3].params, 1e6, 10);
+}
+
+TEST(FirstOrderModel, ClosedFormsAreConsistent) {
+  const FirstOrderModel m = paper_first_order(models::Domain::kWordLM);
+  const double p = 23.8e9, b = 128;
+  EXPECT_NEAR(m.ct(p, b), 1444e12, 40e12);        // Table 3 TFLOPs/step
+  EXPECT_NEAR(m.at(p, b), 41.5e12, 1.5e12);       // Table 3 TB/step
+  EXPECT_NEAR(m.ft(p), 272e9, 15e9);              // Table 3 footprint
+  EXPECT_NEAR(m.operational_intensity(p, b), 34.5, 1.5);
+  // Limits: b->inf at fixed p, p->inf at fixed b.
+  EXPECT_NEAR(m.intensity_limit_batch(p), 481.0 * std::sqrt(p) / 30784.0, 1e-6);
+  EXPECT_NEAR(m.intensity_limit_params(b), 481.0 * 128 / 1755.0, 1e-9);
+}
+
+TEST(PaperConstants, AllDomainsPresent) {
+  for (auto d : {models::Domain::kWordLM, models::Domain::kCharLM,
+                 models::Domain::kNMT, models::Domain::kSpeech,
+                 models::Domain::kImage}) {
+    const FirstOrderModel m = paper_first_order(d);
+    EXPECT_GT(m.gamma, 0);
+    EXPECT_GT(m.lambda, 0);
+    EXPECT_GT(m.mu, 0);
+    EXPECT_GT(m.delta, 0);
+  }
+}
+
+TEST(Fit, RecoversCharLmConstantsNearPaper) {
+  // The char LM reaches its asymptote early (tiny vocabulary), so the
+  // graph-derived fit should land close to the paper's Table 2 row.
+  const auto spec = models::build_char_lm();
+  const ModelAnalyzer an(spec);
+  const auto fit = fit_first_order(an, recommended_fit_options(spec.domain));
+  const auto paper = paper_first_order(spec.domain);
+  EXPECT_NEAR(fit.gamma, paper.gamma, 0.05 * paper.gamma);
+  EXPECT_NEAR(fit.lambda, paper.lambda, 0.10 * paper.lambda);
+  EXPECT_NEAR(fit.mu, paper.mu, 0.30 * paper.mu);
+  EXPECT_NEAR(fit.delta, paper.delta, 0.30 * paper.delta);
+  EXPECT_GT(fit.r2_flops, 0.999);
+  EXPECT_GT(fit.r2_bytes, 0.99);
+}
+
+TEST(Fit, MuAndLambdaArePositiveForAllDomains) {
+  // (word LM regression guard: a joint least-squares fit used to return
+  // negative mu in the embedding-transition regime).
+  for (auto& spec : models::build_all_domains()) {
+    const ModelAnalyzer an(spec);
+    const auto fit = fit_first_order(an, recommended_fit_options(spec.domain));
+    EXPECT_GT(fit.gamma, 0) << spec.name;
+    EXPECT_GT(fit.lambda, 0) << spec.name;
+    EXPECT_GT(fit.mu, 0) << spec.name;
+    EXPECT_GT(fit.delta, 0) << spec.name;
+  }
+}
+
+TEST(Fit, PredictsSweepPointsWell) {
+  const auto spec = models::build_speech();
+  const ModelAnalyzer an(spec);
+  const auto opt = recommended_fit_options(spec.domain);
+  const auto fit = fit_first_order(an, opt);
+  // Held-out point inside the fit range.
+  const StepCounts c = an.counts_only(spec.hidden_for_params(1e9), 48);
+  EXPECT_NEAR(fit.ct(c.params, c.batch), c.flops, 0.05 * c.flops);
+  EXPECT_NEAR(fit.at(c.params, c.batch), c.bytes, 0.10 * c.bytes);
+}
+
+TEST(Fit, RejectsEmptyBatchList) {
+  const auto spec = models::build_char_lm({.vocab = 30, .depth = 2, .seq_length = 3});
+  const ModelAnalyzer an(spec);
+  FitOptions opt;
+  opt.batches.clear();
+  EXPECT_THROW(fit_first_order(an, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gf::analysis

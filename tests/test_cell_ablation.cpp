@@ -1,0 +1,146 @@
+// GRU-vs-LSTM cell ablation and checkpointing-model tests, plus toy
+// training convergence for the remaining model families (the executor must
+// train every architecture, not just the LMs).
+#include <gtest/gtest.h>
+
+#include "src/analysis/checkpointing.h"
+#include "src/hw/accelerator.h"
+#include "src/analysis/first_order.h"
+#include "src/models/models.h"
+#include "src/runtime/executor.h"
+
+namespace gf {
+namespace {
+
+TEST(GruCell, ThreeQuartersOfLstmWeightsPerLayer) {
+  models::WordLmConfig lstm_cfg{.vocab = 1000, .layers = 1, .seq_length = 4};
+  models::WordLmConfig gru_cfg = lstm_cfg;
+  gru_cfg.cell = models::RecurrentCell::kGRU;
+  const auto lstm = models::build_word_lm(lstm_cfg);
+  const auto gru = models::build_word_lm(gru_cfg);
+  const double h = 512;
+  // Recurrent weights: LSTM 8h^2, GRU 6h^2; embeddings/output identical.
+  const double lstm_rec = lstm.params_at(h) - 2.0 * 1000 * h;
+  const double gru_rec = gru.params_at(h) - 2.0 * 1000 * h;
+  EXPECT_NEAR(gru_rec / lstm_rec, 0.75, 0.01);
+}
+
+TEST(GruCell, SameAsymptoticFlopsPerParam) {
+  // The paper's architecture-robustness claim: cell choice does not move
+  // the asymptotic constant — both land at 6q FLOPs/param/sample.
+  models::WordLmConfig gru_cfg;
+  gru_cfg.cell = models::RecurrentCell::kGRU;
+  const auto gru = models::build_word_lm(gru_cfg);
+  const double h = gru.hidden_for_params(3e11);
+  const auto bind = gru.bind(h, 16);
+  const double per_param =
+      gru.graph->total_flops().eval(bind) / (16.0 * gru.params_at(h));
+  EXPECT_NEAR(per_param, 6.0 * 80, 0.06 * 6.0 * 80);
+}
+
+TEST(GruCell, RejectsProjectionCombination) {
+  models::WordLmConfig cfg;
+  cfg.cell = models::RecurrentCell::kGRU;
+  cfg.projection = true;
+  EXPECT_THROW(models::build_word_lm(cfg), std::invalid_argument);
+}
+
+TEST(GruCell, ToyInstanceTrains) {
+  models::WordLmConfig cfg{.vocab = 30, .layers = 1, .seq_length = 4};
+  cfg.cell = models::RecurrentCell::kGRU;
+  const auto spec = models::build_word_lm(cfg);
+  rt::ExecutorOptions opt;
+  opt.learning_rate = 0.5;
+  rt::Executor ex(*spec.graph, spec.bind(12, 4), opt);
+  ex.retain(spec.loss);
+  ex.run_step();
+  const float first = ex.value(spec.loss).f(0);
+  for (int i = 0; i < 30; ++i) ex.run_step();
+  EXPECT_LT(ex.value(spec.loss).f(0), first);
+}
+
+TEST(ToyTraining, NmtLossDecreases) {
+  const auto spec = models::build_nmt({.vocab_src = 25,
+                                       .vocab_tgt = 25,
+                                       .src_length = 3,
+                                       .tgt_length = 3,
+                                       .decoder_layers = 1});
+  rt::ExecutorOptions opt;
+  opt.learning_rate = 0.3;
+  rt::Executor ex(*spec.graph, spec.bind(10, 4), opt);
+  ex.retain(spec.loss);
+  ex.run_step();
+  const float first = ex.value(spec.loss).f(0);
+  for (int i = 0; i < 30; ++i) ex.run_step();
+  EXPECT_LT(ex.value(spec.loss).f(0), first);
+}
+
+TEST(ToyTraining, SpeechLossDecreases) {
+  models::SpeechConfig cfg;
+  cfg.audio_frames = 6;
+  cfg.feature_dim = 4;
+  cfg.encoder_layers = 2;
+  cfg.decoder_length = 3;
+  cfg.vocab = 12;
+  const auto spec = models::build_speech(cfg);
+  rt::ExecutorOptions opt;
+  opt.learning_rate = 0.3;
+  rt::Executor ex(*spec.graph, spec.bind(8, 4), opt);
+  ex.retain(spec.loss);
+  ex.run_step();
+  const float first = ex.value(spec.loss).f(0);
+  for (int i = 0; i < 30; ++i) ex.run_step();
+  EXPECT_LT(ex.value(spec.loss).f(0), first);
+}
+
+TEST(ToyTraining, ResNetLossDecreases) {
+  const auto spec = models::build_resnet({.depth = 18, .image_size = 32, .classes = 5});
+  rt::ExecutorOptions opt;
+  opt.learning_rate = 0.05;
+  rt::Executor ex(*spec.graph, spec.bind(4, 4), opt);
+  ex.retain(spec.loss);
+  ex.run_step();
+  const float first = ex.value(spec.loss).f(0);
+  for (int i = 0; i < 20; ++i) ex.run_step();
+  EXPECT_LT(ex.value(spec.loss).f(0), first);
+}
+
+TEST(Checkpointing, SqrtScheduleReducesMemory) {
+  const auto t = analysis::checkpointing_tradeoff(80e9, 80);
+  EXPECT_EQ(t.segments, 9);
+  EXPECT_GT(t.memory_reduction, 3.5);
+  EXPECT_LT(t.checkpointed_activation_bytes, t.baseline_activation_bytes);
+  EXPECT_GT(t.extra_flops_fraction, 0.2);
+  EXPECT_LT(t.extra_flops_fraction, 1.0 / 3.0 + 1e-9);
+}
+
+TEST(Checkpointing, DegenerateCases) {
+  const auto one = analysis::checkpointing_tradeoff(1e9, 1);
+  EXPECT_EQ(one.segments, 1);
+  EXPECT_DOUBLE_EQ(one.memory_reduction, 1.0);
+  EXPECT_DOUBLE_EQ(one.extra_flops_fraction, 0.0);
+  EXPECT_THROW(analysis::checkpointing_tradeoff(-1, 4), std::invalid_argument);
+  EXPECT_THROW(analysis::checkpointing_tradeoff(1e9, 0), std::invalid_argument);
+}
+
+TEST(Checkpointing, ReductionGrowsWithDepth) {
+  double prev = 1.0;
+  for (int layers : {4, 16, 64, 256}) {
+    const auto t = analysis::checkpointing_tradeoff(1e9, layers);
+    EXPECT_GE(t.memory_reduction, prev);
+    prev = t.memory_reduction;
+  }
+  EXPECT_GT(prev, 6.0);  // deep stacks approach sqrt(L)/2-ish savings
+}
+
+TEST(TpuConfig, ValidatesAndContrasts) {
+  const auto tpu = hw::AcceleratorConfig::tpu_v2_like();
+  EXPECT_NO_THROW(tpu.validate());
+  const auto v100 = hw::AcceleratorConfig::v100_like();
+  EXPECT_GT(tpu.peak_flops, v100.peak_flops);
+  EXPECT_LT(tpu.mem_capacity, v100.mem_capacity);
+  EXPECT_GT(tpu.ridge_point(), v100.ridge_point());  // more compute-skewed
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/concurrency/thread_pool.h"
+
+namespace gf::conc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ComputesParallelSum) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 1, n + 1, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n + 1) / 2);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000,
+                   [&](std::size_t i) {
+                     if (i == 500) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, HonorsMinChunkForSmallRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 3, [&](std::size_t) { count.fetch_add(1); }, 16);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, GlobalPoolWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, NestedOuterSerialInnerParallel) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int outer = 0; outer < 4; ++outer)
+    parallel_for(pool, 0, 100, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 400);
+}
+
+}  // namespace
+}  // namespace gf::conc

@@ -1,0 +1,224 @@
+// Parallelism-planning tests: allreduce cost, data-parallel scaling
+// (Figure 12), pipeline layer parallelism, embedding sharding, and the
+// full Table 5 case study.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/plan/case_study.h"
+
+namespace gf::plan {
+namespace {
+
+TEST(AllReduce, SingleWorkerIsFree) {
+  EXPECT_DOUBLE_EQ(ring_allreduce_seconds({}, 1e9, 1), 0.0);
+}
+
+TEST(AllReduce, BandwidthTermApproaches2x) {
+  AllReduceModel m;
+  m.hop_latency = 0;
+  const double bytes = 95.2e9;  // 23.8B params * 4B
+  const double t2 = ring_allreduce_seconds(m, bytes, 2);
+  EXPECT_NEAR(t2, bytes / m.link_bandwidth, 1e-9);  // 2*(1/2)
+  const double t_many = ring_allreduce_seconds(m, bytes, 4096);
+  EXPECT_NEAR(t_many, 2.0 * bytes / m.link_bandwidth, 0.01 * t_many);
+}
+
+TEST(AllReduce, LatencyGrowsWithWorkers) {
+  AllReduceModel m;
+  m.hop_latency = 1e-5;
+  EXPECT_GT(ring_allreduce_seconds(m, 0.0, 1024), ring_allreduce_seconds(m, 0.0, 16));
+  EXPECT_THROW(ring_allreduce_seconds(m, -1.0, 2), std::invalid_argument);
+}
+
+TEST(AllReduce, CompressionShrinksPayload) {
+  EXPECT_DOUBLE_EQ(compressed_gradient_bytes(1e9, 32), 4e9);
+  EXPECT_DOUBLE_EQ(compressed_gradient_bytes(1e9, 2), 0.25e9);  // TernGrad-ish
+  EXPECT_THROW(compressed_gradient_bytes(1e9, 0), std::invalid_argument);
+}
+
+WorkerStep paper_word_lm_worker() {
+  WorkerStep w;
+  w.step_seconds = 9.89 * 0.80 / 0.46;  // cache-aware step (§6.1)
+  w.flops = 9.89 * 0.80 * 15.67e12;
+  w.subbatch = 128;
+  w.gradient_bytes = 4.0 * 23.8e9;
+  w.samples_per_epoch = 2707.0 * 86400.0 / 9.89 * 128;
+  return w;
+}
+
+TEST(DataParallel, EpochTimeDecreasesUtilizationDeclines) {
+  const auto worker = paper_word_lm_worker();
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto sweep = data_parallel_sweep(worker, accel, {}, 16384);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].epoch_days, sweep[i - 1].epoch_days);
+    EXPECT_LE(sweep[i].flop_utilization, sweep[i - 1].flop_utilization + 1e-12);
+  }
+  // Figure 12 shape: near-linear early, communication-limited utilization
+  // floor later.
+  EXPECT_NEAR(sweep[1].epoch_days, sweep[0].epoch_days / 2, 0.05 * sweep[0].epoch_days);
+}
+
+TEST(DataParallel, PaperScaleNumbers) {
+  // Table 5: 1024 workers -> ~6 days/epoch at ~34-40% utilization;
+  // 512 workers -> ~11 days.
+  const auto worker = paper_word_lm_worker();
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const auto p1024 = evaluate_data_parallel(worker, accel, {}, 1024);
+  EXPECT_NEAR(p1024.epoch_days, 6.2, 1.5);
+  EXPECT_NEAR(p1024.flop_utilization, 0.36, 0.06);
+  const auto p512 = evaluate_data_parallel(worker, accel, {}, 512);
+  EXPECT_NEAR(p512.epoch_days, 11.1, 1.5);
+}
+
+TEST(DataParallel, WorkersForTargetDays) {
+  const auto worker = paper_word_lm_worker();
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const int n = workers_for_epoch_days(worker, accel, {}, 7.0, 65536);
+  EXPECT_GE(n, 512);
+  EXPECT_LE(n, 2048);
+  EXPECT_EQ(workers_for_epoch_days(worker, accel, {}, 1e-6, 1024), 0);
+}
+
+std::vector<LayerFootprint> paper_layers() {
+  return {{"embedding", 59.5e9, true},
+          {"recurrent0", 17e9, false},
+          {"recurrent1", 17e9, false},
+          {"output", 32e9, false}};
+}
+
+TEST(LayerParallel, PipelineSpeedupFormula) {
+  PipelineModel p;
+  p.stages = 4;
+  p.microbatches = 2;
+  const auto r = layer_parallel_step(20.0, p, paper_layers());
+  // k*u/(u+k-1) = 8/5 = 1.6
+  EXPECT_NEAR(r.speedup, 1.6, 1e-9);
+  EXPECT_NEAR(r.step_seconds, 12.5, 1e-9);
+  EXPECT_NEAR(r.efficiency, 0.4, 1e-9);
+  ASSERT_EQ(r.stage_bytes.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.stage_bytes[0], 59.5e9);
+}
+
+TEST(LayerParallel, MoreMicrobatchesApproachIdeal) {
+  PipelineModel p;
+  p.stages = 4;
+  double prev = 0;
+  for (int u : {1, 2, 8, 64}) {
+    p.microbatches = u;
+    const auto r = layer_parallel_step(20.0, p, paper_layers());
+    EXPECT_GT(r.speedup, prev);
+    prev = r.speedup;
+  }
+  EXPECT_NEAR(prev, 4.0, 0.25);  // u=64 nearly hides the bubble
+}
+
+TEST(LayerParallel, BoundaryTrafficAddsTime) {
+  PipelineModel p;
+  p.stages = 4;
+  p.microbatches = 2;
+  p.boundary_activation_bytes = 1e9;
+  const auto with = layer_parallel_step(20.0, p, paper_layers());
+  p.boundary_activation_bytes = 0;
+  const auto without = layer_parallel_step(20.0, p, paper_layers());
+  EXPECT_GT(with.step_seconds, without.step_seconds);
+}
+
+TEST(Sharding, ReproducesPaperEmbeddingSplit) {
+  // Table 5: {60, 17, 17, 32} GB shards into ~{32, 31, 31, 32} using 3
+  // pieces under a 32 GB capacity.
+  const auto plan = shard_to_capacity(paper_layers(), 4, 32e9);
+  EXPECT_EQ(plan.pieces, 3);
+  ASSERT_EQ(plan.stage_bytes.size(), 4u);
+  for (double b : plan.stage_bytes) EXPECT_LE(b, 32e9 * 1.0001);
+  EXPECT_NEAR(plan.stage_bytes[0], 31.2e9, 1e9);
+  EXPECT_NEAR(plan.stage_bytes[1], 31.2e9, 1e9);
+  EXPECT_NEAR(plan.stage_bytes[2], 31.2e9, 1e9);
+  EXPECT_NEAR(plan.stage_bytes[3], 32e9, 1e8);
+  // Total memory is conserved.
+  double total_out = 0;
+  for (double b : plan.stage_bytes) total_out += b;
+  EXPECT_NEAR(total_out, 125.5e9, 1e6);
+}
+
+TEST(Sharding, ThrowsWhenNothingShardableAndOverCapacity) {
+  std::vector<LayerFootprint> layers{{"a", 40e9, false}, {"b", 10e9, false}};
+  EXPECT_THROW(shard_to_capacity(layers, 2, 32e9), std::runtime_error);
+}
+
+TEST(Sharding, ThrowsWhenPerfectSplitCannotFit) {
+  std::vector<LayerFootprint> layers{{"emb", 100e9, true}, {"r", 30e9, false}};
+  EXPECT_THROW(shard_to_capacity(layers, 2, 32e9), std::runtime_error);
+}
+
+TEST(Sharding, PooledShardablesSpreadEvenly) {
+  // Several shardable tables (Megatron-style tensor splits) pool together.
+  std::vector<LayerFootprint> layers{
+      {"emb", 40e9, true}, {"out", 40e9, true}, {"r", 10e9, false}};
+  const auto plan = shard_to_capacity(layers, 4, 32e9);
+  EXPECT_EQ(plan.pieces, 4);
+  double total = 0;
+  for (double b : plan.stage_bytes) {
+    EXPECT_LE(b, 32e9 * 1.0001);
+    total += b;
+  }
+  EXPECT_NEAR(total, 90e9, 1e6);
+}
+
+TEST(Sharding, NoopWhenAlreadyFits) {
+  std::vector<LayerFootprint> layers{{"emb", 10e9, true}, {"r", 12e9, false}};
+  const auto plan = shard_to_capacity(layers, 2, 32e9);
+  for (double b : plan.stage_bytes) EXPECT_LE(b, 32e9);
+}
+
+TEST(CaseStudy, ReproducesTable5Shape) {
+  const auto inputs = paper_calibrated_case_study();
+  const auto rows =
+      run_case_study(inputs, hw::AcceleratorConfig::v100_like(), AllReduceModel{});
+  ASSERT_EQ(rows.size(), 6u);
+
+  // Row 1: best case, 2707 days at 80%.
+  EXPECT_NEAR(rows[0].epoch_days, 2707, 10);
+  EXPECT_NEAR(rows[0].utilization, 0.80, 1e-9);
+  // Row 2: cache-aware ~4671-4708 days at 46% (the paper's own body text
+  // and table disagree: 4671 vs 4071; we match the utilization-consistent
+  // value).
+  EXPECT_NEAR(rows[1].epoch_days, 4700, 120);
+  EXPECT_NEAR(rows[1].utilization, 0.46, 1e-9);
+  // Rows 3-4: data parallelism.
+  EXPECT_EQ(rows[2].accelerators, 1024);
+  EXPECT_NEAR(rows[2].epoch_days, 6.2, 1.5);
+  EXPECT_EQ(rows[3].accelerators, 512);
+  EXPECT_NEAR(rows[3].epoch_days, 11.1, 1.5);
+  // Row 5: + layer parallelism on 2048 accelerators, ~7 days, ~15% util.
+  EXPECT_EQ(rows[4].accelerators, 2048);
+  EXPECT_NEAR(rows[4].epoch_days, 7.2, 1.5);
+  EXPECT_NEAR(rows[4].utilization, 0.145, 0.05);
+  // Row 6: embedding sharded into 3 pieces, all stages within 32 GB.
+  ASSERT_EQ(rows[5].memory_per_accel_bytes.size(), 4u);
+  for (double b : rows[5].memory_per_accel_bytes) EXPECT_LE(b, 32e9 * 1.0001);
+  EXPECT_NE(rows[5].stage.find("3 pieces"), std::string::npos);
+}
+
+TEST(CaseStudy, GradientCompressionAblation) {
+  // §6.2.3: compressing gradients cuts the communication share. With 2-bit
+  // gradients the 1024-worker step approaches its compute bound.
+  auto inputs = paper_calibrated_case_study();
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  WorkerStep w;
+  w.step_seconds = inputs.cache_step_seconds;
+  w.flops = inputs.flops_per_step;
+  w.subbatch = inputs.subbatch;
+  w.samples_per_epoch = inputs.samples_per_epoch;
+  w.gradient_bytes = 4.0 * inputs.params;
+  const auto full = evaluate_data_parallel(w, accel, {}, 1024);
+  w.gradient_bytes = compressed_gradient_bytes(inputs.params, 2);
+  const auto compressed = evaluate_data_parallel(w, accel, {}, 1024);
+  EXPECT_LT(compressed.comm_seconds, 0.1 * full.comm_seconds);
+  EXPECT_GT(compressed.flop_utilization, full.flop_utilization);
+}
+
+}  // namespace
+}  // namespace gf::plan

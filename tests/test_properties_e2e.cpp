@@ -1,0 +1,186 @@
+// Cross-cutting property tests: invariants that must hold across every
+// domain, size, and subbatch — the "laws" the paper's analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hw/cache_model.h"
+#include "src/hw/subbatch.h"
+#include "src/ir/footprint.h"
+#include "src/ir/serialize.h"
+#include "src/models/models.h"
+
+namespace gf {
+namespace {
+
+class DomainProperty : public ::testing::TestWithParam<int> {
+ protected:
+  models::ModelSpec build_small() {
+    // Toy configs: properties are structural, not scale-dependent.
+    switch (GetParam()) {
+      case 0:
+        return models::build_word_lm({.vocab = 80, .layers = 2, .seq_length = 5});
+      case 1:
+        return models::build_char_lm({.vocab = 30, .depth = 3, .seq_length = 4});
+      case 2:
+        return models::build_nmt({.vocab_src = 50,
+                                  .vocab_tgt = 50,
+                                  .src_length = 4,
+                                  .tgt_length = 3,
+                                  .decoder_layers = 1});
+      case 3: {
+        models::SpeechConfig cfg;
+        cfg.audio_frames = 8;
+        cfg.feature_dim = 6;
+        cfg.encoder_layers = 2;
+        cfg.decoder_length = 3;
+        cfg.vocab = 12;
+        return models::build_speech(cfg);
+      }
+      case 4:
+        return models::build_resnet({.depth = 18, .image_size = 32, .classes = 10});
+      default:
+        return models::build_transformer_lm({.vocab = 40, .layers = 2, .seq_length = 4});
+    }
+  }
+};
+
+TEST_P(DomainProperty, FlopsAndBytesMonotoneInHiddenAndBatch) {
+  const auto spec = build_small();
+  const auto flops = spec.graph->total_flops();
+  const auto bytes = spec.graph->total_bytes_accessed();
+  double prev_f = 0, prev_b = 0;
+  for (double h : {8.0, 16.0, 32.0, 64.0}) {
+    const double f = flops.eval(spec.bind(h, 4));
+    const double b = bytes.eval(spec.bind(h, 4));
+    EXPECT_GT(f, prev_f) << spec.name;
+    EXPECT_GT(b, prev_b) << spec.name;
+    prev_f = f;
+    prev_b = b;
+  }
+  prev_f = prev_b = 0;
+  for (double batch : {1.0, 2.0, 8.0, 32.0}) {
+    const double f = flops.eval(spec.bind(16, batch));
+    const double b = bytes.eval(spec.bind(16, batch));
+    EXPECT_GT(f, prev_f) << spec.name;
+    EXPECT_GT(b, prev_b) << spec.name;
+    prev_f = f;
+    prev_b = b;
+  }
+}
+
+TEST_P(DomainProperty, FootprintMonotoneAndBounded) {
+  const auto spec = build_small();
+  double prev = 0;
+  for (double h : {8.0, 16.0, 32.0}) {
+    const auto fp = ir::minimal_footprint(*spec.graph, spec.bind(h, 4));
+    EXPECT_GT(fp.total_bytes, prev) << spec.name;
+    prev = fp.total_bytes;
+    // Persistent floor: weights + gradients at 4 bytes each (SGD).
+    EXPECT_GE(fp.persistent_bytes, 8.0 * spec.params_at(h) - 1) << spec.name;
+    // Transient peak at least the largest single tensor.
+    double largest = 0;
+    for (const auto& t : spec.graph->tensors())
+      if (!t->is_persistent())
+        largest = std::max(largest, t->bytes().eval(spec.bind(h, 4)));
+    EXPECT_GE(fp.peak_transient_bytes, largest) << spec.name;
+  }
+}
+
+TEST_P(DomainProperty, CacheAwareNeverFasterThanRoofline) {
+  const auto spec = build_small();
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  for (double h : {16.0, 64.0}) {
+    const auto bind = spec.bind(h, 8);
+    const auto best = hw::best_case_step_time(*spec.graph, bind, accel);
+    const auto cache = hw::cache_aware_step_time(*spec.graph, bind, accel);
+    EXPECT_GE(cache.step_seconds, best.seconds() * (1 - 1e-9)) << spec.name;
+    EXPECT_LE(cache.flop_utilization, best.flop_utilization + 1e-9) << spec.name;
+    EXPECT_GE(cache.restream_factor(), 1.0 - 1e-9) << spec.name;
+  }
+}
+
+TEST_P(DomainProperty, SerializedGraphEvaluatesIdentically) {
+  const auto spec = build_small();
+  const auto loaded = ir::deserialize(ir::serialize(*spec.graph));
+  for (double h : {8.0, 24.0}) {
+    for (double b : {2.0, 16.0}) {
+      const auto bind = spec.bind(h, b);
+      EXPECT_DOUBLE_EQ(loaded->total_flops().eval(bind),
+                       spec.graph->total_flops().eval(bind))
+          << spec.name;
+      EXPECT_DOUBLE_EQ(loaded->algorithmic_io().eval(bind),
+                       spec.graph->algorithmic_io().eval(bind))
+          << spec.name;
+    }
+  }
+}
+
+TEST_P(DomainProperty, GradientOpsOutnumberForwardMatmulFlops) {
+  // Backward matrix work is ~2x forward for every family (paper §2.1).
+  const auto spec = build_small();
+  const auto bind = spec.bind(16, 4);
+  double fwd = 0, bwd = 0;
+  for (const auto& op : spec.graph->ops()) {
+    const bool is_matrix = op->type() == ir::OpType::kMatMul ||
+                           op->type() == ir::OpType::kConv2D ||
+                           op->type() == ir::OpType::kConv2DGradInput ||
+                           op->type() == ir::OpType::kConv2DGradFilter;
+    if (!is_matrix) continue;
+    // Gradient matmuls are named "<fwd>:dA" / "<fwd>:dB" by build_backward.
+    const bool is_grad = op->name().find(":dA") != std::string::npos ||
+                         op->name().find(":dB") != std::string::npos ||
+                         op->type() == ir::OpType::kConv2DGradInput ||
+                         op->type() == ir::OpType::kConv2DGradFilter;
+    (is_grad ? bwd : fwd) += op->flops().eval(bind);
+  }
+  EXPECT_NEAR(bwd / fwd, 2.0, 0.35) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DomainProperty, ::testing::Range(0, 6));
+
+// --- hardware-model properties over parameter sweeps -----------------------
+
+class RooflineProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RooflineProperty, ContinuousAndMonotone) {
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  const double bytes = GetParam();
+  // Crossing the ridge point from below: time continuous, utilization
+  // increases up to the 80% cap and stays there.
+  double prev_time = 0, prev_util = 0;
+  for (double intensity = 1; intensity <= 256; intensity *= 2) {
+    const auto t = hw::roofline_step_time(accel, intensity * bytes, bytes);
+    EXPECT_GE(t.seconds(), prev_time * (1 - 1e-12));
+    EXPECT_GE(t.flop_utilization, prev_util - 1e-12);
+    prev_time = t.seconds();
+    prev_util = t.flop_utilization;
+  }
+  EXPECT_NEAR(prev_util, 0.80, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, RooflineProperty,
+                         ::testing::Values(1e9, 1e12, 5e13));
+
+class SubbatchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubbatchProperty, InvariantsHoldAcrossDomainsAndSizes) {
+  const auto domain = static_cast<models::Domain>(GetParam());
+  const auto model = analysis::paper_first_order(domain);
+  const auto accel = hw::AcceleratorConfig::v100_like();
+  for (double params : {5e8, 5e9, 5e10}) {
+    const auto choice = hw::choose_subbatch(model, params, accel);
+    // Ordering: ridge <= best <= saturation (for RNN-like mu/lambda).
+    EXPECT_LE(choice.ridge, choice.best * (1 + 1e-9));
+    EXPECT_LE(choice.best, choice.saturation * (1 + 1e-9));
+    // Larger models shift the ridge-match subbatch down or equal (they
+    // stream more weight bytes per sample).
+    const auto pt = hw::evaluate_subbatch(model, params, choice.best, accel);
+    EXPECT_GT(pt.op_intensity, accel.achievable_ridge_point() * 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, SubbatchProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,252 @@
+// Numeric kernel unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/runtime/kernels.h"
+
+namespace gf::rt {
+namespace {
+
+conc::ThreadPool& pool() {
+  static conc::ThreadPool p(4);
+  return p;
+}
+
+DenseTensor filled(std::vector<std::int64_t> shape, std::vector<float> data) {
+  DenseTensor t(std::move(shape), ir::DataType::kFloat32);
+  for (std::size_t i = 0; i < data.size(); ++i) t.f(static_cast<std::int64_t>(i)) = data[i];
+  return t;
+}
+
+DenseTensor ints(std::vector<std::int64_t> shape, std::vector<std::int32_t> data) {
+  DenseTensor t(std::move(shape), ir::DataType::kInt32);
+  for (std::size_t i = 0; i < data.size(); ++i) t.i32(static_cast<std::int64_t>(i)) = data[i];
+  return t;
+}
+
+TEST(MatmulKernel, Small2x2) {
+  const DenseTensor a = filled({2, 2}, {1, 2, 3, 4});
+  const DenseTensor b = filled({2, 2}, {5, 6, 7, 8});
+  DenseTensor out({2, 2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  matmul(a, b, out, false, false, pool(), stats);
+  EXPECT_FLOAT_EQ(out.f(0), 19);
+  EXPECT_FLOAT_EQ(out.f(1), 22);
+  EXPECT_FLOAT_EQ(out.f(2), 43);
+  EXPECT_FLOAT_EQ(out.f(3), 50);
+  EXPECT_DOUBLE_EQ(stats.flops, 16.0);
+}
+
+TEST(MatmulKernel, TransposeFlagsAgree) {
+  // (A^T B^T) computed with flags equals computing from materialized
+  // transposes.
+  const DenseTensor a = filled({3, 2}, {1, 2, 3, 4, 5, 6});     // A^T is 2x3
+  const DenseTensor b = filled({4, 3}, {1, 0, 2, 0, 1, 0, 3, 1, 0, 2, 0, 1});  // B^T 3x4
+  DenseTensor out({2, 4}, ir::DataType::kFloat32);
+  KernelStats stats;
+  matmul(a, b, out, true, true, pool(), stats);
+
+  const DenseTensor at = filled({2, 3}, {1, 3, 5, 2, 4, 6});
+  const DenseTensor bt = filled({3, 4}, {1, 0, 3, 2, 0, 1, 1, 0, 2, 0, 0, 1});
+  DenseTensor expected({2, 4}, ir::DataType::kFloat32);
+  matmul(at, bt, expected, false, false, pool(), stats);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(out.f(i), expected.f(i)) << i;
+}
+
+TEST(MatmulKernel, BatchedBroadcastsSharedWeights) {
+  const DenseTensor a = filled({2, 1, 2}, {1, 2, 3, 4});  // two (1x2) rows
+  const DenseTensor w = filled({2, 2}, {1, 0, 0, 1});     // identity
+  DenseTensor out({2, 1, 2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  matmul(a, w, out, false, false, pool(), stats);
+  EXPECT_FLOAT_EQ(out.f(0), 1);
+  EXPECT_FLOAT_EQ(out.f(1), 2);
+  EXPECT_FLOAT_EQ(out.f(2), 3);
+  EXPECT_FLOAT_EQ(out.f(3), 4);
+}
+
+TEST(Conv2dKernel, IdentityKernelCopiesCenter) {
+  // 3x3 kernel with 1 at center == identity under same padding.
+  DenseTensor in({1, 3, 3, 1}, ir::DataType::kFloat32);
+  for (int i = 0; i < 9; ++i) in.f(i) = static_cast<float>(i + 1);
+  DenseTensor f({3, 3, 1, 1}, ir::DataType::kFloat32);
+  f.f(4) = 1.0f;  // center tap
+  DenseTensor out({1, 3, 3, 1}, ir::DataType::kFloat32);
+  KernelStats stats;
+  conv2d(in, f, out, 1, stats);
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out.f(i), in.f(i)) << i;
+}
+
+TEST(Conv2dKernel, StrideSubsamples) {
+  DenseTensor in({1, 4, 4, 1}, ir::DataType::kFloat32);
+  for (int i = 0; i < 16; ++i) in.f(i) = static_cast<float>(i);
+  DenseTensor f({1, 1, 1, 1}, ir::DataType::kFloat32);
+  f.f(0) = 2.0f;
+  DenseTensor out({1, 2, 2, 1}, ir::DataType::kFloat32);
+  KernelStats stats;
+  conv2d(in, f, out, 2, stats);
+  EXPECT_FLOAT_EQ(out.f(0), 0);
+  EXPECT_FLOAT_EQ(out.f(1), 4);
+  EXPECT_FLOAT_EQ(out.f(2), 16);
+  EXPECT_FLOAT_EQ(out.f(3), 20);
+}
+
+TEST(SoftmaxKernel, RowsSumToOne) {
+  const DenseTensor logits = filled({2, 3}, {1, 2, 3, -1, 0, 1});
+  DenseTensor out({2, 3}, ir::DataType::kFloat32);
+  KernelStats stats;
+  softmax(logits, out, stats);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) {
+      sum += out.f(r * 3 + c);
+      EXPECT_GT(out.f(r * 3 + c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  // Shift invariance: both rows are shifted copies -> equal distributions.
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(out.f(c), out.f(3 + c), 1e-6f);
+}
+
+TEST(SoftmaxXentKernel, LossIsNegLogProb) {
+  const DenseTensor logits = filled({1, 2}, {0, 0});
+  const DenseTensor labels = ints({1}, {1});
+  DenseTensor loss({1}, ir::DataType::kFloat32);
+  DenseTensor probs({1, 2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  softmax_xent(logits, labels, loss, probs, stats);
+  EXPECT_NEAR(loss.f(0), std::log(2.0f), 1e-6f);
+}
+
+TEST(PoolKernel, MaxAndAvg) {
+  DenseTensor in({1, 2, 2, 1}, ir::DataType::kFloat32);
+  in.f(0) = 1;
+  in.f(1) = 5;
+  in.f(2) = 3;
+  in.f(3) = 2;
+  DenseTensor out({1, 1, 1, 1}, ir::DataType::kFloat32);
+  KernelStats stats;
+  pool(ir::PoolKind::kMax, in, out, 2, 2, stats);
+  EXPECT_FLOAT_EQ(out.f(0), 5);
+  pool(ir::PoolKind::kAvg, in, out, 2, 2, stats);
+  EXPECT_FLOAT_EQ(out.f(0), 2.75f);
+}
+
+TEST(PoolGradKernel, MaxRoutesToArgmax) {
+  DenseTensor in({1, 2, 2, 1}, ir::DataType::kFloat32);
+  in.f(0) = 1;
+  in.f(1) = 5;
+  in.f(2) = 3;
+  in.f(3) = 2;
+  DenseTensor out({1, 1, 1, 1}, ir::DataType::kFloat32);
+  KernelStats stats;
+  pool(ir::PoolKind::kMax, in, out, 2, 2, stats);
+  DenseTensor dy({1, 1, 1, 1}, ir::DataType::kFloat32);
+  dy.f(0) = 7;
+  DenseTensor dx({1, 2, 2, 1}, ir::DataType::kFloat32);
+  pool_grad(ir::PoolKind::kMax, in, out, dy, dx, 2, 2, stats);
+  EXPECT_FLOAT_EQ(dx.f(0), 0);
+  EXPECT_FLOAT_EQ(dx.f(1), 7);
+  EXPECT_FLOAT_EQ(dx.f(2), 0);
+  EXPECT_FLOAT_EQ(dx.f(3), 0);
+}
+
+TEST(BatchNormKernel, NormalizesToZeroMeanUnitVar) {
+  DenseTensor in({4, 1}, ir::DataType::kFloat32);
+  in.f(0) = 2;
+  in.f(1) = 4;
+  in.f(2) = 6;
+  in.f(3) = 8;
+  DenseTensor scale = filled({1}, {1});
+  DenseTensor shift = filled({1}, {0});
+  DenseTensor out({4, 1}, ir::DataType::kFloat32);
+  KernelStats stats;
+  batch_norm(in, scale, shift, out, stats);
+  float mean = 0, var = 0;
+  for (int i = 0; i < 4; ++i) mean += out.f(i) / 4;
+  for (int i = 0; i < 4; ++i) var += out.f(i) * out.f(i) / 4;
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(var, 1.0f, 1e-3f);
+}
+
+TEST(EmbeddingKernels, LookupAndScatterRoundTrip) {
+  const DenseTensor table = filled({3, 2}, {10, 11, 20, 21, 30, 31});
+  const DenseTensor ids = ints({2}, {2, 0});
+  DenseTensor out({2, 2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  embedding_lookup(table, ids, out, stats);
+  EXPECT_FLOAT_EQ(out.f(0), 30);
+  EXPECT_FLOAT_EQ(out.f(3), 11);
+
+  const DenseTensor dy = filled({2, 2}, {1, 2, 3, 4});
+  DenseTensor dtable({3, 2}, ir::DataType::kFloat32);
+  embedding_grad(ids, dy, dtable, stats);
+  EXPECT_FLOAT_EQ(dtable.f(0), 3);  // row 0 from second lookup
+  EXPECT_FLOAT_EQ(dtable.f(1), 4);
+  EXPECT_FLOAT_EQ(dtable.f(2), 0);  // row 1 untouched
+  EXPECT_FLOAT_EQ(dtable.f(4), 1);  // row 2 from first lookup
+}
+
+TEST(ConcatSplitKernels, RoundTrip) {
+  const DenseTensor a = filled({2, 2}, {1, 2, 5, 6});
+  const DenseTensor b = filled({2, 2}, {3, 4, 7, 8});
+  DenseTensor cat({2, 4}, ir::DataType::kFloat32);
+  KernelStats stats;
+  concat({&a, &b}, 1, cat, stats);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cat.f(i), static_cast<float>(i + 1));
+
+  DenseTensor p0({2, 2}, ir::DataType::kFloat32), p1({2, 2}, ir::DataType::kFloat32);
+  split(cat, 1, {&p0, &p1}, stats);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(p0.f(i), a.f(i));
+    EXPECT_FLOAT_EQ(p1.f(i), b.f(i));
+  }
+}
+
+TEST(SliceKernel, ExtractsOffsetRegion) {
+  const DenseTensor in = filled({1, 4}, {1, 2, 3, 4});
+  DenseTensor out({1, 2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  slice(in, 1, 1, out, stats);
+  EXPECT_FLOAT_EQ(out.f(0), 2);
+  EXPECT_FLOAT_EQ(out.f(1), 3);
+}
+
+TEST(ReduceBroadcastKernels, SumMeanAndBack) {
+  const DenseTensor in = filled({2, 2}, {1, 2, 3, 4});
+  DenseTensor sum({2}, ir::DataType::kFloat32);
+  KernelStats stats;
+  reduce(ir::ReduceKind::kSum, in, sum, stats);
+  EXPECT_FLOAT_EQ(sum.f(0), 4);  // column sums (leading axes reduced)
+  EXPECT_FLOAT_EQ(sum.f(1), 6);
+
+  DenseTensor back({2, 2}, ir::DataType::kFloat32);
+  broadcast(sum, back, stats);
+  EXPECT_FLOAT_EQ(back.f(0), 4);
+  EXPECT_FLOAT_EQ(back.f(2), 4);
+  EXPECT_FLOAT_EQ(back.f(3), 6);
+}
+
+TEST(ApplyGradientKernel, SgdStep) {
+  DenseTensor w = filled({2}, {1.0f, 2.0f});
+  const DenseTensor g = filled({2}, {10.0f, -10.0f});
+  KernelStats stats;
+  apply_gradient(ir::Optimizer::kSGD, w, g, {}, 0.1, stats);
+  EXPECT_FLOAT_EQ(w.f(0), 0.0f);
+  EXPECT_FLOAT_EQ(w.f(1), 3.0f);
+}
+
+TEST(ApplyGradientKernel, MomentumAccumulates) {
+  DenseTensor w = filled({1}, {0.0f});
+  const DenseTensor g = filled({1}, {1.0f});
+  DenseTensor v = DenseTensor::zeros({1});
+  KernelStats stats;
+  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, stats);
+  EXPECT_FLOAT_EQ(w.f(0), -1.0f);
+  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, stats);
+  EXPECT_FLOAT_EQ(w.f(0), -2.9f);  // v = 1.9 on the second step
+}
+
+}  // namespace
+}  // namespace gf::rt

@@ -1,0 +1,143 @@
+// Scaling-law tests: power-law mechanics (Figure 6 regions), Table 1
+// constants, and frontier projections versus the paper's published scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/scaling/projection.h"
+
+namespace gf::scaling {
+namespace {
+
+TEST(LearningCurve, ErrorAndInverseRoundTrip) {
+  LearningCurve c{.alpha = 13.0, .beta_g = -0.066};
+  for (double m : {1e6, 1e8, 1e10}) {
+    const double err = c.error_at(m);
+    EXPECT_NEAR(c.samples_for_error(err), m, 1e-6 * m);
+  }
+}
+
+TEST(LearningCurve, ErrorDecreasesMonotonically) {
+  LearningCurve c{.alpha = 9.39, .beta_g = -0.092};
+  double prev = c.error_at(1e3);
+  for (double m = 1e4; m < 1e13; m *= 10) {
+    const double e = c.error_at(m);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(LearningCurve, BestGuessPlateauClips) {
+  LearningCurve c{.alpha = 10.0, .beta_g = -0.5, .best_guess_error = 2.0};
+  EXPECT_DOUBLE_EQ(c.error_at(1.0), 2.0);  // 10*1^-0.5 = 10 clipped to 2
+  EXPECT_LT(c.error_at(1e6), 2.0);
+  EXPECT_EQ(c.region_at(1.0), LearningCurve::Region::kSmallData);
+}
+
+TEST(LearningCurve, IrreducibleFloor) {
+  LearningCurve c{.alpha = 10.0, .beta_g = -0.5, .irreducible_error = 0.5};
+  EXPECT_GT(c.error_at(1e12), 0.5);
+  EXPECT_NEAR(c.error_at(1e18), 0.5, 1e-4);
+  EXPECT_EQ(c.region_at(1e18), LearningCurve::Region::kIrreducible);
+  EXPECT_EQ(c.region_at(1e2), LearningCurve::Region::kPowerLaw);
+  EXPECT_THROW(c.samples_for_error(0.4), std::domain_error);
+}
+
+TEST(LearningCurve, ValidatesExponentRange) {
+  LearningCurve bad{.alpha = 1.0, .beta_g = 0.1};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  LearningCurve bad2{.alpha = -1.0, .beta_g = -0.1};
+  EXPECT_THROW(bad2.validate(), std::invalid_argument);
+}
+
+TEST(ModelSizeCurve, SublinearGrowth) {
+  ModelSizeCurve c{.sigma = 9.4e-4, .beta_p = 0.68};
+  // Growing data 100x grows the model 100^0.68 ~ 23x (Table 1 word LMs).
+  EXPECT_NEAR(c.scale_for_data_scale(100.0), 23.0, 0.5);
+  EXPECT_LT(c.scale_for_data_scale(1000.0), 1000.0);
+  ModelSizeCurve bad{.sigma = 1.0, .beta_p = 1.2};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(DomainTable, HasFiveValidatedDomains) {
+  const auto& table = domain_table();
+  ASSERT_EQ(table.size(), 5u);
+  for (const auto& d : table) {
+    EXPECT_GT(d.current_samples, 0) << d.metric;
+    EXPECT_LT(d.desired_sota_error, d.current_sota_error) << d.metric;
+    EXPECT_NO_THROW(d.curve.validate());
+    EXPECT_NO_THROW(d.size_curve.validate());
+  }
+  EXPECT_THROW(domain_scaling(static_cast<models::Domain>(99)), std::invalid_argument);
+}
+
+TEST(DomainTable, FittedCurrentErrorNearReportedSota) {
+  // alpha * m^beta_g should land near the reported current SOTA (the
+  // published constants are rounded, so allow ~10%).
+  for (const auto& d : domain_table()) {
+    const double fitted = fitted_current_error(d);
+    const double reported = d.curve_error(d.current_sota_error);
+    EXPECT_NEAR(fitted, reported, 0.10 * reported) << models::domain_name(d.domain);
+  }
+}
+
+TEST(Projection, WordLmMatchesPaperScales) {
+  const auto p = project_frontier(domain_scaling(models::Domain::kWordLM));
+  EXPECT_NEAR(p.data_scale, 100.0, 10.0);     // paper: 100x
+  EXPECT_NEAR(p.model_scale, 23.0, 2.0);      // paper: 23x
+  EXPECT_NEAR(p.target_params, 23.8e9, 3e9);  // paper: 23.8B
+}
+
+TEST(Projection, NmtMatchesPaperScales) {
+  const auto p = project_frontier(domain_scaling(models::Domain::kNMT));
+  EXPECT_NEAR(p.data_scale, 750.0, 40.0);
+  EXPECT_NEAR(p.model_scale, 90.0, 5.0);
+  EXPECT_NEAR(p.target_params, 18.9e9, 2e9);
+}
+
+TEST(Projection, ImageMatchesPaperScales) {
+  const auto p = project_frontier(domain_scaling(models::Domain::kImage));
+  EXPECT_NEAR(p.data_scale, 81.0, 5.0);
+  EXPECT_NEAR(p.model_scale, 12.0, 1.0);
+  EXPECT_NEAR(p.target_params, 732e6, 80e6);
+}
+
+TEST(Projection, CharLmReproducesDirectionally) {
+  // The paper's published alpha/beta_g/sigma for char LMs are internally
+  // inconsistent with its own Table 3 (see EXPERIMENTS.md); the projection
+  // from the printed constants lands at ~836x data (paper prints 971x).
+  const auto p = project_frontier(domain_scaling(models::Domain::kCharLM));
+  EXPECT_GT(p.data_scale, 500.0);
+  EXPECT_LT(p.data_scale, 1200.0);
+  EXPECT_GT(p.model_scale, 300.0);
+}
+
+TEST(Projection, SpeechReproducesDirectionally) {
+  // Same caveat: printed beta_g = -0.291 yields ~20x (paper prints 33x).
+  const auto p = project_frontier(domain_scaling(models::Domain::kSpeech));
+  EXPECT_GT(p.data_scale, 10.0);
+  EXPECT_LT(p.data_scale, 40.0);
+  EXPECT_LT(p.model_scale, 10.0);  // smallest model growth of all domains
+}
+
+TEST(Projection, OrderingMatchesPaper) {
+  // Language domains need the most data/model growth; speech the least
+  // model growth — the paper's headline segmentation.
+  const auto word = project_frontier(domain_scaling(models::Domain::kWordLM));
+  const auto chr = project_frontier(domain_scaling(models::Domain::kCharLM));
+  const auto nmt = project_frontier(domain_scaling(models::Domain::kNMT));
+  const auto speech = project_frontier(domain_scaling(models::Domain::kSpeech));
+  const auto image = project_frontier(domain_scaling(models::Domain::kImage));
+  EXPECT_GT(chr.model_scale, nmt.model_scale);
+  EXPECT_GT(nmt.model_scale, word.model_scale);
+  EXPECT_GT(word.model_scale, image.model_scale);
+  EXPECT_GT(image.model_scale, speech.model_scale);
+  // Target params: language models in the tens/hundreds of billions,
+  // speech/image sub-billion.
+  EXPECT_GT(word.target_params, 1e10);
+  EXPECT_LT(speech.target_params, 1e9);
+  EXPECT_LT(image.target_params, 1e9);
+}
+
+}  // namespace
+}  // namespace gf::scaling

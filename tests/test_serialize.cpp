@@ -1,0 +1,159 @@
+// Serialization tests: s-expression codec round trips, graph save/load
+// preserves every analytic quantity for all model families, DOT export.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/ir/footprint.h"
+#include "src/ir/serialize.h"
+#include "src/models/models.h"
+#include "src/symbolic/sexpr.h"
+
+namespace gf {
+namespace {
+
+using sym::Expr;
+
+TEST(Sexpr, RoundTripsBasicForms) {
+  const Expr h = Expr::symbol("hidden");
+  const Expr b = Expr::symbol("batch");
+  for (const Expr& e :
+       {Expr(42.0), Expr(-1.5), h, b * h, Expr(16) * h * h + Expr(2) * h,
+        sym::sqrt(h), sym::pow(h, sym::Rational(3, 2)), sym::max(h, b * Expr(4)),
+        sym::log(h), h / b, Expr(0.25) * h}) {
+    const Expr back = sym::parse_sexpr(sym::to_sexpr(e));
+    EXPECT_TRUE(back.equals(e)) << sym::to_sexpr(e) << " vs " << sym::to_sexpr(back);
+  }
+}
+
+TEST(Sexpr, RoundTripsRandomExpressions) {
+  std::mt19937 rng(7);
+  const Expr syms[3] = {Expr::symbol("a"), Expr::symbol("b"), Expr::symbol("c")};
+  auto gen = [&](auto&& self, int depth) -> Expr {
+    if (depth == 0 || rng() % 4 == 0)
+      return rng() % 2 ? syms[rng() % 3] : Expr(static_cast<double>(rng() % 9) - 4);
+    switch (rng() % 4) {
+      case 0: return self(self, depth - 1) + self(self, depth - 1);
+      case 1: return self(self, depth - 1) * self(self, depth - 1);
+      case 2: return sym::max(self(self, depth - 1), self(self, depth - 1));
+      default: return sym::pow(self(self, depth - 1), sym::Rational(1, 2));
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Expr e = gen(gen, 4);
+    EXPECT_TRUE(sym::parse_sexpr(sym::to_sexpr(e)).equals(e));
+  }
+}
+
+TEST(Sexpr, ExactDoubleRoundTrip) {
+  const double v = 0.1 + 0.2;  // not exactly representable in decimal
+  const Expr back = sym::parse_sexpr(sym::to_sexpr(Expr(v)));
+  EXPECT_EQ(back.constant_value(), v);  // bitwise equal via %.17g
+}
+
+TEST(Sexpr, RejectsMalformedInput) {
+  EXPECT_THROW(sym::parse_sexpr(""), std::invalid_argument);
+  EXPECT_THROW(sym::parse_sexpr("(+ 1"), std::invalid_argument);
+  EXPECT_THROW(sym::parse_sexpr("(bogus 1 2)"), std::invalid_argument);
+  EXPECT_THROW(sym::parse_sexpr("(log 1 2)"), std::invalid_argument);
+  EXPECT_THROW(sym::parse_sexpr("1 2"), std::invalid_argument);
+  EXPECT_THROW(sym::parse_sexpr("(^ x 1)"), std::invalid_argument);  // needs den
+  EXPECT_THROW(sym::parse_sexpr("na-me"), std::invalid_argument);
+}
+
+class GraphRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  models::ModelSpec build() {
+    switch (GetParam()) {
+      case 0:
+        return models::build_word_lm({.vocab = 60, .layers = 2, .seq_length = 5});
+      case 1:
+        return models::build_char_lm({.vocab = 20, .depth = 3, .seq_length = 4});
+      case 2:
+        return models::build_nmt({.vocab_src = 40,
+                                  .vocab_tgt = 40,
+                                  .src_length = 4,
+                                  .tgt_length = 3,
+                                  .decoder_layers = 1});
+      case 3: {
+        models::SpeechConfig cfg;
+        cfg.audio_frames = 8;
+        cfg.feature_dim = 5;
+        cfg.encoder_layers = 2;
+        cfg.decoder_length = 3;
+        cfg.vocab = 15;
+        return models::build_speech(cfg);
+      }
+      case 4:
+        return models::build_resnet({.depth = 18, .image_size = 32, .classes = 10});
+      default:
+        return models::build_transformer_lm(
+            {.vocab = 40, .layers = 2, .seq_length = 5});
+    }
+  }
+};
+
+TEST_P(GraphRoundTrip, PreservesAllAnalyticQuantities) {
+  const auto spec = build();
+  const std::string text = ir::serialize(*spec.graph);
+  const auto loaded = ir::deserialize(text);
+
+  EXPECT_EQ(loaded->num_ops(), spec.graph->num_ops());
+  EXPECT_EQ(loaded->name(), spec.graph->name());
+  EXPECT_TRUE(loaded->parameter_count().equals(spec.graph->parameter_count()));
+  EXPECT_TRUE(loaded->total_flops().equals(spec.graph->total_flops()));
+  EXPECT_TRUE(loaded->total_bytes_accessed().equals(spec.graph->total_bytes_accessed()));
+
+  const auto bind = spec.bind(8, 2);
+  const auto fp_a = ir::minimal_footprint(*spec.graph, bind);
+  const auto fp_b = ir::minimal_footprint(*loaded, bind);
+  EXPECT_DOUBLE_EQ(fp_a.total_bytes, fp_b.total_bytes);
+  EXPECT_DOUBLE_EQ(fp_a.persistent_bytes, fp_b.persistent_bytes);
+
+  // Second-generation round trip is byte-identical (canonical form).
+  EXPECT_EQ(ir::serialize(*loaded), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GraphRoundTrip, ::testing::Range(0, 6));
+
+TEST(GraphSerialize, MomentumSlotsSurviveRoundTrip) {
+  models::WordLmConfig cfg{.vocab = 50, .layers = 1, .seq_length = 3};
+  cfg.training.optimizer = ir::Optimizer::kMomentum;
+  const auto spec = models::build_word_lm(cfg);
+  const auto loaded = ir::deserialize(ir::serialize(*spec.graph));
+  const auto bind = spec.bind(8, 2);
+  EXPECT_DOUBLE_EQ(ir::minimal_footprint(*loaded, bind).persistent_bytes,
+                   ir::minimal_footprint(*spec.graph, bind).persistent_bytes);
+}
+
+TEST(GraphSerialize, HalfPrecisionDtypeSurvives) {
+  models::CharLmConfig cfg{.vocab = 20, .depth = 2, .seq_length = 3};
+  cfg.training.half_precision = true;
+  const auto spec = models::build_char_lm(cfg);
+  const auto loaded = ir::deserialize(ir::serialize(*spec.graph));
+  EXPECT_TRUE(
+      loaded->total_bytes_accessed().equals(spec.graph->total_bytes_accessed()));
+}
+
+TEST(GraphSerialize, RejectsCorruptedInput) {
+  EXPECT_THROW(ir::deserialize(std::string("nonsense")), std::invalid_argument);
+  EXPECT_THROW(ir::deserialize(std::string("graph g\nop MatMul m\nin 0 1\nout 2\n")),
+               std::invalid_argument);
+  const auto spec = models::build_word_lm({.vocab = 20, .layers = 1, .seq_length = 2});
+  std::string text = ir::serialize(*spec.graph);
+  text.replace(text.find("MatMul"), 6, "MadMul");
+  EXPECT_THROW(ir::deserialize(text), std::invalid_argument);
+}
+
+TEST(GraphSerialize, DotExportContainsOpsAndTruncates) {
+  const auto spec = models::build_word_lm({.vocab = 20, .layers = 1, .seq_length = 2});
+  const std::string dot = ir::to_dot(*spec.graph, 10);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("MatMul"), std::string::npos);
+  EXPECT_NE(dot.find("more ops"), std::string::npos);  // truncation marker
+  const std::string full = ir::to_dot(*spec.graph, 100000);
+  EXPECT_EQ(full.find("more ops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gf

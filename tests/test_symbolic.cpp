@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+namespace {
+
+const Expr x = Expr::symbol("x");
+const Expr y = Expr::symbol("y");
+const Expr z = Expr::symbol("z");
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(4, -6);
+  EXPECT_EQ(r.num, -2);
+  EXPECT_EQ(r.den, 3);
+  EXPECT_EQ((Rational(1, 2) + Rational(1, 2)), Rational(1));
+  EXPECT_EQ((Rational(1, 2) * Rational(2, 3)), Rational(1, 3));
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Expr, ConstantsFold) {
+  EXPECT_TRUE((Expr(2) + Expr(3)).is_constant());
+  EXPECT_DOUBLE_EQ((Expr(2) + Expr(3)).constant_value(), 5.0);
+  EXPECT_DOUBLE_EQ((Expr(2) * Expr(3) - Expr(10)).constant_value(), -4.0);
+  EXPECT_DOUBLE_EQ(pow(Expr(9), Rational(1, 2)).constant_value(), 3.0);
+  EXPECT_DOUBLE_EQ(log(Expr(std::exp(1.0))).constant_value(), 1.0);
+}
+
+TEST(Expr, LikeTermsCollect) {
+  const Expr e = x + x + Expr(2) * x;
+  EXPECT_TRUE(e.equals(Expr(4) * x));
+}
+
+TEST(Expr, CancellationYieldsZero) {
+  const Expr e = x * y - y * x;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_DOUBLE_EQ(e.constant_value(), 0.0);
+}
+
+TEST(Expr, MulIsCommutativeCanonically) {
+  EXPECT_TRUE((x * y).equals(y * x));
+  EXPECT_TRUE((x * y * z).equals(z * y * x));
+}
+
+TEST(Expr, AddIsCommutativeCanonically) {
+  EXPECT_TRUE((x + y + z).equals(z + x + y));
+}
+
+TEST(Expr, PowersMerge) {
+  EXPECT_TRUE((x * x).equals(pow(x, Rational(2))));
+  EXPECT_TRUE((sqrt(x) * sqrt(x)).equals(x));
+  EXPECT_TRUE((x / x).is_constant());
+  EXPECT_DOUBLE_EQ((x / x).constant_value(), 1.0);
+}
+
+TEST(Expr, PowOfPowCombines) {
+  EXPECT_TRUE(pow(pow(x, Rational(2)), Rational(3)).equals(pow(x, Rational(6))));
+  EXPECT_TRUE(sqrt(pow(x, Rational(2))).equals(x));
+}
+
+TEST(Expr, PowDistributesOverProducts) {
+  // sqrt(4*x) == 2*sqrt(x) for the positive dimensions we model.
+  EXPECT_TRUE(sqrt(Expr(4) * x).equals(Expr(2) * sqrt(x)));
+}
+
+TEST(Expr, EvalBindsSymbols) {
+  const Expr e = Expr(3) * x * x + Expr(2) * y;
+  EXPECT_DOUBLE_EQ(e.eval({{"x", 2.0}, {"y", 5.0}}), 22.0);
+}
+
+TEST(Expr, EvalThrowsOnUnboundSymbol) {
+  EXPECT_THROW((x + y).eval({{"x", 1.0}}), std::runtime_error);
+}
+
+TEST(Expr, PartialSubstitution) {
+  const Expr e = x * y + y;
+  const Expr s = e.subs(Bindings{{"x", 3.0}});
+  EXPECT_TRUE(s.equals(Expr(4) * y));
+  EXPECT_EQ(s.free_symbols(), std::set<std::string>{"y"});
+}
+
+TEST(Expr, SymbolForSymbolSubstitution) {
+  const Expr e = x * x + x;
+  const Expr s = e.subs(std::map<std::string, Expr, std::less<>>{{"x", y + Expr(1)}});
+  // (y+1)^2 + (y+1) evaluated at y=2 should be 12.
+  EXPECT_DOUBLE_EQ(s.eval({{"y", 2.0}}), 12.0);
+}
+
+TEST(Expr, MaxSemantics) {
+  const Expr m = max(x, y);
+  EXPECT_DOUBLE_EQ(m.eval({{"x", 3.0}, {"y", 7.0}}), 7.0);
+  EXPECT_TRUE(max(x, x).equals(x));
+  EXPECT_DOUBLE_EQ(max(Expr(3), Expr(9)).constant_value(), 9.0);
+  // Nested maxes flatten.
+  EXPECT_TRUE(max(max(x, y), z).equals(max(x, max(y, z))));
+}
+
+TEST(Expr, FreeSymbols) {
+  const Expr e = x * y + sqrt(z);
+  EXPECT_EQ(e.free_symbols(), (std::set<std::string>{"x", "y", "z"}));
+  EXPECT_TRUE(Expr(5).free_symbols().empty());
+}
+
+TEST(Expr, DivisionRendersAsQuotient) {
+  const Expr e = x / y;
+  EXPECT_EQ(e.str(), "x/y");
+}
+
+TEST(Expr, SqrtRendering) {
+  EXPECT_EQ(sqrt(x).str(), "sqrt(x)");
+  EXPECT_EQ(pow(x, Rational(2)).str(), "x^2");
+}
+
+TEST(Expr, StrIsDeterministic) {
+  const Expr a = x * y + Expr(2) * z;
+  const Expr b = Expr(2) * z + y * x;
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Expr, SubtractionRendering) {
+  const Expr e = x - y;
+  EXPECT_EQ(e.str(), "x - y");
+}
+
+TEST(Expr, NegativeExponentEval) {
+  const Expr e = Expr(6) / x;
+  EXPECT_DOUBLE_EQ(e.eval({{"x", 3.0}}), 2.0);
+}
+
+TEST(Expr, PaperStyleOperationalIntensityForm) {
+  // The Table 2 operational intensity form: b*sqrt(p)/(3.65*sqrt(p) + 64*b).
+  const Expr b = Expr::symbol("b");
+  const Expr p = Expr::symbol("p");
+  const Expr oi = b * sqrt(p) / (Expr(3.65) * sqrt(p) + Expr(64) * b);
+  const double v = oi.eval({{"b", 128.0}, {"p", 23.8e9}});
+  // For b fixed and p -> inf, intensity approaches b/3.65 = 35.07.
+  EXPECT_NEAR(v, 128.0 * std::sqrt(23.8e9) / (3.65 * std::sqrt(23.8e9) + 64 * 128.0),
+              1e-9);
+  const double limit = oi.eval({{"b", 128.0}, {"p", 1e30}});
+  EXPECT_NEAR(limit, 128.0 / 3.65, 1e-3);
+}
+
+TEST(Expr, SymbolNameValidation) {
+  EXPECT_THROW(Expr::symbol(""), std::invalid_argument);
+}
+
+TEST(Expr, AccessorsThrowOnWrongKind) {
+  EXPECT_THROW(x.constant_value(), std::logic_error);
+  EXPECT_THROW(Expr(3).symbol_name(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gf::sym

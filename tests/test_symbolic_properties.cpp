@@ -1,0 +1,143 @@
+// Property-based coverage of the symbolic engine: random expressions are
+// generated from a seeded PRNG and algebraic invariants are checked over
+// parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+namespace {
+
+/// Deterministic random expression generator over symbols {a, b, c}.
+class ExprGen {
+ public:
+  explicit ExprGen(unsigned seed) : rng_(seed) {}
+
+  Expr gen(int depth) {
+    if (depth <= 0) return leaf();
+    switch (rng_() % 6) {
+      case 0:
+        return leaf();
+      case 1:
+        return gen(depth - 1) + gen(depth - 1);
+      case 2:
+        return gen(depth - 1) * gen(depth - 1);
+      case 3:
+        return gen(depth - 1) - gen(depth - 1);
+      case 4:
+        return pow(gen(depth - 1), Rational(static_cast<int>(rng_() % 3)));
+      default:
+        return max(gen(depth - 1), gen(depth - 1));
+    }
+  }
+
+  Bindings random_bindings() {
+    std::uniform_real_distribution<double> dist(0.5, 4.0);
+    return {{"a", dist(rng_)}, {"b", dist(rng_)}, {"c", dist(rng_)}};
+  }
+
+ private:
+  Expr leaf() {
+    switch (rng_() % 4) {
+      case 0:
+        return Expr::symbol("a");
+      case 1:
+        return Expr::symbol("b");
+      case 2:
+        return Expr::symbol("c");
+      default:
+        return Expr(static_cast<double>(rng_() % 7) - 3.0);
+    }
+  }
+  std::mt19937 rng_;
+};
+
+/// Relative-tolerance comparison robust to large magnitudes.
+void expect_close(double actual, double expected) {
+  const double tol = 1e-9 * std::max({1.0, std::fabs(actual), std::fabs(expected)});
+  EXPECT_NEAR(actual, expected, tol);
+}
+
+class SymbolicProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SymbolicProperty, SubstitutionAgreesWithEvaluation) {
+  ExprGen gen(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Expr e = gen.gen(4);
+    const Bindings bind = gen.random_bindings();
+    const Expr substituted = e.subs(bind);
+    ASSERT_TRUE(substituted.free_symbols().empty()) << substituted.str();
+    expect_close(substituted.eval({}), e.eval(bind));
+  }
+}
+
+TEST_P(SymbolicProperty, PartialSubstitutionPreservesValue) {
+  ExprGen gen(GetParam() + 1000);
+  for (int i = 0; i < 20; ++i) {
+    const Expr e = gen.gen(4);
+    Bindings bind = gen.random_bindings();
+    // Bind only "a"; evaluate the rest later.
+    const Expr partial = e.subs(Bindings{{"a", bind.at("a")}});
+    expect_close(partial.eval(bind), e.eval(bind));
+  }
+}
+
+TEST_P(SymbolicProperty, AdditionCommutesUnderCanonicalization) {
+  ExprGen gen(GetParam() + 2000);
+  for (int i = 0; i < 20; ++i) {
+    const Expr e1 = gen.gen(3);
+    const Expr e2 = gen.gen(3);
+    EXPECT_TRUE((e1 + e2).equals(e2 + e1));
+    EXPECT_TRUE((e1 * e2).equals(e2 * e1));
+  }
+}
+
+TEST_P(SymbolicProperty, SelfSubtractionIsZero) {
+  ExprGen gen(GetParam() + 3000);
+  for (int i = 0; i < 20; ++i) {
+    const Expr e = gen.gen(3);
+    const Expr diff = e - e;
+    ASSERT_TRUE(diff.is_constant()) << diff.str();
+    EXPECT_DOUBLE_EQ(diff.constant_value(), 0.0);
+  }
+}
+
+TEST_P(SymbolicProperty, EvaluationMatchesStrRoundTripSemantics) {
+  // str() must be deterministic: identical canonical values render equally.
+  ExprGen gen_a(GetParam() + 4000);
+  ExprGen gen_b(GetParam() + 4000);
+  for (int i = 0; i < 20; ++i) {
+    const Expr e1 = gen_a.gen(4);
+    const Expr e2 = gen_b.gen(4);
+    ASSERT_TRUE(e1.equals(e2));
+    EXPECT_EQ(e1.str(), e2.str());
+  }
+}
+
+TEST_P(SymbolicProperty, DistributivityHoldsNumerically) {
+  ExprGen gen(GetParam() + 5000);
+  for (int i = 0; i < 10; ++i) {
+    const Expr a = gen.gen(2), b = gen.gen(2), c = gen.gen(2);
+    const Bindings bind = gen.random_bindings();
+    expect_close((a * (b + c)).eval(bind), (a * b + a * c).eval(bind));
+  }
+}
+
+TEST_P(SymbolicProperty, MaxIsIdempotentAssociativeCommutative) {
+  ExprGen gen(GetParam() + 6000);
+  for (int i = 0; i < 10; ++i) {
+    const Expr a = gen.gen(2), b = gen.gen(2), c = gen.gen(2);
+    EXPECT_TRUE(max(a, a).equals(a));
+    EXPECT_TRUE(max(a, b).equals(max(b, a)));
+    EXPECT_TRUE(max(max(a, b), c).equals(max(a, max(b, c))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+}  // namespace
+}  // namespace gf::sym

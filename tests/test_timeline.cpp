@@ -1,0 +1,86 @@
+// Footprint-timeline and hierarchical-allreduce tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/ir/footprint.h"
+#include "src/models/models.h"
+#include "src/plan/allreduce.h"
+
+namespace gf {
+namespace {
+
+TEST(FootprintTimeline, MaximumEqualsMinimalFootprint) {
+  const auto spec = models::build_word_lm({.vocab = 50, .layers = 2, .seq_length = 5});
+  const auto bind = spec.bind(16, 4);
+  const auto timeline = ir::footprint_timeline(*spec.graph, bind);
+  ASSERT_EQ(timeline.size(), spec.graph->num_ops());
+  const auto peak = std::max_element(
+      timeline.begin(), timeline.end(),
+      [](const auto& a, const auto& b) { return a.live_bytes < b.live_bytes; });
+  const auto fp = ir::minimal_footprint(*spec.graph, bind);
+  EXPECT_DOUBLE_EQ(peak->live_bytes, fp.total_bytes);
+  EXPECT_EQ(peak->op_index, fp.peak_op_index);
+}
+
+TEST(FootprintTimeline, RisesThroughForwardFallsThroughBackward) {
+  const auto spec = models::build_char_lm({.vocab = 20, .depth = 3, .seq_length = 6});
+  const auto timeline = ir::footprint_timeline(*spec.graph, spec.bind(16, 4));
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < timeline.size(); ++i)
+    if (timeline[i].live_bytes > timeline[peak_at].live_bytes) peak_at = i;
+  // The peak sits strictly inside the step and the step ends well below it
+  // (activations freed; only persistent + stragglers remain).
+  EXPECT_GT(peak_at, 0u);
+  EXPECT_LT(peak_at, timeline.size() - 1);
+  EXPECT_LT(timeline.back().live_bytes, 0.8 * timeline[peak_at].live_bytes);
+  // Never below the persistent floor.
+  const auto fp = ir::minimal_footprint(*spec.graph, spec.bind(16, 4));
+  for (const auto& pt : timeline) EXPECT_GE(pt.live_bytes, fp.persistent_bytes);
+}
+
+TEST(HierarchicalAllReduce, SingleNodeFallsBackToFastRing) {
+  plan::HierarchicalAllReduceModel m;
+  m.hop_latency = 0;
+  const double bytes = 1e9;
+  const double t = plan::hierarchical_allreduce_seconds(m, bytes, 8);
+  plan::AllReduceModel flat;
+  flat.link_bandwidth = m.intra_bandwidth;
+  flat.hop_latency = 0;
+  EXPECT_DOUBLE_EQ(t, plan::ring_allreduce_seconds(flat, bytes, 8));
+}
+
+TEST(HierarchicalAllReduce, BeatsFlatRingOnSlowFabric) {
+  plan::HierarchicalAllReduceModel hier;  // 300 GB/s intra, 56 GB/s inter
+  plan::AllReduceModel flat;              // 56 GB/s everywhere
+  const double bytes = 95.2e9;
+  for (int workers : {64, 512, 4096}) {
+    EXPECT_LT(plan::hierarchical_allreduce_seconds(hier, bytes, workers),
+              plan::ring_allreduce_seconds(flat, bytes, workers))
+        << workers;
+  }
+}
+
+TEST(HierarchicalAllReduce, ApproachesShardedFabricBound) {
+  // Large worker count, zero latency: cost -> intra(2B/300) + inter(2*(B/8)/56).
+  plan::HierarchicalAllReduceModel m;
+  m.hop_latency = 0;
+  const double bytes = 80e9;
+  const double t = plan::hierarchical_allreduce_seconds(m, bytes, 1 << 16);
+  const double k = m.workers_per_node;
+  const double bound = 2.0 * (k - 1) / k * bytes / m.intra_bandwidth +
+                       2.0 * (bytes / k) / m.inter_bandwidth;
+  EXPECT_NEAR(t, bound, 0.01 * bound);
+}
+
+TEST(HierarchicalAllReduce, RejectsBadModel) {
+  plan::HierarchicalAllReduceModel m;
+  m.workers_per_node = 0;
+  EXPECT_THROW(plan::hierarchical_allreduce_seconds(m, 1e6, 16), std::invalid_argument);
+  m = {};
+  EXPECT_THROW(plan::hierarchical_allreduce_seconds(m, -1, 16), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(plan::hierarchical_allreduce_seconds({}, 1e9, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace gf

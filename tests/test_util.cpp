@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/util/format.h"
+#include "src/util/least_squares.h"
+#include "src/util/table.h"
+
+namespace gf::util {
+namespace {
+
+TEST(Format, SigTrimsTrailingZeros) {
+  EXPECT_EQ(format_sig(1.5), "1.5");
+  EXPECT_EQ(format_sig(100.0), "100");
+  EXPECT_EQ(format_sig(0.0), "0");
+  EXPECT_EQ(format_sig(2.0), "2");
+}
+
+TEST(Format, SigUsesScientificForExtremes) {
+  EXPECT_EQ(format_sig(1.23e12, 3), "1.23e+12");
+  EXPECT_EQ(format_sig(1.2e-7, 2), "1.2e-07");
+}
+
+TEST(Format, Si) {
+  EXPECT_EQ(format_si(950.0), "950");
+  EXPECT_EQ(format_si(1500.0), "1.50K");
+  EXPECT_EQ(format_si(2.5e9), "2.50G");
+  EXPECT_EQ(format_si(1.444e15), "1.44P");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(272e9), "272.0 GB");
+  EXPECT_EQ(format_bytes(41.5e12), "41.5 TB");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(115.0), "115.0 s");
+  EXPECT_EQ(format_duration(0.002), "2.0 ms");
+  EXPECT_EQ(format_duration(86400.0 * 10), "10.0 days");
+  EXPECT_EQ(format_duration(86400.0 * 365.25 * 84.0, 0), "84 years");
+}
+
+TEST(Format, Grouped) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(23800000000ull), "23,800,000,000");
+}
+
+TEST(Format, ScaleAndPercent) {
+  EXPECT_EQ(format_scale(971.0), "971x");
+  EXPECT_EQ(format_scale(6.6), "6.6x");
+  EXPECT_EQ(format_percent(0.145), "14.5%");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Domain", "Scale"});
+  t.add_row({"Word LMs", "100x"});
+  t.add_row({"Char LMs", "971x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Domain"), std::string::npos);
+  EXPECT_NE(out.find("971x"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvSkipsSeparators) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(LeastSquares, LineRecoversExactCoefficients) {
+  std::vector<double> xs{1, 2, 3, 4, 5}, ys;
+  for (double x : xs) ys.push_back(3.5 * x - 2.0);
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, ProportionalFit) {
+  std::vector<double> xs{1, 2, 4}, ys{2.0, 4.0, 8.0};
+  EXPECT_NEAR(fit_proportional(xs, ys), 2.0, 1e-12);
+}
+
+TEST(LeastSquares, PowerLawRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1e6; x <= 1e9; x *= 10) {
+    xs.push_back(x);
+    ys.push_back(13.0 * std::pow(x, -0.066));
+  }
+  const PowerLawFit f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.a, 13.0, 1e-9);
+  EXPECT_NEAR(f.b, -0.066, 1e-12);
+}
+
+TEST(LeastSquares, GeneralSolverTwoColumns) {
+  // y = 4*x0 + 7*x1 over a few rows.
+  std::vector<double> a{1, 1, 2, 1, 3, 5, 4, 2, 5, 9};
+  std::vector<double> y;
+  for (std::size_t r = 0; r < 5; ++r) y.push_back(4 * a[2 * r] + 7 * a[2 * r + 1]);
+  const auto c = solve_least_squares(a, 2, y);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 4.0, 1e-9);
+  EXPECT_NEAR(c[1], 7.0, 1e-9);
+}
+
+TEST(LeastSquares, RejectsDegenerateInput) {
+  std::vector<double> xs{1.0}, ys{2.0};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+  std::vector<double> same{2, 2, 2}, any{1, 2, 3};
+  EXPECT_THROW(fit_line(same, any), std::invalid_argument);
+  std::vector<double> neg{-1, 2}, pos{1, 2};
+  EXPECT_THROW(fit_power_law(neg, pos), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gf::util

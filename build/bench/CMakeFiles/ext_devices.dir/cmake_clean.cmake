@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_devices.dir/ext_devices.cpp.o"
+  "CMakeFiles/ext_devices.dir/ext_devices.cpp.o.d"
+  "ext_devices"
+  "ext_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

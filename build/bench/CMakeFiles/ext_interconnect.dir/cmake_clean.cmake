@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interconnect.dir/ext_interconnect.cpp.o"
+  "CMakeFiles/ext_interconnect.dir/ext_interconnect.cpp.o.d"
+  "ext_interconnect"
+  "ext_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

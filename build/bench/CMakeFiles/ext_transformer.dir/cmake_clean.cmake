@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_transformer.dir/ext_transformer.cpp.o"
+  "CMakeFiles/ext_transformer.dir/ext_transformer.cpp.o.d"
+  "ext_transformer"
+  "ext_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

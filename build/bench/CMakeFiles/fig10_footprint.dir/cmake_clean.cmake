@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_footprint.dir/fig10_footprint.cpp.o"
+  "CMakeFiles/fig10_footprint.dir/fig10_footprint.cpp.o.d"
+  "fig10_footprint"
+  "fig10_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_subbatch.dir/fig11_subbatch.cpp.o"
+  "CMakeFiles/fig11_subbatch.dir/fig11_subbatch.cpp.o.d"
+  "fig11_subbatch"
+  "fig11_subbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_subbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_data_parallel.dir/fig12_data_parallel.cpp.o"
+  "CMakeFiles/fig12_data_parallel.dir/fig12_data_parallel.cpp.o.d"
+  "fig12_data_parallel"
+  "fig12_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_learning_curve.dir/fig6_learning_curve.cpp.o"
+  "CMakeFiles/fig6_learning_curve.dir/fig6_learning_curve.cpp.o.d"
+  "fig6_learning_curve"
+  "fig6_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flops_vs_params.dir/fig7_flops_vs_params.cpp.o"
+  "CMakeFiles/fig7_flops_vs_params.dir/fig7_flops_vs_params.cpp.o.d"
+  "fig7_flops_vs_params"
+  "fig7_flops_vs_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flops_vs_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_flops_vs_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bytes_vs_params.dir/fig8_bytes_vs_params.cpp.o"
+  "CMakeFiles/fig8_bytes_vs_params.dir/fig8_bytes_vs_params.cpp.o.d"
+  "fig8_bytes_vs_params"
+  "fig8_bytes_vs_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bytes_vs_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_op_intensity.cpp" "bench/CMakeFiles/fig9_op_intensity.dir/fig9_op_intensity.cpp.o" "gcc" "bench/CMakeFiles/fig9_op_intensity.dir/fig9_op_intensity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_op_intensity.dir/fig9_op_intensity.cpp.o"
+  "CMakeFiles/fig9_op_intensity.dir/fig9_op_intensity.cpp.o.d"
+  "fig9_op_intensity"
+  "fig9_op_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_op_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

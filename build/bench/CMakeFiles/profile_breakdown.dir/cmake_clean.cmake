@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_breakdown.dir/profile_breakdown.cpp.o"
+  "CMakeFiles/profile_breakdown.dir/profile_breakdown.cpp.o.d"
+  "profile_breakdown"
+  "profile_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_scaling.dir/table1_scaling.cpp.o"
+  "CMakeFiles/table1_scaling.dir/table1_scaling.cpp.o.d"
+  "table1_scaling"
+  "table1_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

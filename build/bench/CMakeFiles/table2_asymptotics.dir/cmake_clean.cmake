@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_asymptotics.dir/table2_asymptotics.cpp.o"
+  "CMakeFiles/table2_asymptotics.dir/table2_asymptotics.cpp.o.d"
+  "table2_asymptotics"
+  "table2_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

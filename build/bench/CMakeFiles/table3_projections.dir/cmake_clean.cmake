@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_projections.dir/table3_projections.cpp.o"
+  "CMakeFiles/table3_projections.dir/table3_projections.cpp.o.d"
+  "table3_projections"
+  "table3_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

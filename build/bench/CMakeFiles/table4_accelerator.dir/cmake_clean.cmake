@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_accelerator.dir/table4_accelerator.cpp.o"
+  "CMakeFiles/table4_accelerator.dir/table4_accelerator.cpp.o.d"
+  "table4_accelerator"
+  "table4_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

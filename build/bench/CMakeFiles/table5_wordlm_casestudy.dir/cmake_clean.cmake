@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_wordlm_casestudy.dir/table5_wordlm_casestudy.cpp.o"
+  "CMakeFiles/table5_wordlm_casestudy.dir/table5_wordlm_casestudy.cpp.o.d"
+  "table5_wordlm_casestudy"
+  "table5_wordlm_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_wordlm_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_sim_vs_analytic.dir/verify_sim_vs_analytic.cpp.o"
+  "CMakeFiles/verify_sim_vs_analytic.dir/verify_sim_vs_analytic.cpp.o.d"
+  "verify_sim_vs_analytic"
+  "verify_sim_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_sim_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

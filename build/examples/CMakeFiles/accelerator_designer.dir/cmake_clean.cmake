@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_designer.dir/accelerator_designer.cpp.o"
+  "CMakeFiles/accelerator_designer.dir/accelerator_designer.cpp.o.d"
+  "accelerator_designer"
+  "accelerator_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_planner.dir/frontier_planner.cpp.o"
+  "CMakeFiles/frontier_planner.dir/frontier_planner.cpp.o.d"
+  "frontier_planner"
+  "frontier_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfctl.dir/gfctl.cpp.o"
+  "CMakeFiles/gfctl.dir/gfctl.cpp.o.d"
+  "gfctl"
+  "gfctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_planner.dir/parallelism_planner.cpp.o"
+  "CMakeFiles/parallelism_planner.dir/parallelism_planner.cpp.o.d"
+  "parallelism_planner"
+  "parallelism_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/checkpointing.cpp" "src/CMakeFiles/gf_analysis.dir/analysis/checkpointing.cpp.o" "gcc" "src/CMakeFiles/gf_analysis.dir/analysis/checkpointing.cpp.o.d"
+  "/root/repo/src/analysis/first_order.cpp" "src/CMakeFiles/gf_analysis.dir/analysis/first_order.cpp.o" "gcc" "src/CMakeFiles/gf_analysis.dir/analysis/first_order.cpp.o.d"
+  "/root/repo/src/analysis/step_analysis.cpp" "src/CMakeFiles/gf_analysis.dir/analysis/step_analysis.cpp.o" "gcc" "src/CMakeFiles/gf_analysis.dir/analysis/step_analysis.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/gf_analysis.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/gf_analysis.dir/analysis/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

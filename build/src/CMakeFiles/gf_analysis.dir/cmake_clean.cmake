@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_analysis.dir/analysis/checkpointing.cpp.o"
+  "CMakeFiles/gf_analysis.dir/analysis/checkpointing.cpp.o.d"
+  "CMakeFiles/gf_analysis.dir/analysis/first_order.cpp.o"
+  "CMakeFiles/gf_analysis.dir/analysis/first_order.cpp.o.d"
+  "CMakeFiles/gf_analysis.dir/analysis/step_analysis.cpp.o"
+  "CMakeFiles/gf_analysis.dir/analysis/step_analysis.cpp.o.d"
+  "CMakeFiles/gf_analysis.dir/analysis/sweep.cpp.o"
+  "CMakeFiles/gf_analysis.dir/analysis/sweep.cpp.o.d"
+  "libgf_analysis.a"
+  "libgf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_concurrency.dir/concurrency/thread_pool.cpp.o"
+  "CMakeFiles/gf_concurrency.dir/concurrency/thread_pool.cpp.o.d"
+  "libgf_concurrency.a"
+  "libgf_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_hw.dir/hw/accelerator.cpp.o"
+  "CMakeFiles/gf_hw.dir/hw/accelerator.cpp.o.d"
+  "CMakeFiles/gf_hw.dir/hw/cache_model.cpp.o"
+  "CMakeFiles/gf_hw.dir/hw/cache_model.cpp.o.d"
+  "CMakeFiles/gf_hw.dir/hw/roofline.cpp.o"
+  "CMakeFiles/gf_hw.dir/hw/roofline.cpp.o.d"
+  "CMakeFiles/gf_hw.dir/hw/subbatch.cpp.o"
+  "CMakeFiles/gf_hw.dir/hw/subbatch.cpp.o.d"
+  "libgf_hw.a"
+  "libgf_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/footprint.cpp" "src/CMakeFiles/gf_ir.dir/ir/footprint.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/footprint.cpp.o.d"
+  "/root/repo/src/ir/gradients.cpp" "src/CMakeFiles/gf_ir.dir/ir/gradients.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/gradients.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/CMakeFiles/gf_ir.dir/ir/graph.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/graph.cpp.o.d"
+  "/root/repo/src/ir/op.cpp" "src/CMakeFiles/gf_ir.dir/ir/op.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/op.cpp.o.d"
+  "/root/repo/src/ir/ops.cpp" "src/CMakeFiles/gf_ir.dir/ir/ops.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/ops.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/CMakeFiles/gf_ir.dir/ir/serialize.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/serialize.cpp.o.d"
+  "/root/repo/src/ir/tensor.cpp" "src/CMakeFiles/gf_ir.dir/ir/tensor.cpp.o" "gcc" "src/CMakeFiles/gf_ir.dir/ir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_ir.dir/ir/footprint.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/footprint.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/gradients.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/gradients.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/graph.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/graph.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/op.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/op.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/ops.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/ops.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/serialize.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/serialize.cpp.o.d"
+  "CMakeFiles/gf_ir.dir/ir/tensor.cpp.o"
+  "CMakeFiles/gf_ir.dir/ir/tensor.cpp.o.d"
+  "libgf_ir.a"
+  "libgf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

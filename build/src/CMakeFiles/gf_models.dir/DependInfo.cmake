@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/char_lm.cpp" "src/CMakeFiles/gf_models.dir/models/char_lm.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/char_lm.cpp.o.d"
+  "/root/repo/src/models/common.cpp" "src/CMakeFiles/gf_models.dir/models/common.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/common.cpp.o.d"
+  "/root/repo/src/models/models.cpp" "src/CMakeFiles/gf_models.dir/models/models.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/models.cpp.o.d"
+  "/root/repo/src/models/nmt.cpp" "src/CMakeFiles/gf_models.dir/models/nmt.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/nmt.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/gf_models.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/speech.cpp" "src/CMakeFiles/gf_models.dir/models/speech.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/speech.cpp.o.d"
+  "/root/repo/src/models/transformer.cpp" "src/CMakeFiles/gf_models.dir/models/transformer.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/transformer.cpp.o.d"
+  "/root/repo/src/models/word_lm.cpp" "src/CMakeFiles/gf_models.dir/models/word_lm.cpp.o" "gcc" "src/CMakeFiles/gf_models.dir/models/word_lm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

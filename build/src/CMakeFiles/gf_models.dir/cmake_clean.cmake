@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_models.dir/models/char_lm.cpp.o"
+  "CMakeFiles/gf_models.dir/models/char_lm.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/common.cpp.o"
+  "CMakeFiles/gf_models.dir/models/common.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/models.cpp.o"
+  "CMakeFiles/gf_models.dir/models/models.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/nmt.cpp.o"
+  "CMakeFiles/gf_models.dir/models/nmt.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/gf_models.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/speech.cpp.o"
+  "CMakeFiles/gf_models.dir/models/speech.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/transformer.cpp.o"
+  "CMakeFiles/gf_models.dir/models/transformer.cpp.o.d"
+  "CMakeFiles/gf_models.dir/models/word_lm.cpp.o"
+  "CMakeFiles/gf_models.dir/models/word_lm.cpp.o.d"
+  "libgf_models.a"
+  "libgf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_plan.dir/plan/allreduce.cpp.o"
+  "CMakeFiles/gf_plan.dir/plan/allreduce.cpp.o.d"
+  "CMakeFiles/gf_plan.dir/plan/case_study.cpp.o"
+  "CMakeFiles/gf_plan.dir/plan/case_study.cpp.o.d"
+  "CMakeFiles/gf_plan.dir/plan/data_parallel.cpp.o"
+  "CMakeFiles/gf_plan.dir/plan/data_parallel.cpp.o.d"
+  "CMakeFiles/gf_plan.dir/plan/layer_parallel.cpp.o"
+  "CMakeFiles/gf_plan.dir/plan/layer_parallel.cpp.o.d"
+  "libgf_plan.a"
+  "libgf_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dense_tensor.cpp" "src/CMakeFiles/gf_runtime.dir/runtime/dense_tensor.cpp.o" "gcc" "src/CMakeFiles/gf_runtime.dir/runtime/dense_tensor.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/gf_runtime.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/gf_runtime.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/CMakeFiles/gf_runtime.dir/runtime/kernels.cpp.o" "gcc" "src/CMakeFiles/gf_runtime.dir/runtime/kernels.cpp.o.d"
+  "/root/repo/src/runtime/profiler.cpp" "src/CMakeFiles/gf_runtime.dir/runtime/profiler.cpp.o" "gcc" "src/CMakeFiles/gf_runtime.dir/runtime/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

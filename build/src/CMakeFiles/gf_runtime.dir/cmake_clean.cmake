@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_runtime.dir/runtime/dense_tensor.cpp.o"
+  "CMakeFiles/gf_runtime.dir/runtime/dense_tensor.cpp.o.d"
+  "CMakeFiles/gf_runtime.dir/runtime/executor.cpp.o"
+  "CMakeFiles/gf_runtime.dir/runtime/executor.cpp.o.d"
+  "CMakeFiles/gf_runtime.dir/runtime/kernels.cpp.o"
+  "CMakeFiles/gf_runtime.dir/runtime/kernels.cpp.o.d"
+  "CMakeFiles/gf_runtime.dir/runtime/profiler.cpp.o"
+  "CMakeFiles/gf_runtime.dir/runtime/profiler.cpp.o.d"
+  "libgf_runtime.a"
+  "libgf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

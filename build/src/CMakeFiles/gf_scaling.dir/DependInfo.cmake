@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/domains.cpp" "src/CMakeFiles/gf_scaling.dir/scaling/domains.cpp.o" "gcc" "src/CMakeFiles/gf_scaling.dir/scaling/domains.cpp.o.d"
+  "/root/repo/src/scaling/power_law.cpp" "src/CMakeFiles/gf_scaling.dir/scaling/power_law.cpp.o" "gcc" "src/CMakeFiles/gf_scaling.dir/scaling/power_law.cpp.o.d"
+  "/root/repo/src/scaling/projection.cpp" "src/CMakeFiles/gf_scaling.dir/scaling/projection.cpp.o" "gcc" "src/CMakeFiles/gf_scaling.dir/scaling/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_scaling.dir/scaling/domains.cpp.o"
+  "CMakeFiles/gf_scaling.dir/scaling/domains.cpp.o.d"
+  "CMakeFiles/gf_scaling.dir/scaling/power_law.cpp.o"
+  "CMakeFiles/gf_scaling.dir/scaling/power_law.cpp.o.d"
+  "CMakeFiles/gf_scaling.dir/scaling/projection.cpp.o"
+  "CMakeFiles/gf_scaling.dir/scaling/projection.cpp.o.d"
+  "libgf_scaling.a"
+  "libgf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_sim.dir/sim/schedules.cpp.o"
+  "CMakeFiles/gf_sim.dir/sim/schedules.cpp.o.d"
+  "CMakeFiles/gf_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/gf_sim.dir/sim/simulator.cpp.o.d"
+  "libgf_sim.a"
+  "libgf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

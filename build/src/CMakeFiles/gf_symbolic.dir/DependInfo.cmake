@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/expr.cpp" "src/CMakeFiles/gf_symbolic.dir/symbolic/expr.cpp.o" "gcc" "src/CMakeFiles/gf_symbolic.dir/symbolic/expr.cpp.o.d"
+  "/root/repo/src/symbolic/printing.cpp" "src/CMakeFiles/gf_symbolic.dir/symbolic/printing.cpp.o" "gcc" "src/CMakeFiles/gf_symbolic.dir/symbolic/printing.cpp.o.d"
+  "/root/repo/src/symbolic/sexpr.cpp" "src/CMakeFiles/gf_symbolic.dir/symbolic/sexpr.cpp.o" "gcc" "src/CMakeFiles/gf_symbolic.dir/symbolic/sexpr.cpp.o.d"
+  "/root/repo/src/symbolic/simplify.cpp" "src/CMakeFiles/gf_symbolic.dir/symbolic/simplify.cpp.o" "gcc" "src/CMakeFiles/gf_symbolic.dir/symbolic/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

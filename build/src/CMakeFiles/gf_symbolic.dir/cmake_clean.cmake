@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_symbolic.dir/symbolic/expr.cpp.o"
+  "CMakeFiles/gf_symbolic.dir/symbolic/expr.cpp.o.d"
+  "CMakeFiles/gf_symbolic.dir/symbolic/printing.cpp.o"
+  "CMakeFiles/gf_symbolic.dir/symbolic/printing.cpp.o.d"
+  "CMakeFiles/gf_symbolic.dir/symbolic/sexpr.cpp.o"
+  "CMakeFiles/gf_symbolic.dir/symbolic/sexpr.cpp.o.d"
+  "CMakeFiles/gf_symbolic.dir/symbolic/simplify.cpp.o"
+  "CMakeFiles/gf_symbolic.dir/symbolic/simplify.cpp.o.d"
+  "libgf_symbolic.a"
+  "libgf_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

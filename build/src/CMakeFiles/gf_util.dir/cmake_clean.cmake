@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_util.dir/util/format.cpp.o"
+  "CMakeFiles/gf_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/gf_util.dir/util/least_squares.cpp.o"
+  "CMakeFiles/gf_util.dir/util/least_squares.cpp.o.d"
+  "CMakeFiles/gf_util.dir/util/table.cpp.o"
+  "CMakeFiles/gf_util.dir/util/table.cpp.o.d"
+  "libgf_util.a"
+  "libgf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

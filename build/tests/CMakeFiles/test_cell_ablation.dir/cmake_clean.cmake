@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_ablation.dir/test_cell_ablation.cpp.o"
+  "CMakeFiles/test_cell_ablation.dir/test_cell_ablation.cpp.o.d"
+  "test_cell_ablation"
+  "test_cell_ablation.pdb"
+  "test_cell_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_ops.dir/test_ir_ops.cpp.o"
+  "CMakeFiles/test_ir_ops.dir/test_ir_ops.cpp.o.d"
+  "test_ir_ops"
+  "test_ir_ops.pdb"
+  "test_ir_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

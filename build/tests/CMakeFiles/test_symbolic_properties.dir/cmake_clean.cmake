@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_properties.dir/test_symbolic_properties.cpp.o"
+  "CMakeFiles/test_symbolic_properties.dir/test_symbolic_properties.cpp.o.d"
+  "test_symbolic_properties"
+  "test_symbolic_properties.pdb"
+  "test_symbolic_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

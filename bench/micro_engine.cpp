@@ -5,7 +5,12 @@
 // thousands of these operations).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "src/analysis/step_analysis.h"
+#include "src/concurrency/thread_pool.h"
 #include "src/analysis/sweep.h"
 #include "src/hw/cache_model.h"
 #include "src/ir/footprint.h"
@@ -85,6 +90,47 @@ void BM_ExecutorTrainingStep(benchmark::State& state) {
   state.counters["graph_ops"] = static_cast<double>(spec.graph->num_ops());
 }
 BENCHMARK(BM_ExecutorTrainingStep)->Unit(benchmark::kMillisecond);
+
+// Sequential-vs-wavefront executor on a 4-layer word-LM step, across pool
+// sizes. Guards the wavefront scheduler's speedup and verifies (via the
+// exported counters) that executed FLOPs/bytes and the arena peak are
+// schedule-independent. Set GF_CHROME_TRACE=<path> to also dump the last
+// step's per-op timeline as Chrome trace-event JSON.
+void BM_ExecutorStepSchedule(benchmark::State& state) {
+  const bool wavefront = state.range(0) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  models::WordLmConfig cfg;
+  cfg.vocab = 256;
+  cfg.layers = 4;
+  cfg.seq_length = 16;
+  const auto spec = models::build_word_lm(cfg);
+  conc::ThreadPool pool(threads);
+  rt::ExecutorOptions opt;
+  opt.pool = &pool;
+  opt.schedule = wavefront ? rt::Schedule::kWavefront : rt::Schedule::kSequential;
+  rt::Executor ex(*spec.graph, spec.bind(128, 16), opt);
+  rt::ProfileReport report;
+  for (auto _ : state) {
+    report = ex.run_step();
+    benchmark::DoNotOptimize(&report);
+  }
+  state.counters["step_flops"] = report.total_flops;
+  state.counters["step_bytes"] = report.total_bytes;
+  state.counters["arena_peak"] = static_cast<double>(report.peak_allocated_bytes);
+  if (const char* path = std::getenv("GF_CHROME_TRACE")) {
+    std::ofstream os(path);
+    report.write_chrome_trace(os);
+  }
+}
+BENCHMARK(BM_ExecutorStepSchedule)
+    ->ArgNames({"wavefront", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ParallelSweep(benchmark::State& state) {
   const auto spec = models::build_char_lm({.vocab = 98, .depth = 10, .seq_length = 30});

@@ -8,6 +8,8 @@
 //   gfctl subbatch     <domain> [--params P]
 //   gfctl sweep        <domain> [--from P] [--to P] [--points N] [--batch B]
 //   gfctl export       <domain> <file>
+//   gfctl trace        <domain> <file> [--hidden H] [--batch B] [--threads N]
+//                      [--steps S] [--schedule wavefront|sequential]
 //   gfctl domains
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
@@ -190,6 +192,42 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+// Numerically executes a few training steps of a (small) bound model under
+// the wavefront scheduler and writes the last step's per-op timeline as
+// Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+int cmd_trace(const Args& args) {
+  const auto spec = build_named(args.positional.at(1));
+  const std::string path = args.positional.at(2);
+  const double hidden = args.number("hidden", 32);
+  const double batch = args.number("batch", 4);
+  const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+  const int steps = static_cast<int>(args.number("steps", 1));
+  const auto schedule_it = args.flags.find("schedule");
+  const std::string schedule_name =
+      schedule_it == args.flags.end() ? "wavefront" : schedule_it->second;
+  rt::ExecutorOptions opt;
+  if (schedule_name == "sequential") {
+    opt.schedule = rt::Schedule::kSequential;
+  } else if (schedule_name != "wavefront") {
+    throw std::invalid_argument("--schedule must be wavefront or sequential");
+  }
+
+  conc::ThreadPool pool(threads);
+  opt.pool = &pool;
+  rt::Executor ex(*spec.graph, spec.bind(hidden, batch), opt);
+  rt::ProfileReport report;
+  for (int s = 0; s < steps; ++s) report = ex.run_step();
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  report.write_chrome_trace(out);
+  report.print(std::cout);
+  std::cout << "wrote " << report.timeline.size() << " timeline events ("
+            << schedule_name << ", " << pool.thread_count() << " workers) to "
+            << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,7 +235,7 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
-                   "<domains|characterize|project|fit|subbatch|sweep|export> ...\n";
+                   "<domains|characterize|project|fit|subbatch|sweep|export|trace> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -208,6 +246,7 @@ int main(int argc, char** argv) {
     if (cmd == "subbatch") return cmd_subbatch(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "export") return cmd_export(args);
+    if (cmd == "trace") return cmd_trace(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

@@ -1,9 +1,18 @@
 #include "src/concurrency/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
+#include <utility>
 
 namespace gf::conc {
+namespace {
+
+/// Worker index within the owning pool; -1 on threads no pool owns.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -12,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -37,9 +46,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::current_worker_index() { return tls_worker_index; }
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = static_cast<int>(index);
   for (;;) {
     std::function<void()> task;
     {
@@ -50,7 +67,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();  // tasks are exception-wrapped by callers (see parallel_for)
+    // A throwing task must not take the whole process down (std::terminate);
+    // record the first error for the next wait_idle() to surface.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
@@ -80,40 +104,63 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     return;
   }
 
-  std::atomic<std::size_t> next{begin};
-  std::atomic<std::size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // All loop state lives on the heap and is shared with helper tasks, so a
+  // helper that only gets scheduled after this frame returned still finds
+  // valid (if exhausted) state. Completion is "every iteration accounted
+  // for", which the caller can reach entirely on its own by draining the
+  // claim counter — helper tasks are an acceleration, never a requirement.
+  // That property is what makes nesting inside pool workers deadlock-free.
+  struct State {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> done_iters{0};
+    std::size_t end;
+    std::size_t chunk;
+    std::size_t total;
+    const std::function<void(std::size_t)>* body;  // outlives all claims
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
+  auto st = std::make_shared<State>();
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->chunk = chunk;
+  st->total = n;
+  st->body = &body;
 
-  const std::size_t num_tasks = (n + chunk - 1) / chunk;
-  remaining.store(num_tasks);
-
-  auto run_chunk = [&] {
+  auto run_chunks = [st] {
     for (;;) {
-      const std::size_t lo = next.fetch_add(chunk);
-      if (lo >= end) break;
-      const std::size_t hi = std::min(end, lo + chunk);
+      const std::size_t lo = st->next.fetch_add(st->chunk);
+      if (lo >= st->end) break;
+      const std::size_t hi = std::min(st->end, lo + st->chunk);
       try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
+        for (std::size_t i = lo; i < hi; ++i) (*st->body)(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        std::lock_guard lock(st->mutex);
+        if (!st->first_error) st->first_error = std::current_exception();
+      }
+      const std::size_t done =
+          st->done_iters.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo);
+      if (done == st->total) {
+        std::lock_guard lock(st->mutex);
+        st->done.notify_all();
       }
     }
-    std::lock_guard lock(done_mutex);
-    if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
   };
 
   // One logical task per chunk; each drains the shared counter, so load is
   // balanced even when iteration costs vary wildly (e.g. model sizes).
-  for (std::size_t t = 0; t < num_tasks - 1; ++t) pool.submit(run_chunk);
-  run_chunk();  // caller participates
+  const std::size_t num_tasks = (n + chunk - 1) / chunk;
+  for (std::size_t t = 0; t < num_tasks - 1; ++t) pool.submit(run_chunks);
+  run_chunks();  // caller participates and can finish the range alone
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::unique_lock lock(st->mutex);
+    st->done.wait(lock, [&] {
+      return st->done_iters.load(std::memory_order_acquire) == st->total;
+    });
+  }
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

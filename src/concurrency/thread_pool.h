@@ -5,11 +5,20 @@
 // rows; both use this pool. The design follows the usual HPC pattern of one
 // long-lived pool sized to the hardware, with fork-join `parallel_for`
 // regions instead of per-task thread spawns.
+//
+// Nested-submission safety: the wavefront executor runs whole ops as pool
+// tasks, and those ops call `parallel_for` on the same pool from inside a
+// worker. `parallel_for` therefore never *requires* its helper tasks to be
+// scheduled: the calling thread drains the shared iteration counter itself,
+// and completion is tracked by iterations finished (on heap-shared state),
+// not by helper tasks run. Helpers that pop after the loop is done find no
+// work and return; the region can never deadlock waiting on queue slots.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
@@ -29,17 +38,25 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. If the task throws, the
+  /// first exception is captured and rethrown from the next wait_idle()
+  /// (the pool itself keeps running).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any directly-submitted task raised since the last
+  /// wait_idle() (clearing it).
   void wait_idle();
+
+  /// Index of the calling thread within its owning pool (0..threads-1),
+  /// or -1 when called from a thread no pool owns (e.g. main).
+  static int current_worker_index();
 
   /// Shared process-wide pool (lazily constructed, hardware-sized).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -48,11 +65,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until all
 /// iterations complete. Iterations are chunked to amortize dispatch cost.
 /// Exceptions thrown by `body` are captured and the first one rethrown.
+/// Safe to call from inside a pool task (see nested-submission note above).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t min_chunk = 1);

@@ -1,5 +1,6 @@
 #include "src/ir/graph.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -108,6 +109,51 @@ std::vector<const Op*> Graph::topological_order() const {
   if (order.size() != ops_.size())
     throw std::logic_error("graph '" + name_ + "' contains a cycle");
   return order;
+}
+
+OpDag build_op_dag(const Graph& graph) {
+  OpDag dag;
+  dag.order = graph.topological_order();
+  const std::size_t n = dag.order.size();
+  dag.successors.assign(n, {});
+  dag.predecessor_count.assign(n, 0);
+
+  std::unordered_map<const Op*, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(dag.order[i], i);
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    if (from >= to)
+      throw std::logic_error("op dag: edge from '" + dag.order[from]->name() +
+                             "' to '" + dag.order[to]->name() +
+                             "' points backwards in topological order");
+    dag.successors[from].push_back(to);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op* op = dag.order[i];
+    // Data edges: producer of each input must have run.
+    for (const Tensor* in : op->inputs())
+      if (in->producer() != nullptr) add_edge(index.at(in->producer()), i);
+    // Write-after-read edges: ApplyGradient mutates its weight (input 0)
+    // and optimizer slots (inputs 2..) in place; every other reader of
+    // those buffers must observe the pre-update values.
+    if (op->type() == OpType::kApplyGradient) {
+      for (std::size_t k = 0; k < op->inputs().size(); ++k) {
+        if (k == 1) continue;  // the gradient input is an ordinary data dep
+        for (const Op* reader : op->input(k)->consumers())
+          if (reader != op) add_edge(index.at(reader), i);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& succ = dag.successors[i];
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+    for (std::size_t s : succ) ++dag.predecessor_count[s];
+  }
+  return dag;
 }
 
 void Graph::validate() const {

@@ -93,4 +93,29 @@ class Graph {
   DataType default_float_dtype_ = DataType::kFloat32;
 };
 
+/// Explicit dependency DAG over a graph's deterministic topological order,
+/// the input to wavefront (dependency-counted) schedulers.
+///
+/// Edges cover both data dependencies (producer -> consumer) and the
+/// write-after-read hazards of in-place ops: ApplyGradient overwrites its
+/// weight (and optimizer-slot) buffers, so it must be ordered after every
+/// other reader of those tensors even though no data flows between them.
+struct OpDag {
+  /// Ops in the graph's deterministic topological order; indices below
+  /// refer to positions in this vector.
+  std::vector<const Op*> order;
+  /// successors[i] = indices of ops that must wait for op i (deduplicated,
+  /// sorted ascending; every edge goes forward in `order`).
+  std::vector<std::vector<std::size_t>> successors;
+  /// predecessor_count[i] = number of distinct ops op i waits on — the
+  /// initial value of a wavefront scheduler's per-op countdown.
+  std::vector<std::size_t> predecessor_count;
+};
+
+/// Builds the dependency DAG for `graph`. Throws std::logic_error if any
+/// hazard edge would point backwards in the topological order (impossible
+/// for graphs built through the public builder API, where in-place weight
+/// updates are emitted after every reader of the weight).
+OpDag build_op_dag(const Graph& graph);
+
 }  // namespace gf::ir

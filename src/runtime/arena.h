@@ -1,7 +1,12 @@
 // Allocation accounting, mirroring the TensorFlow-allocator measurement the
 // paper compares its topological footprint estimates against (Figure 10).
+//
+// Lock-free: the wavefront executor allocates from its dispatch thread while
+// worker threads release retired activations concurrently, so current/peak
+// are maintained with atomics (peak via a CAS loop).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <stdexcept>
 
@@ -10,22 +15,24 @@ namespace gf::rt {
 class ArenaAccounting {
  public:
   void allocate(std::size_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const std::size_t now = current_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_acq_rel)) {
+    }
   }
 
   void release(std::size_t bytes) {
-    if (bytes > current_)
-      throw std::logic_error("arena accounting underflow");
-    current_ -= bytes;
+    const std::size_t before = current_.fetch_sub(bytes, std::memory_order_acq_rel);
+    if (bytes > before) throw std::logic_error("arena accounting underflow");
   }
 
-  std::size_t current_bytes() const { return current_; }
-  std::size_t peak_bytes() const { return peak_; }
+  std::size_t current_bytes() const { return current_.load(std::memory_order_acquire); }
+  std::size_t peak_bytes() const { return peak_.load(std::memory_order_acquire); }
 
  private:
-  std::size_t current_ = 0;
-  std::size_t peak_ = 0;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
 }  // namespace gf::rt

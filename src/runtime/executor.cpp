@@ -1,6 +1,11 @@
 #include "src/runtime/executor.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <random>
 #include <stdexcept>
 
@@ -8,6 +13,12 @@
 
 namespace gf::rt {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 std::size_t algorithmic_bytes_of(const ir::Tensor& t,
                                  const std::vector<std::int64_t>& shape) {
@@ -34,7 +45,8 @@ std::int64_t infer_int_range(const ir::Tensor* t, const sym::Bindings& bind) {
 
 Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options)
     : graph_(&graph), bindings_(std::move(bindings)), options_(options),
-      pool_(options.pool ? options.pool : &conc::ThreadPool::global()) {
+      pool_(options.pool ? options.pool : &conc::ThreadPool::global()),
+      dag_(ir::build_op_dag(graph)) {
   for (const auto& t : graph.tensors()) {
     shapes_.emplace(t.get(), t->shape().eval(bindings_));
   }
@@ -50,7 +62,13 @@ Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptio
   }
 }
 
+std::size_t Executor::tensor_bytes(const ir::Tensor* tensor) const {
+  return algorithmic_bytes_of(*tensor, shapes_.at(tensor));
+}
+
 void Executor::random_fill(const ir::Tensor* tensor, DenseTensor& value) {
+  // Fixed per-tensor stream: the seed depends only on the executor seed and
+  // the tensor id, never on schedule or thread count.
   std::mt19937 rng(options_.seed ^ (0x9e3779b9u * static_cast<unsigned>(tensor->id())));
   if (value.is_float()) {
     const bool is_weight = tensor->role() == ir::TensorRole::kWeight;
@@ -103,32 +121,28 @@ DenseTensor& Executor::materialize(const ir::Tensor* tensor) {
     auto [it, inserted] = persistent_.try_emplace(tensor);
     if (inserted) {
       it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
-      arena_.allocate(algorithmic_bytes_of(*tensor, shapes_.at(tensor)));
+      arena_.allocate(tensor_bytes(tensor));
     }
     return it->second;
   }
   auto [it, inserted] = transient_.try_emplace(tensor);
   if (inserted) {
     it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
-    arena_.allocate(algorithmic_bytes_of(*tensor, shapes_.at(tensor)));
+    arena_.allocate(tensor_bytes(tensor));
   }
   return it->second;
 }
 
-ProfileReport Executor::run_step() {
+void Executor::prepare_step() {
   // Drop any non-retained leftovers from a previous step.
   for (auto it = transient_.begin(); it != transient_.end();) {
     if (!retained_.contains(it->first)) {
-      arena_.release(algorithmic_bytes_of(*it->first, shapes_.at(it->first)));
+      arena_.release(tensor_bytes(it->first));
       it = transient_.erase(it);
     } else {
       ++it;
     }
   }
-
-  ProfileReport report;
-  std::unordered_map<const ir::Tensor*, std::size_t> pending;
-  for (const auto& t : graph_->tensors()) pending[t.get()] = t->consumers().size();
 
   // Materialize producerless tensors: inputs (pinned or random) and
   // gradient seeds (ones).
@@ -142,158 +156,333 @@ ProfileReport Executor::run_step() {
       random_fill(t.get(), v);
     }
   }
+}
 
-  auto free_if_dead = [&](const ir::Tensor* t) {
+void Executor::free_if_dead(
+    const ir::Tensor* t,
+    const std::unordered_map<const ir::Tensor*, std::size_t>& pending) {
+  if (t->is_persistent() || retained_.contains(t)) return;
+  if (pending.at(t) != 0) return;
+  if (pinned_inputs_.contains(t)) return;
+  auto it = transient_.find(t);
+  if (it != transient_.end()) {
+    arena_.release(tensor_bytes(t));
+    transient_.erase(it);
+  }
+}
+
+std::size_t Executor::simulated_sequential_peak() const {
+  // Replays the sequential schedule's arena trajectory against the current
+  // step-start state (resident transients, retained values, pinned inputs,
+  // already-allocated persistent gradients). Mirrors run_step_sequential's
+  // allocate/free rules exactly, so the returned peak is both achievable
+  // and never exceeded by that schedule — the wavefront allocation budget.
+  std::size_t live = arena_.current_bytes();
+  std::size_t peak = live;
+  std::unordered_map<const ir::Tensor*, std::size_t> pending;
+  pending.reserve(graph_->tensors().size());
+  for (const auto& t : graph_->tensors()) pending.emplace(t.get(), t->consumers().size());
+
+  std::unordered_set<const ir::Tensor*> live_transients;
+  live_transients.reserve(transient_.size());
+  for (const auto& [t, v] : transient_) live_transients.insert(t);
+  std::unordered_set<const ir::Tensor*> new_persistents;
+
+  auto release = [&](const ir::Tensor* t) {
     if (t->is_persistent() || retained_.contains(t)) return;
     if (pending.at(t) != 0) return;
-    if (pinned_inputs_.contains(t)) return;
-    auto it = transient_.find(t);
-    if (it != transient_.end()) {
-      arena_.release(algorithmic_bytes_of(*t, shapes_.at(t)));
-      transient_.erase(it);
-    }
+    if (live_transients.erase(t) != 0) live -= tensor_bytes(t);
   };
 
-  const auto order = graph_->topological_order();
-  for (const ir::Op* op : order) {
-    const auto start = std::chrono::steady_clock::now();
-    execute_op(*op, report);
-    const auto stop = std::chrono::steady_clock::now();
-    // Attribute the stats the kernel accumulated (execute_op fills
-    // flops/bytes via report.add with zero time; adjust the timing here).
-    report.per_type[op->type()].seconds +=
-        std::chrono::duration<double>(stop - start).count();
-    report.total_seconds += std::chrono::duration<double>(stop - start).count();
+  for (const ir::Op* op : dag_.order) {
+    for (const ir::Tensor* out : op->outputs()) {
+      if (out->is_persistent()) {
+        if (!persistent_.contains(out) && new_persistents.insert(out).second)
+          live += tensor_bytes(out);
+      } else if (live_transients.insert(out).second) {
+        live += tensor_bytes(out);
+      }
+    }
+    peak = std::max(peak, live);
+    for (const ir::Tensor* in : op->inputs()) {
+      --pending.at(in);
+      release(in);
+    }
+    for (const ir::Tensor* out : op->outputs()) release(out);
+  }
+  return peak;
+}
+
+Executor::ResolvedOp Executor::resolve(const ir::Op& op) {
+  ResolvedOp r;
+  r.op = &op;
+  r.out.reserve(op.outputs().size());
+  for (const ir::Tensor* t : op.outputs()) r.out.push_back(&materialize(t));
+  r.in.reserve(op.inputs().size());
+  for (const ir::Tensor* t : op.inputs()) r.in.push_back(&storage(t));
+  return r;
+}
+
+ProfileReport Executor::run_step() {
+  prepare_step();
+  if (options_.schedule == Schedule::kSequential || dag_.order.empty())
+    return run_step_sequential();
+  return run_step_wavefront();
+}
+
+ProfileReport Executor::run_step_sequential() {
+  const std::size_t n = dag_.order.size();
+  std::vector<OpSlot> slots(n);
+  std::unordered_map<const ir::Tensor*, std::size_t> pending;
+  pending.reserve(graph_->tensors().size());
+  for (const auto& t : graph_->tensors()) pending[t.get()] = t->consumers().size();
+
+  const auto step_start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ir::Op* op = dag_.order[i];
+    const ResolvedOp r = resolve(*op);
+    OpSlot& slot = slots[i];
+    const auto t0 = Clock::now();
+    execute_resolved(r, slot.stats);
+    const auto t1 = Clock::now();
+    slot.start_seconds = seconds_between(step_start, t0);
+    slot.end_seconds = seconds_between(step_start, t1);
+    slot.worker = -1;
 
     for (const ir::Tensor* in : op->inputs()) {
       --pending.at(in);
-      free_if_dead(in);
+      free_if_dead(in, pending);
     }
-    for (const ir::Tensor* out : op->outputs()) free_if_dead(out);
+    for (const ir::Tensor* out : op->outputs()) free_if_dead(out, pending);
+  }
+  return fold_report(slots, seconds_between(step_start, Clock::now()));
+}
+
+ProfileReport Executor::run_step_wavefront() {
+  const std::size_t n = dag_.order.size();
+  std::vector<OpSlot> slots(n);
+  std::vector<ResolvedOp> resolved(n);
+  std::vector<std::size_t> preds = dag_.predecessor_count;
+  std::vector<char> allocated(n, 0);
+  std::unordered_map<const ir::Tensor*, std::size_t> pending;
+  pending.reserve(graph_->tensors().size());
+  for (const auto& t : graph_->tensors()) pending[t.get()] = t->consumers().size();
+
+  const std::size_t budget = simulated_sequential_peak();
+
+  // Scheduling state. One mutex guards the tensor maps, the arena, the
+  // countdowns, and the submit/retire counters; kernels run outside it.
+  std::mutex m;
+  std::condition_variable progress;
+  std::size_t submitted = 0;
+  std::size_t retired = 0;
+  std::exception_ptr error;
+
+  const auto step_start = Clock::now();
+
+  // Called with `m` held. Ops become runnable when their outputs are
+  // allocated AND their predecessor countdown reached zero; retirement
+  // frees dead tensors and releases successors.
+  std::function<void(std::size_t)> submit_op = [&](std::size_t i) {
+    ++submitted;
+    pool_->submit([&, i] {
+      OpSlot& slot = slots[i];
+      const auto t0 = Clock::now();
+      KernelStats stats;
+      std::exception_ptr op_error;
+      try {
+        execute_resolved(resolved[i], stats);
+      } catch (...) {
+        op_error = std::current_exception();
+      }
+      const auto t1 = Clock::now();
+      slot.stats = stats;
+      slot.start_seconds = seconds_between(step_start, t0);
+      slot.end_seconds = seconds_between(step_start, t1);
+      slot.worker = conc::ThreadPool::current_worker_index();
+
+      std::lock_guard lock(m);
+      ++retired;
+      if (op_error) {
+        if (!error) error = op_error;
+      } else {
+        const ir::Op* op = dag_.order[i];
+        for (const ir::Tensor* in : op->inputs()) {
+          --pending.at(in);
+          free_if_dead(in, pending);
+        }
+        for (const ir::Tensor* out : op->outputs()) free_if_dead(out, pending);
+        for (std::size_t s : dag_.successors[i])
+          if (--preds[s] == 0 && allocated[s]) submit_op(s);
+      }
+      progress.notify_all();
+    });
+  };
+
+  // Allocation frontier: outputs are materialized strictly in topological
+  // order, and each allocation waits until it fits under the sequential
+  // peak. Because every op ahead of the frontier eventually retires and
+  // frees exactly what the sequential schedule would have freed, the wait
+  // always unblocks, and the arena can never exceed `budget`.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ir::Op* op = dag_.order[i];
+    std::unique_lock lock(m);
+    auto fresh_bytes = [&] {
+      std::size_t sum = 0;
+      for (const ir::Tensor* out : op->outputs())
+        if (!persistent_.contains(out) && !transient_.contains(out))
+          sum += tensor_bytes(out);
+      return sum;
+    };
+    progress.wait(lock, [&] {
+      return error || arena_.current_bytes() + fresh_bytes() <= budget;
+    });
+    if (error) break;
+    resolved[i] = resolve(*op);
+    allocated[i] = 1;
+    if (preds[i] == 0) submit_op(i);
   }
 
+  // Drain in-flight ops (all of them on success; on error, everything
+  // already submitted) before reporting or rethrowing.
+  std::unique_lock lock(m);
+  progress.wait(lock, [&] { return retired == submitted; });
+  if (error) std::rethrow_exception(error);
+  lock.unlock();
+
+  return fold_report(slots, seconds_between(step_start, Clock::now()));
+}
+
+ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
+                                    double wall_seconds) const {
+  // Totals are folded in topological order, so floating-point accumulation
+  // is bitwise-identical no matter which workers retired which ops when.
+  ProfileReport report;
+  report.timeline.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const OpSlot& s = slots[i];
+    const ir::Op* op = dag_.order[i];
+    report.add(op->type(), s.stats.flops, s.stats.bytes,
+               s.end_seconds - s.start_seconds);
+    report.timeline.push_back({op->name(), op->type(), i, s.worker, s.start_seconds,
+                               s.end_seconds, s.stats.flops, s.stats.bytes});
+  }
+  report.wall_seconds = wall_seconds;
   report.peak_allocated_bytes = arena_.peak_bytes();
   return report;
 }
 
-void Executor::execute_op(const ir::Op& op, ProfileReport& report) {
+void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
   using ir::OpType;
-  KernelStats stats;
+  const ir::Op& op = *r.op;
+  const std::vector<DenseTensor*>& in = r.in;
+  const std::vector<DenseTensor*>& out = r.out;
 
-  std::vector<const DenseTensor*> in;
-  in.reserve(op.inputs().size());
-  for (const ir::Tensor* t : op.inputs()) in.push_back(&storage(t));
+  auto const_inputs = [&] {
+    std::vector<const DenseTensor*> v(in.begin(), in.end());
+    return v;
+  };
 
   switch (op.type()) {
     case OpType::kMatMul: {
       const auto& mm = static_cast<const ir::MatMulOp&>(op);
-      matmul(*in[0], *in[1], materialize(op.output(0)), mm.trans_a(), mm.trans_b(),
-             *pool_, stats);
+      matmul(*in[0], *in[1], *out[0], mm.trans_a(), mm.trans_b(), *pool_, stats);
       break;
     }
     case OpType::kConv2D: {
       const auto& c = static_cast<const ir::Conv2DOp&>(op);
-      conv2d(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      conv2d(*in[0], *in[1], *out[0], c.stride(), stats);
       break;
     }
     case OpType::kConv2DGradInput: {
       const auto& c = static_cast<const ir::Conv2DGradInputOp&>(op);
-      conv2d_grad_input(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      conv2d_grad_input(*in[0], *in[1], *out[0], c.stride(), stats);
       break;
     }
     case OpType::kConv2DGradFilter: {
       const auto& c = static_cast<const ir::Conv2DGradFilterOp&>(op);
-      conv2d_grad_filter(*in[0], *in[1], materialize(op.output(0)), c.stride(), stats);
+      conv2d_grad_filter(*in[0], *in[1], *out[0], c.stride(), stats);
       break;
     }
     case OpType::kPointwise: {
       const auto& p = static_cast<const ir::PointwiseOp&>(op);
-      pointwise(p.fn(), in, p.scale_alpha().eval(bindings_), materialize(op.output(0)),
-                stats);
+      pointwise(p.fn(), const_inputs(), p.scale_alpha().eval(bindings_), *out[0], stats);
       break;
     }
     case OpType::kBiasAdd:
-      bias_add(*in[0], *in[1], materialize(op.output(0)), stats);
+      bias_add(*in[0], *in[1], *out[0], stats);
       break;
     case OpType::kEmbeddingLookup:
-      embedding_lookup(*in[0], *in[1], materialize(op.output(0)), stats);
+      embedding_lookup(*in[0], *in[1], *out[0], stats);
       break;
     case OpType::kEmbeddingGrad:
-      embedding_grad(*in[0], *in[1], materialize(op.output(0)), stats);
+      embedding_grad(*in[0], *in[1], *out[0], stats);
       break;
     case OpType::kSoftmax:
-      softmax(*in[0], materialize(op.output(0)), stats);
+      softmax(*in[0], *out[0], stats);
       break;
     case OpType::kSoftmaxGrad:
-      softmax_grad(*in[0], *in[1], materialize(op.output(0)), stats);
+      softmax_grad(*in[0], *in[1], *out[0], stats);
       break;
     case OpType::kSoftmaxXent:
-      softmax_xent(*in[0], *in[1], materialize(op.output(0)),
-                   materialize(op.output(1)), stats);
+      softmax_xent(*in[0], *in[1], *out[0], *out[1], stats);
       break;
     case OpType::kSoftmaxXentGrad:
-      softmax_xent_grad(*in[0], *in[1], *in[2], materialize(op.output(0)), stats);
+      softmax_xent_grad(*in[0], *in[1], *in[2], *out[0], stats);
       break;
     case OpType::kReduce: {
-      const auto& r = static_cast<const ir::ReduceOp&>(op);
-      reduce(r.reduce_kind(), *in[0], materialize(op.output(0)), stats);
+      const auto& red = static_cast<const ir::ReduceOp&>(op);
+      reduce(red.reduce_kind(), *in[0], *out[0], stats);
       break;
     }
     case OpType::kBroadcast:
-      broadcast(*in[0], materialize(op.output(0)), stats);
+      broadcast(*in[0], *out[0], stats);
       break;
     case OpType::kBatchNorm:
-      batch_norm(*in[0], *in[1], *in[2], materialize(op.output(0)), stats);
+      batch_norm(*in[0], *in[1], *in[2], *out[0], stats);
       break;
     case OpType::kBatchNormGrad:
-      batch_norm_grad(*in[0], *in[1], *in[2], materialize(op.output(0)),
-                      materialize(op.output(1)), materialize(op.output(2)), stats);
+      batch_norm_grad(*in[0], *in[1], *in[2], *out[0], *out[1], *out[2], stats);
       break;
     case OpType::kPool: {
       const auto& p = static_cast<const ir::PoolOp&>(op);
-      pool(p.pool_kind(), *in[0], materialize(op.output(0)), p.window_h(), p.window_w(),
-           stats);
+      pool(p.pool_kind(), *in[0], *out[0], p.window_h(), p.window_w(), stats);
       break;
     }
     case OpType::kPoolGrad: {
       const auto& p = static_cast<const ir::PoolGradOp&>(op);
-      pool_grad(p.pool_kind(), *in[0], *in[1], *in[2], materialize(op.output(0)),
-                p.window_h(), p.window_w(), stats);
+      pool_grad(p.pool_kind(), *in[0], *in[1], *in[2], *out[0], p.window_h(),
+                p.window_w(), stats);
       break;
     }
     case OpType::kConcat: {
       const auto& c = static_cast<const ir::ConcatOp&>(op);
-      concat(in, c.axis(), materialize(op.output(0)), stats);
+      concat(const_inputs(), c.axis(), *out[0], stats);
       break;
     }
     case OpType::kSplit: {
       const auto& s = static_cast<const ir::SplitOp&>(op);
-      std::vector<DenseTensor*> outs;
-      for (const ir::Tensor* t : op.outputs()) outs.push_back(&materialize(t));
-      split(*in[0], s.axis(), outs, stats);
+      split(*in[0], s.axis(), out, stats);
       break;
     }
     case OpType::kSlice: {
       const auto& s = static_cast<const ir::SliceOp&>(op);
       slice(*in[0], s.axis(), static_cast<std::int64_t>(s.offset().eval(bindings_)),
-            materialize(op.output(0)), stats);
+            *out[0], stats);
       break;
     }
     case OpType::kReshape:
-      reshape_copy(*in[0], materialize(op.output(0)), stats);
+      reshape_copy(*in[0], *out[0], stats);
       break;
     case OpType::kApplyGradient: {
       if (!options_.apply_updates) break;
       const auto& a = static_cast<const ir::ApplyGradientOp&>(op);
-      std::vector<DenseTensor*> slots;
-      for (std::size_t i = 2; i < op.inputs().size(); ++i)
-        slots.push_back(&weight_value(op.inputs()[i]));
-      apply_gradient(a.optimizer(), weight_value(op.inputs()[0]), *in[1], slots,
-                     options_.learning_rate, stats);
+      std::vector<DenseTensor*> slots(in.begin() + 2, in.end());
+      apply_gradient(a.optimizer(), *in[0], *in[1], slots, options_.learning_rate,
+                     stats);
       break;
     }
   }
-  report.add(op.type(), stats.flops, stats.bytes, 0.0);
 }
 
 }  // namespace gf::rt

@@ -5,6 +5,23 @@
 // (so the arena peak independently measures the footprint the symbolic
 // estimator predicts), and every kernel reports executed FLOPs/bytes into
 // a TFprof-style profile.
+//
+// Two schedules share the same kernels and accounting:
+//
+//  - kSequential: the classic one-op-at-a-time topological walk.
+//  - kWavefront (default): dependency-counted inter-op parallelism on a
+//    ThreadPool. The dispatch thread allocates op outputs in topological
+//    order, gated so live bytes never exceed the sequential schedule's
+//    peak (memory backpressure); workers execute ops whose predecessor
+//    countdown hit zero and, on retirement, free dead activations and
+//    release successors. Intra-op kernels (`parallel_for`) share the same
+//    pool without deadlock.
+//
+// Results are bitwise-deterministic and schedule/thread-count independent:
+// every tensor is filled from its own RNG stream keyed by tensor id, each
+// kernel writes disjoint output locations with a fixed intra-op reduction
+// order, gradient accumulation order is fixed by graph structure (pairwise
+// adds), and profile totals are folded in topological order after the step.
 #pragma once
 
 #include <unordered_map>
@@ -14,9 +31,16 @@
 #include "src/ir/graph.h"
 #include "src/runtime/arena.h"
 #include "src/runtime/dense_tensor.h"
+#include "src/runtime/kernels.h"
 #include "src/runtime/profiler.h"
 
 namespace gf::rt {
+
+/// Inter-op scheduling policy for run_step().
+enum class Schedule : std::uint8_t {
+  kSequential,  ///< one op at a time, in topological order
+  kWavefront,   ///< dependency-counted parallel execution on the pool
+};
 
 struct ExecutorOptions {
   unsigned seed = 42;
@@ -25,6 +49,7 @@ struct ExecutorOptions {
   /// finite-difference gradient checks.
   bool apply_updates = true;
   conc::ThreadPool* pool = nullptr;  ///< defaults to the global pool
+  Schedule schedule = Schedule::kWavefront;
 };
 
 class Executor {
@@ -45,18 +70,55 @@ class Executor {
   const DenseTensor& value(const ir::Tensor* tensor) const;
 
   /// Executes one full training step; returns the execution profile.
+  /// Rethrows the first kernel error (the step is abandoned; in-flight
+  /// ops are drained first).
   ProfileReport run_step();
 
  private:
+  /// Kernel I/O resolved to stable buffer pointers at dispatch time, so
+  /// workers never touch the tensor maps concurrently.
+  struct ResolvedOp {
+    const ir::Op* op = nullptr;
+    std::vector<DenseTensor*> in;
+    std::vector<DenseTensor*> out;
+  };
+  /// Per-op result slot; each op writes only its own (disjoint) slot, and
+  /// run_step folds slots into the report in topological order so totals
+  /// are independent of retirement order.
+  struct OpSlot {
+    KernelStats stats;
+    double start_seconds = 0;
+    double end_seconds = 0;
+    int worker = -1;
+  };
+
   DenseTensor& materialize(const ir::Tensor* tensor);
   void random_fill(const ir::Tensor* tensor, DenseTensor& value);
-  void execute_op(const ir::Op& op, ProfileReport& report);
   DenseTensor& storage(const ir::Tensor* tensor);
+  std::size_t tensor_bytes(const ir::Tensor* tensor) const;
+
+  /// Drops stale transients, materializes producerless tensors (inputs,
+  /// gradient seeds) — the common step prologue for both schedules.
+  void prepare_step();
+  /// Frees `tensor` if it is transient, unpinned, unretained, and its
+  /// pending-consumer count reached zero.
+  void free_if_dead(const ir::Tensor* tensor,
+                    const std::unordered_map<const ir::Tensor*, std::size_t>& pending);
+  ResolvedOp resolve(const ir::Op& op);
+  void execute_resolved(const ResolvedOp& r, KernelStats& stats);
+  /// Sequential arena trajectory from the current step-start state; its
+  /// peak is the wavefront scheduler's allocation budget.
+  std::size_t simulated_sequential_peak() const;
+
+  ProfileReport run_step_sequential();
+  ProfileReport run_step_wavefront();
+  ProfileReport fold_report(const std::vector<OpSlot>& slots, double wall_seconds) const;
 
   const ir::Graph* graph_;
   sym::Bindings bindings_;
   ExecutorOptions options_;
   conc::ThreadPool* pool_;
+  ir::OpDag dag_;
 
   std::unordered_map<const ir::Tensor*, std::vector<std::int64_t>> shapes_;
   std::unordered_map<const ir::Tensor*, DenseTensor> persistent_;

@@ -1,6 +1,7 @@
 #include "src/runtime/profiler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <vector>
 
@@ -8,6 +9,32 @@
 #include "src/util/table.h"
 
 namespace gf::rt {
+namespace {
+
+/// Minimal JSON string escaping for op names (quotes, backslash, control).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 void ProfileReport::add(ir::OpType type, double flops, double bytes, double seconds) {
   OpTypeProfile& p = per_type[type];
@@ -36,6 +63,27 @@ void ProfileReport::print(std::ostream& os) const {
   table.print(os);
   os << "peak allocated: " << util::format_bytes(static_cast<double>(peak_allocated_bytes))
      << "\n";
+  if (wall_seconds > 0)
+    os << "wall clock: " << util::format_duration(wall_seconds, 2) << " ("
+       << util::format_sig(wall_seconds > 0 ? total_seconds / wall_seconds : 1.0, 3)
+       << "x op-time overlap)\n";
+}
+
+void ProfileReport::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TimelineEvent& e : timeline) {
+    if (!first) os << ",";
+    first = false;
+    // tid 0 = dispatcher/caller thread, 1..N = pool workers.
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << ir::op_type_name(e.type) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << (e.worker + 1) << ",\"ts\":" << e.start_seconds * 1e6
+       << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6
+       << ",\"args\":{\"op_index\":" << e.op_index << ",\"flops\":" << e.flops
+       << ",\"bytes\":" << e.bytes << "}}";
+  }
+  os << "]}\n";
 }
 
 }  // namespace gf::rt

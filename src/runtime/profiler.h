@@ -1,8 +1,13 @@
-// TFprof-style per-op-type execution profile.
+// TFprof-style per-op-type execution profile, plus a per-op timeline the
+// wavefront scheduler fills in (one event per executed op, with the worker
+// that ran it) and a Chrome-trace exporter for chrome://tracing / Perfetto.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "src/ir/op.h"
 
@@ -15,16 +20,41 @@ struct OpTypeProfile {
   double seconds = 0;
 };
 
+/// One executed op on the step timeline. Timestamps are seconds relative to
+/// the start of the step. `worker` is the pool worker index that ran the
+/// op, or -1 for the dispatching (caller) thread — the sequential schedule
+/// runs everything at -1.
+struct TimelineEvent {
+  std::string name;
+  ir::OpType type = ir::OpType::kMatMul;
+  std::size_t op_index = 0;  ///< position in the graph's topological order
+  int worker = -1;
+  double start_seconds = 0;
+  double end_seconds = 0;
+  double flops = 0;
+  double bytes = 0;
+};
+
 struct ProfileReport {
   std::map<ir::OpType, OpTypeProfile> per_type;
   double total_flops = 0;
   double total_bytes = 0;
+  /// Sum of per-op kernel durations (busy time across all workers).
   double total_seconds = 0;
+  /// Wall-clock duration of the step; equals total_seconds for the
+  /// sequential schedule, less under inter-op parallelism.
+  double wall_seconds = 0;
   std::size_t peak_allocated_bytes = 0;
+  /// Per-op events in topological order (deterministic across schedules;
+  /// only timestamps and worker ids vary between runs).
+  std::vector<TimelineEvent> timeline;
 
   void add(ir::OpType type, double flops, double bytes, double seconds);
   /// Pretty table sorted by FLOPs, one row per op type.
   void print(std::ostream& os) const;
+  /// Emits the timeline as Chrome trace-event JSON ("X" duration events,
+  /// one row per worker) for chrome://tracing or https://ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& os) const;
 };
 
 }  // namespace gf::rt

@@ -89,5 +89,131 @@ TEST(ParallelFor, NestedOuterSerialInnerParallel) {
   EXPECT_EQ(total.load(), 400);
 }
 
+// Regression: a throwing task used to escape worker_loop and call
+// std::terminate. Now the first exception is captured and rethrown from the
+// next wait_idle(), which also clears it; the pool keeps running.
+TEST(ThreadPool, SubmitExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 8; ++i) pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // other tasks still ran
+  // The error was consumed; the pool is clean and usable.
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, OnlyFirstSubmitErrorIsKept) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // single-worker pool: deterministic order
+  }
+  pool.wait_idle();  // cleared: no rethrow
+}
+
+TEST(ThreadPool, CurrentWorkerIndexIdentifiesPoolThreads) {
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // main thread
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(3);
+  for (auto& s : seen) s.store(0);
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&] {
+      const int w = ThreadPool::current_worker_index();
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 3);
+      seen[static_cast<std::size_t>(w)].fetch_add(1);
+    });
+  pool.wait_idle();
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 64);
+}
+
+TEST(ParallelFor, ExceptionInFirstChunkStillRunsToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, 0, 1000,
+                            [&](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("first chunk");
+                              ran.fetch_add(1);
+                            }),
+               std::runtime_error);
+  // Iterations other than the throwing chunk's remainder still completed;
+  // the pool has no stuck helpers.
+  EXPECT_GT(ran.load(), 0);
+  pool.wait_idle();
+}
+
+TEST(ParallelFor, ExceptionInLastChunkPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 1000,
+                            [&](std::size_t i) {
+                              if (i == 999) throw std::runtime_error("last chunk");
+                            }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  parallel_for(pool, 0, 16, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+// The wavefront executor runs whole ops as pool tasks and those ops call
+// parallel_for on the same pool. With the old task-count completion
+// protocol this deadlocked whenever every worker was inside a region
+// waiting for its own helper tasks; the iteration-count protocol lets the
+// calling worker drain the region alone.
+TEST(ParallelFor, NestedInsidePoolTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  for (int t = 0; t < 8; ++t)
+    pool.submit([&] {
+      parallel_for(pool, 0, 1000, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+      });
+    });
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 8LL * (999 * 1000 / 2));
+}
+
+TEST(ParallelFor, NestedInsidePoolTaskSingleWorker) {
+  // The degenerate case: one worker, which must finish the whole region
+  // itself since no other thread can ever pick up the helper task.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([&] { parallel_for(pool, 0, 100, [&](std::size_t) { count.fetch_add(1); }); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, NestedParallelForInsideParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 16, [&](std::size_t) {
+    parallel_for(pool, 0, 64, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16 * 64);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_failures{0};
+  parallel_for(pool, 0, 4, [&](std::size_t) {
+    try {
+      parallel_for(pool, 0, 8, [&](std::size_t j) {
+        if (j == 3) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      outer_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 4);
+}
+
 }  // namespace
 }  // namespace gf::conc

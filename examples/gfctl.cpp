@@ -10,9 +10,15 @@
 //   gfctl export       <domain> <file>
 //   gfctl trace        <domain> <file> [--hidden H] [--batch B] [--threads N]
 //                      [--steps S] [--schedule wavefront|sequential]
+//   gfctl lint         <domain>|all [--json] [--passes a,b,...]
+//   gfctl lint         --file <graph.txt> [--json] [--passes a,b,...]
 //   gfctl domains
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
+//
+// lint exit codes: 0 = no error-severity findings, 1 = error findings,
+// 2 = input file unreadable or not reconstructable.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,8 +48,13 @@ Args parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (key == "json") {  // boolean flag, consumes no value
+        args.flags[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) throw std::invalid_argument("flag " + a + " needs a value");
-      args.flags[a.substr(2)] = argv[++i];
+      args.flags[key] = argv[++i];
     } else {
       args.positional.push_back(a);
     }
@@ -228,6 +239,71 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+// Static analysis over built-in models or a serialized graph file.
+// Exit codes: 0 clean (warnings/notes allowed), 1 error-severity findings,
+// 2 file unreadable or not reconstructable.
+int cmd_lint(const Args& args) {
+  const bool json = args.flags.count("json") != 0;
+  verify::VerifyOptions vopts;
+  if (auto it = args.flags.find("passes"); it != args.flags.end()) {
+    std::string names = it->second;
+    std::size_t start = 0;
+    while (start <= names.size()) {
+      const std::size_t comma = names.find(',', start);
+      const std::string name = names.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!name.empty()) vopts.passes.push_back(name);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  std::vector<verify::VerifyResult> results;
+  int status = 0;
+  auto absorb = [&](verify::VerifyResult r) {
+    const bool load_failed =
+        std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                    [](const verify::Diagnostic& d) { return d.pass == "load"; });
+    if (load_failed)
+      status = 2;
+    else if (r.has_errors() && status == 0)
+      status = 1;
+    results.push_back(std::move(r));
+  };
+
+  if (auto it = args.flags.find("file"); it != args.flags.end()) {
+    std::ifstream in(it->second);
+    if (!in) {
+      std::cerr << "gfctl: cannot open " << it->second << "\n";
+      return 2;
+    }
+    absorb(verify::verify_serialized(in, vopts));
+  } else {
+    const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
+    std::vector<std::string> names;
+    if (target == "all")
+      names = {"wordlm", "charlm", "nmt", "speech", "image", "transformer"};
+    else
+      names = {target};
+    for (const std::string& n : names) {
+      const auto spec = build_named(n);
+      absorb(verify::verify_graph(*spec.graph, vopts));
+    }
+  }
+
+  if (json) {
+    std::cout << '[';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i) std::cout << ", ";
+      results[i].print_json(std::cout);
+    }
+    std::cout << "]\n";
+  } else {
+    for (const auto& r : results) r.print_text(std::cout);
+  }
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,7 +311,8 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
-                   "<domains|characterize|project|fit|subbatch|sweep|export|trace> ...\n";
+                   "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint> "
+                   "...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -247,6 +324,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "export") return cmd_export(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "lint") return cmd_lint(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

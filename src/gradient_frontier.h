@@ -16,6 +16,7 @@
 //   gf::scaling   learning curves, Table-1 data, frontier projection
 //   gf::hw        accelerator config, Roofline, cache model, subbatch
 //   gf::plan      allreduce, data/layer parallelism, Table-5 case study
+//   gf::verify    static-analysis passes (lint) over the graph IR
 //   gf::rt        numeric executor + TFprof-style profiler
 #pragma once
 
@@ -43,3 +44,4 @@
 #include "src/symbolic/expr.h"
 #include "src/util/format.h"
 #include "src/util/table.h"
+#include "src/verify/pass.h"

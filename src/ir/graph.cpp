@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/verify/pass.h"
+
 namespace gf::ir {
 
 Graph::Graph(std::string name) : name_(std::move(name)) {}
@@ -157,22 +159,10 @@ OpDag build_op_dag(const Graph& graph) {
 }
 
 void Graph::validate() const {
-  for (const auto& t : tensors_) {
-    if (t->producer() == nullptr) {
-      const TensorRole role = t->role();
-      const bool allowed = role == TensorRole::kInput || role == TensorRole::kWeight ||
-                           role == TensorRole::kOptimizerState ||
-                           role == TensorRole::kGradient;  // backward seed
-      if (!allowed)
-        throw std::logic_error("tensor '" + t->name() +
-                               "' has no producer but is not an input/weight/state");
-    }
-  }
-  for (const auto& op : ops_) {
-    if (op->outputs().empty() && op->type() != OpType::kApplyGradient)
-      throw std::logic_error("op '" + op->name() + "' produces no outputs");
-  }
-  (void)topological_order();  // throws on cycles
+  // Compat shim: the historical first-error-throws contract now sits on
+  // top of the collect-all diagnostics engine in src/verify/. Callers who
+  // want the full report should call verify::verify_graph() directly.
+  verify::validate_or_throw(*this);
 }
 
 }  // namespace gf::ir

@@ -80,9 +80,11 @@ class Graph {
   /// builder — the same role the framework's schedule plays in the paper).
   std::vector<const Op*> topological_order() const;
 
-  /// Structural sanity checks: every op input has a defined origin (graph
-  /// input, weight, or some op's output), no dangling tensors, and the
-  /// graph is acyclic. Throws std::logic_error on violation.
+  /// Compat shim over the verify:: static-analysis engine: runs the full
+  /// built-in pass suite (structure, shapes, symbolic, gradients, races)
+  /// and throws std::logic_error listing the error-severity findings.
+  /// Call verify::verify_graph() instead to collect all diagnostics
+  /// without throwing.
   void validate() const;
 
  private:

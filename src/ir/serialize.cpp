@@ -7,6 +7,7 @@
 
 #include "src/ir/ops.h"
 #include "src/symbolic/sexpr.h"
+#include "src/verify/pass.h"
 
 namespace gf::ir {
 namespace {
@@ -201,7 +202,7 @@ class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
 
-  std::unique_ptr<Graph> read() {
+  std::unique_ptr<Graph> read(bool validate) {
     std::string line;
     next(line);
     auto [head, rest] = split1(line);
@@ -243,7 +244,7 @@ class Reader {
       }
     }
     if (have_op) apply_op(*graph, pending);
-    graph->validate();
+    if (validate) verify::validate_or_throw(*graph);
     return graph;
   }
 
@@ -451,11 +452,13 @@ std::string serialize(const Graph& graph) {
   return ss.str();
 }
 
-std::unique_ptr<Graph> deserialize(std::istream& is) { return Reader(is).read(); }
+std::unique_ptr<Graph> deserialize(std::istream& is, bool validate) {
+  return Reader(is).read(validate);
+}
 
-std::unique_ptr<Graph> deserialize(const std::string& text) {
+std::unique_ptr<Graph> deserialize(const std::string& text, bool validate) {
   std::istringstream ss(text);
-  return deserialize(ss);
+  return deserialize(ss, validate);
 }
 
 std::string to_dot(const Graph& graph, std::size_t max_ops) {

@@ -33,9 +33,11 @@ void serialize(const Graph& graph, std::ostream& os);
 /// Reconstructs a graph from serialize()'s output. The result validates
 /// and is analytically identical (FLOPs/bytes/footprint/params) to the
 /// original. Throws std::invalid_argument with a line number on malformed
-/// input.
-std::unique_ptr<Graph> deserialize(const std::string& text);
-std::unique_ptr<Graph> deserialize(std::istream& is);
+/// input. Pass validate=false to skip the post-load Graph::validate()
+/// (verify::verify_serialized does, so a reconstructable-but-broken graph
+/// yields structured diagnostics instead of one thrown error).
+std::unique_ptr<Graph> deserialize(const std::string& text, bool validate = true);
+std::unique_ptr<Graph> deserialize(std::istream& is, bool validate = true);
 
 /// GraphViz DOT rendering (ops as boxes, tensors as edges), for
 /// inspection of small graphs.

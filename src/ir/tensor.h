@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/symbolic/expr.h"
@@ -90,6 +91,11 @@ class Tensor {
   /// Reclassifies a tensor; used by the gradient builder to mark final
   /// weight gradients persistent once accumulation is complete.
   void set_role(TensorRole role) { role_ = role; }
+
+  /// Rewrites the shape in place without revisiting the consuming ops'
+  /// contracts. Graph-surgery escape hatch (tests use it to manufacture
+  /// shape mismatches); run verify_graph() after any such edit.
+  void set_shape(TensorShape shape) { shape_ = std::move(shape); }
 
  private:
   int id_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/verify/pass.h"
+
 namespace gf::models {
 
 using ir::Graph;
@@ -237,7 +239,7 @@ ModelSpec finalize_model(std::string name, Domain domain, std::unique_ptr<Graph>
                          Tensor* loss, int samples_per_batch_row,
                          const TrainingOptions& training) {
   ir::build_training_step(*graph, loss, {.optimizer = training.optimizer});
-  graph->validate();
+  verify::validate_or_throw(*graph);
   ModelSpec spec;
   spec.name = std::move(name);
   spec.domain = domain;

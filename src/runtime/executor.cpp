@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "src/runtime/kernels.h"
+#include "src/verify/pass.h"
 
 namespace gf::rt {
 namespace {
@@ -47,6 +48,9 @@ Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptio
     : graph_(&graph), bindings_(std::move(bindings)), options_(options),
       pool_(options.pool ? options.pool : &conc::ThreadPool::global()),
       dag_(ir::build_op_dag(graph)) {
+  // Opt-in pre-dispatch verification: a graph that fails here would make
+  // the wavefront schedule racy or the kernels read out of bounds.
+  if (options_.verify) verify::validate_or_throw(graph);
   for (const auto& t : graph.tensors()) {
     shapes_.emplace(t.get(), t->shape().eval(bindings_));
   }

@@ -50,6 +50,12 @@ struct ExecutorOptions {
   bool apply_updates = true;
   conc::ThreadPool* pool = nullptr;  ///< defaults to the global pool
   Schedule schedule = Schedule::kWavefront;
+  /// Debug mode: run the full verify:: pass suite (structure, shapes,
+  /// symbolic, gradients, races) over the graph before anything is
+  /// dispatched, and throw std::logic_error on error-severity findings.
+  /// Off by default — verification is O(graph) per Executor, and built-in
+  /// models are already linted in CI.
+  bool verify = false;
 };
 
 class Executor {

@@ -1,0 +1,161 @@
+#include "src/symbolic/sign.h"
+
+#include <cmath>
+
+namespace gf::sym {
+
+const char* sign_name(Sign s) {
+  switch (s) {
+    case Sign::kZero:
+      return "zero";
+    case Sign::kPositive:
+      return "positive";
+    case Sign::kNonNegative:
+      return "non-negative";
+    case Sign::kNegative:
+      return "negative";
+    case Sign::kNonPositive:
+      return "non-positive";
+    case Sign::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_nonneg(Sign s) {
+  return s == Sign::kPositive || s == Sign::kNonNegative || s == Sign::kZero;
+}
+
+bool is_nonpos(Sign s) {
+  return s == Sign::kNegative || s == Sign::kNonPositive || s == Sign::kZero;
+}
+
+Sign negated(Sign s) {
+  switch (s) {
+    case Sign::kPositive:
+      return Sign::kNegative;
+    case Sign::kNegative:
+      return Sign::kPositive;
+    case Sign::kNonNegative:
+      return Sign::kNonPositive;
+    case Sign::kNonPositive:
+      return Sign::kNonNegative;
+    default:
+      return s;
+  }
+}
+
+/// Sign of a product of two factors with known signs.
+Sign times(Sign a, Sign b) {
+  if (a == Sign::kZero || b == Sign::kZero) return Sign::kZero;
+  if (a == Sign::kUnknown || b == Sign::kUnknown) return Sign::kUnknown;
+  // Flip so both lie on the non-negative side, tracking parity.
+  bool flip = false;
+  if (is_nonpos(a)) {
+    a = negated(a);
+    flip = !flip;
+  }
+  if (is_nonpos(b)) {
+    b = negated(b);
+    flip = !flip;
+  }
+  const Sign mag =
+      (a == Sign::kPositive && b == Sign::kPositive) ? Sign::kPositive : Sign::kNonNegative;
+  return flip ? negated(mag) : mag;
+}
+
+Sign sum(const std::vector<Expr>& terms) {
+  bool all_nonneg = true, all_nonpos = true, any_pos = false, any_neg = false;
+  for (const Expr& t : terms) {
+    const Sign s = sign_of(t);
+    if (s == Sign::kUnknown) return Sign::kUnknown;
+    all_nonneg = all_nonneg && is_nonneg(s);
+    all_nonpos = all_nonpos && is_nonpos(s);
+    any_pos = any_pos || s == Sign::kPositive;
+    any_neg = any_neg || s == Sign::kNegative;
+    if (!all_nonneg && !all_nonpos) return Sign::kUnknown;
+  }
+  if (all_nonneg && all_nonpos) return Sign::kZero;  // every term is zero
+  if (all_nonneg) return any_pos ? Sign::kPositive : Sign::kNonNegative;
+  return any_neg ? Sign::kNegative : Sign::kNonPositive;
+}
+
+Sign power(const Expr& base, const Rational& exponent) {
+  const Sign b = sign_of(base);
+  const bool even_int = exponent.is_integer() && exponent.num % 2 == 0;
+  switch (b) {
+    case Sign::kPositive:
+      return Sign::kPositive;
+    case Sign::kZero:
+      return exponent.num > 0 ? Sign::kZero : Sign::kUnknown;  // 0^-k undefined
+    case Sign::kNonNegative:
+      return exponent.num > 0 ? Sign::kNonNegative : Sign::kUnknown;
+    case Sign::kNegative:
+      if (!exponent.is_integer()) return Sign::kUnknown;  // complex branch
+      return even_int ? Sign::kPositive : Sign::kNegative;
+    case Sign::kNonPositive:
+      if (exponent.num <= 0 || !exponent.is_integer()) return Sign::kUnknown;
+      return even_int ? Sign::kNonNegative : Sign::kNonPositive;
+    case Sign::kUnknown:
+      return even_int && exponent.num > 0 ? Sign::kNonNegative : Sign::kUnknown;
+  }
+  return Sign::kUnknown;
+}
+
+/// max(args) is bounded below by every argument, so the strongest
+/// argument lower bound carries over; an upper bound needs every
+/// argument bounded.
+Sign maximum(const std::vector<Expr>& args) {
+  bool any_pos = false, any_nonneg = false, all_nonpos = true, all_neg = true;
+  for (const Expr& a : args) {
+    const Sign s = sign_of(a);
+    any_pos = any_pos || s == Sign::kPositive;
+    any_nonneg = any_nonneg || is_nonneg(s);
+    all_nonpos = all_nonpos && is_nonpos(s);
+    all_neg = all_neg && s == Sign::kNegative;
+  }
+  if (any_pos) return Sign::kPositive;
+  if (all_nonpos) {
+    if (any_nonneg) return Sign::kZero;  // nonpositive but also >= some zero
+    return all_neg ? Sign::kNegative : Sign::kNonPositive;
+  }
+  if (any_nonneg) return Sign::kNonNegative;
+  return Sign::kUnknown;
+}
+
+}  // namespace
+
+Sign sign_of(const Expr& e) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case Kind::kConstant: {
+      if (std::isnan(n.value)) return Sign::kUnknown;
+      if (n.value > 0) return Sign::kPositive;
+      if (n.value < 0) return Sign::kNegative;
+      return Sign::kZero;
+    }
+    case Kind::kSymbol:
+      return Sign::kPositive;  // declared assumption: dimensions are counts
+    case Kind::kAdd:
+      return sum(n.children);
+    case Kind::kMul: {
+      Sign acc = Sign::kPositive;  // empty product is 1
+      for (const Expr& c : n.children) {
+        acc = times(acc, sign_of(c));
+        if (acc == Sign::kUnknown) return Sign::kUnknown;
+      }
+      return acc;
+    }
+    case Kind::kPow:
+      return power(n.children.at(0), n.exponent);
+    case Kind::kMax:
+      return maximum(n.children);
+    case Kind::kLog:
+      return Sign::kUnknown;  // log(x) changes sign at x = 1
+  }
+  return Sign::kUnknown;
+}
+
+}  // namespace gf::sym

@@ -1,0 +1,37 @@
+// Conservative sign analysis over symbolic expressions.
+//
+// The verifier's symbolic-sanity pass needs to prove facts like "this
+// tensor dimension is positive" or "this FLOP formula is non-negative"
+// without binding symbols to numbers. The analysis runs under the graph
+// layer's standing assumption that every free symbol is a positive
+// quantity (dimensions are counts: batch, hidden, vocab, ...) and is
+// conservative: it answers kUnknown rather than guess, so a definite
+// answer is a proof under that assumption.
+#pragma once
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+
+enum class Sign : std::uint8_t {
+  kZero,         ///< provably == 0
+  kPositive,     ///< provably > 0
+  kNonNegative,  ///< provably >= 0
+  kNegative,     ///< provably < 0
+  kNonPositive,  ///< provably <= 0
+  kUnknown,
+};
+
+const char* sign_name(Sign s);
+
+/// Sign of `e` under the assumption that every free symbol is > 0.
+Sign sign_of(const Expr& e);
+
+inline bool provably_positive(const Expr& e) { return sign_of(e) == Sign::kPositive; }
+
+inline bool provably_nonnegative(const Expr& e) {
+  const Sign s = sign_of(e);
+  return s == Sign::kPositive || s == Sign::kNonNegative || s == Sign::kZero;
+}
+
+}  // namespace gf::sym

@@ -1,0 +1,96 @@
+#include "src/verify/diagnostics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gf::verify {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out = severity_name(severity);
+  out += "[" + pass + "]";
+  if (!location.empty()) out += " " + location;
+  out += ": " + message;
+  if (!fix_hint.empty()) out += " (fix: " + fix_hint + ")";
+  return out;
+}
+
+std::size_t VerifyResult::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+void VerifyResult::print_text(std::ostream& os) const {
+  for (const Diagnostic& d : diagnostics) os << d.str() << "\n";
+  os << graph_name << ": " << count(Severity::kError) << " error(s), "
+     << count(Severity::kWarning) << " warning(s), " << count(Severity::kNote)
+     << " note(s) from " << passes_run.size() << " pass(es)\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void VerifyResult::print_json(std::ostream& os) const {
+  os << "{\"graph\": \"" << json_escape(graph_name) << "\", \"passes\": [";
+  for (std::size_t i = 0; i < passes_run.size(); ++i) {
+    if (i) os << ", ";
+    os << '"' << json_escape(passes_run[i]) << '"';
+  }
+  os << "], \"counts\": {\"error\": " << count(Severity::kError)
+     << ", \"warning\": " << count(Severity::kWarning)
+     << ", \"note\": " << count(Severity::kNote) << "}, \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i) os << ", ";
+    os << "{\"severity\": \"" << severity_name(d.severity) << "\", \"pass\": \""
+       << json_escape(d.pass) << "\", \"location\": \"" << json_escape(d.location)
+       << "\", \"message\": \"" << json_escape(d.message) << "\", \"fix_hint\": \""
+       << json_escape(d.fix_hint) << "\"}";
+  }
+  os << "]}";
+}
+
+}  // namespace gf::verify

@@ -1,0 +1,90 @@
+// Static-analysis pass framework over ir::Graph.
+//
+// The paper's whole pipeline trusts the compute graph: algorithmic
+// FLOPs / bytes / footprint are derived from graph structure, so a
+// malformed or mis-annotated graph silently corrupts every downstream
+// table, and the wavefront executor additionally trusts the op DAG's
+// hazard edges for correctness. This module proves those properties
+// statically: a registry of diagnostic passes runs over a graph and
+// collects *all* findings instead of throwing at the first.
+//
+// Built-in suite (registration order):
+//   structure  — wiring: cycles, dangling tensors, orphan ops, dup names
+//   shapes     — per-op shape/dim contracts re-derived from the inputs
+//   symbolic   — dims provably positive, FLOP/byte formulas non-negative
+//   gradients  — every trainable weight gets one matching-shape update
+//   races      — no unordered op pair may touch the same buffer with a
+//                write (proves every wavefront schedule race-free)
+//
+// Entry points: verify_graph() for structured diagnostics (gfctl lint,
+// the executor's debug hook), validate_or_throw() as the compat shim
+// behind the historical Graph::validate() contract.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/graph.h"
+#include "src/verify/diagnostics.h"
+
+namespace gf::verify {
+
+struct VerifyOptions {
+  /// Pass names to run; empty means every registered pass, in
+  /// registration order. Unknown names throw std::invalid_argument.
+  std::vector<std::string> passes;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  virtual const char* name() const = 0;
+  virtual const char* description() const = 0;
+
+  /// Appends findings for `graph`. Passes must tolerate arbitrarily
+  /// malformed graphs without throwing; the engine converts escaping
+  /// exceptions into an error diagnostic as a backstop.
+  virtual void run(const ir::Graph& graph, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// Process-wide pass registry, seeded with the built-in suite on first
+/// use. add() is not thread-safe; register custom passes at startup.
+class PassRegistry {
+ public:
+  static PassRegistry& instance();
+
+  void add(std::unique_ptr<Pass> pass);
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+  const Pass* find(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Runs the selected passes and collects every diagnostic.
+VerifyResult verify_graph(const ir::Graph& graph, const VerifyOptions& options = {});
+
+/// Compat shim preserving the historical Graph::validate() contract:
+/// runs every pass and throws std::logic_error describing the
+/// error-severity diagnostics (all of them, not just the first).
+void validate_or_throw(const ir::Graph& graph);
+
+/// Deserializes and verifies a saved graph. Corrupt or truncated input
+/// becomes an error diagnostic from the "load" pseudo-pass instead of an
+/// exception, so linting untrusted files never crashes.
+VerifyResult verify_serialized(std::istream& is, const VerifyOptions& options = {});
+
+/// The race checker on an explicit scheduler DAG. The registered "races"
+/// pass builds the DAG itself via ir::build_op_dag; this overload exists
+/// so tests can delete a hazard edge and prove the checker reports the
+/// resulting schedule race.
+std::vector<Diagnostic> check_races(const ir::Graph& graph, const ir::OpDag& dag);
+
+/// The built-in suite, in registration order (used once by
+/// PassRegistry::instance(); exposed for tools that list passes).
+std::vector<std::unique_ptr<Pass>> make_builtin_passes();
+
+}  // namespace gf::verify

@@ -1,0 +1,765 @@
+// Built-in verifier passes: structure, shapes, symbolic, gradients.
+// (The race checker lives in race.cpp.)
+//
+// Every check re-derives its expectation from the graph as found, never
+// from cached op state, so the suite catches graphs corrupted after
+// construction (deserialization bugs, surgery, bad mutations) that the
+// op constructors' build-time checks cannot see.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/symbolic/sign.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::Graph;
+using ir::Op;
+using ir::OpType;
+using ir::Tensor;
+using ir::TensorRole;
+using ir::TensorShape;
+using sym::Expr;
+
+std::string op_loc(const Op& op) {
+  return std::string("op '") + op.name() + "' (" + ir::op_type_name(op.type()) + ")";
+}
+
+std::string tensor_loc(const Tensor& t) { return "tensor '" + t.name() + "'"; }
+
+/// Shared emit helper; every pass closes over its own name.
+class Emitter {
+ public:
+  Emitter(const char* pass, std::vector<Diagnostic>& out) : pass_(pass), out_(&out) {}
+
+  void error(std::string location, std::string message, std::string hint = {}) const {
+    out_->push_back({Severity::kError, pass_, std::move(location), std::move(message),
+                     std::move(hint)});
+  }
+  void warning(std::string location, std::string message, std::string hint = {}) const {
+    out_->push_back({Severity::kWarning, pass_, std::move(location), std::move(message),
+                     std::move(hint)});
+  }
+  void note(std::string location, std::string message, std::string hint = {}) const {
+    out_->push_back({Severity::kNote, pass_, std::move(location), std::move(message),
+                     std::move(hint)});
+  }
+
+ private:
+  const char* pass_;
+  std::vector<Diagnostic>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// structure: wiring invariants every other pass (and the executor) assumes.
+// ---------------------------------------------------------------------------
+
+class StructurePass final : public Pass {
+ public:
+  const char* name() const override { return "structure"; }
+  const char* description() const override {
+    return "graph wiring: cycles, dangling tensors, orphan ops, duplicate names";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+
+    // Duplicate / degenerate names break serialization and make every
+    // other diagnostic ambiguous.
+    std::unordered_map<std::string, std::size_t> op_names, tensor_names;
+    for (const auto& op : g.ops()) ++op_names[op->name()];
+    for (const auto& t : g.tensors()) ++tensor_names[t->name()];
+    for (const auto& [n, c] : op_names)
+      if (c > 1)
+        emit.error("op '" + n + "'", "name is shared by " + std::to_string(c) + " ops",
+                   "op names must be unique; suffix the builder name");
+    for (const auto& [n, c] : tensor_names)
+      if (c > 1)
+        emit.warning("tensor '" + n + "'",
+                     "name is shared by " + std::to_string(c) + " tensors",
+                     "serialized graphs key tensors by id, but diagnostics and "
+                     "traces become ambiguous");
+    auto check_name = [&](const std::string& n, const char* what) {
+      if (n.empty())
+        emit.error(std::string(what) + " <unnamed>", "empty name",
+                   "the serializer and diagnostics require non-empty names");
+      else if (n.find_first_of(" \t\n") != std::string::npos)
+        emit.warning(std::string(what) + " '" + n + "'", "name contains whitespace",
+                     "whitespace breaks the line-oriented serialization format");
+    };
+    for (const auto& op : g.ops()) check_name(op->name(), "op");
+    for (const auto& t : g.tensors()) check_name(t->name(), "tensor");
+
+    // Ownership and cross-link consistency between ops and tensors.
+    std::unordered_set<const Tensor*> owned_tensors;
+    std::unordered_set<const Op*> owned_ops;
+    for (const auto& t : g.tensors()) owned_tensors.insert(t.get());
+    for (const auto& op : g.ops()) owned_ops.insert(op.get());
+
+    for (const auto& op : g.ops()) {
+      for (const Tensor* in : op->inputs()) {
+        if (owned_tensors.count(in) == 0) {
+          emit.error(op_loc(*op), "consumes a tensor not owned by this graph",
+                     "graphs must be self-contained; rebuild the op in this graph");
+          continue;
+        }
+        if (std::find(in->consumers().begin(), in->consumers().end(), op.get()) ==
+            in->consumers().end())
+          emit.error(op_loc(*op),
+                     "reads " + tensor_loc(*in) +
+                         " but is missing from its consumer list",
+                     "wire inputs through Op::bind_input");
+      }
+      for (const Tensor* o : op->outputs()) {
+        if (owned_tensors.count(o) == 0) {
+          emit.error(op_loc(*op), "produces a tensor not owned by this graph");
+          continue;
+        }
+        if (o->producer() != op.get())
+          emit.error(op_loc(*op),
+                     "lists " + tensor_loc(*o) +
+                         " as an output but the tensor names a different producer",
+                     "wire outputs through Op::make_output");
+      }
+    }
+    for (const auto& t : g.tensors()) {
+      if (t->producer() != nullptr) {
+        if (owned_ops.count(t->producer()) == 0) {
+          emit.error(tensor_loc(*t), "produced by an op not owned by this graph");
+        } else if (std::find(t->producer()->outputs().begin(),
+                             t->producer()->outputs().end(),
+                             t.get()) == t->producer()->outputs().end()) {
+          emit.error(tensor_loc(*t),
+                     "names producer op '" + t->producer()->name() +
+                         "', which does not list it as an output",
+                     "wire outputs through Op::make_output");
+        }
+      }
+      for (const Op* c : t->consumers()) {
+        if (owned_ops.count(c) == 0) {
+          emit.error(tensor_loc(*t), "consumed by an op not owned by this graph");
+        } else if (std::find(c->inputs().begin(), c->inputs().end(), t.get()) ==
+                   c->inputs().end()) {
+          emit.error(tensor_loc(*t),
+                     "lists consumer op '" + c->name() +
+                         "', which does not read it",
+                     "wire inputs through Op::bind_input");
+        }
+      }
+    }
+
+    // A tensors-only graph is usually a serialized file truncated at a
+    // line boundary: every prefix of the format parses, so this is the
+    // only signal left.
+    if (g.ops().empty() && !g.tensors().empty())
+      emit.warning("graph '" + g.name() + "'",
+                   "declares " + std::to_string(g.tensors().size()) +
+                       " tensor(s) but no ops",
+                   "if this was loaded from a file, the file may be truncated");
+
+    // Dangling tensors: a producerless tensor must be externally
+    // materialized state (input, weight, optimizer slot, gradient seed).
+    for (const auto& t : g.tensors()) {
+      if (t->producer() != nullptr) continue;
+      const TensorRole role = t->role();
+      const bool allowed = role == TensorRole::kInput || role == TensorRole::kWeight ||
+                           role == TensorRole::kOptimizerState ||
+                           role == TensorRole::kGradient;
+      if (!allowed)
+        emit.error(tensor_loc(*t),
+                   "has no producer but is not an input/weight/state tensor",
+                   "the executor cannot materialize it; connect it to a "
+                   "producing op or change its role");
+    }
+
+    // Orphan ops: everything except the in-place weight update must
+    // produce something; unconsumed outputs are legitimate graph results
+    // and only worth a note.
+    for (const auto& op : g.ops()) {
+      if (op->outputs().empty()) {
+        if (op->type() != OpType::kApplyGradient)
+          emit.error(op_loc(*op), "produces no outputs and has no side effects",
+                     "remove the op or give it an output");
+        continue;
+      }
+      const bool all_unconsumed =
+          std::all_of(op->outputs().begin(), op->outputs().end(), [](const Tensor* t) {
+            return t->consumers().empty() && !t->is_persistent();
+          });
+      if (all_unconsumed)
+        emit.note(op_loc(*op), "none of its outputs are consumed (graph result?)");
+    }
+
+    // Cycles, via a non-throwing Kahn sweep over the wiring as found.
+    std::unordered_map<const Op*, std::size_t> index;
+    for (std::size_t i = 0; i < g.ops().size(); ++i) index.emplace(g.ops()[i].get(), i);
+    std::vector<std::size_t> unmet(g.ops().size(), 0);
+    for (std::size_t i = 0; i < g.ops().size(); ++i)
+      for (const Tensor* t : g.ops()[i]->inputs())
+        if (t->producer() != nullptr) ++unmet[i];
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < g.ops().size(); ++i)
+      if (unmet[i] == 0) ready.push_back(i);
+    std::size_t done = 0;
+    while (!ready.empty()) {
+      const std::size_t i = ready.back();
+      ready.pop_back();
+      ++done;
+      for (const Tensor* o : g.ops()[i]->outputs())
+        for (const Op* c : o->consumers()) {
+          auto it = index.find(c);
+          if (it != index.end() && --unmet[it->second] == 0) ready.push_back(it->second);
+        }
+    }
+    if (done != g.ops().size()) {
+      std::string involved;
+      std::size_t listed = 0;
+      for (std::size_t i = 0; i < g.ops().size() && listed < 3; ++i)
+        if (unmet[i] > 0) {
+          if (listed) involved += ", ";
+          involved += "'" + g.ops()[i]->name() + "'";
+          ++listed;
+        }
+      emit.error("graph '" + g.name() + "'",
+                 "contains a dependency cycle; " +
+                     std::to_string(g.ops().size() - done) +
+                     " op(s) can never become ready, e.g. " + involved,
+                 "no topological schedule exists; break the cycle");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// shapes: re-derive every op's kernel contract from its current inputs.
+// ---------------------------------------------------------------------------
+
+std::size_t pointwise_expected_arity(ir::PointwiseFn fn) {
+  using ir::PointwiseFn;
+  switch (fn) {
+    case PointwiseFn::kAdd:
+    case PointwiseFn::kSub:
+    case PointwiseFn::kMul:
+    case PointwiseFn::kSigmoidGrad:
+    case PointwiseFn::kTanhGrad:
+    case PointwiseFn::kReluGrad:
+      return 2;
+    case PointwiseFn::kAddN:
+      return 0;  // variadic
+    default:
+      return 1;
+  }
+}
+
+bool is_integral_dtype(ir::DataType t) {
+  return t == ir::DataType::kInt32 || t == ir::DataType::kInt64;
+}
+
+class ShapePass final : public Pass {
+ public:
+  const char* name() const override { return "shapes"; }
+  const char* description() const override {
+    return "op attributes vs kernel contracts: ranks, dim equality, derived output shapes";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    for (const auto& op : g.ops()) check_op(*op, emit);
+  }
+
+ private:
+  /// True (and silent) when counts match; diagnoses and asks the caller
+  /// to skip the op's dim-level checks otherwise.
+  static bool check_arity(const Op& op, std::size_t in, std::size_t n_out,
+                          const Emitter& emit) {
+    if (op.inputs().size() == in && op.outputs().size() == n_out) return true;
+    emit.error(op_loc(op),
+               "expects " + std::to_string(in) + " input(s) and " + std::to_string(n_out) +
+                   " output(s), has " + std::to_string(op.inputs().size()) + " and " +
+                   std::to_string(op.outputs().size()));
+    return false;
+  }
+
+  static void expect_shape(const Op& op, const Tensor& t, const TensorShape& want,
+                           const char* what, const Emitter& emit) {
+    if (t.shape().equals(want)) return;
+    emit.error(op_loc(op), std::string(what) + " " + tensor_loc(t) + " has shape " +
+                               t.shape().str() + ", contract requires " + want.str());
+  }
+
+  static void expect_dim(const Op& op, const Expr& got, const Expr& want,
+                         const std::string& what, const Emitter& emit) {
+    if (got.equals(want)) return;
+    emit.error(op_loc(op), what + ": " + got.str() + " vs " + want.str());
+  }
+
+  static void check_op(const Op& op, const Emitter& emit) {
+    using ir::DataType;
+    switch (op.type()) {
+      case OpType::kMatMul: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const auto& mm = static_cast<const ir::MatMulOp&>(op);
+        const TensorShape& sa = op.input(0)->shape();
+        const TensorShape& sb = op.input(1)->shape();
+        const std::size_t ra = sa.rank(), rb = sb.rank();
+        if ((ra != 2 && ra != 3) || (rb != 2 && rb != 3) || (ra == 2 && rb == 3) ||
+            (ra == 3 && rb == 2 && mm.trans_a())) {
+          emit.error(op_loc(op), "unsupported operand ranks (" + std::to_string(ra) +
+                                     ", " + std::to_string(rb) + ")");
+          return;
+        }
+        const std::size_t oa = ra - 2, ob = rb - 2;
+        const Expr m = mm.trans_a() ? sa.dim(oa + 1) : sa.dim(oa);
+        const Expr k = mm.trans_a() ? sa.dim(oa) : sa.dim(oa + 1);
+        const Expr kb = mm.trans_b() ? sb.dim(ob + 1) : sb.dim(ob);
+        const Expr n = mm.trans_b() ? sb.dim(ob) : sb.dim(ob + 1);
+        expect_dim(op, k, kb, "inner (contraction) dimensions disagree", emit);
+        if (ra == 3 && rb == 3)
+          expect_dim(op, sa.dim(0), sb.dim(0), "batch dimensions disagree", emit);
+        const TensorShape want = ra == 3 ? TensorShape{sa.dim(0), m, n} : TensorShape{m, n};
+        expect_shape(op, *op.output(0), want, "output", emit);
+        break;
+      }
+      case OpType::kConv2D: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const auto& conv = static_cast<const ir::Conv2DOp&>(op);
+        const TensorShape& in = op.input(0)->shape();
+        const TensorShape& f = op.input(1)->shape();
+        if (in.rank() != 4 || f.rank() != 4) {
+          emit.error(op_loc(op), "input and filter must be rank 4 (NHWC, KhKwCinCout)");
+          return;
+        }
+        expect_dim(op, in.dim(3), f.dim(2), "input channels vs filter Cin", emit);
+        const Expr s(static_cast<double>(conv.stride()));
+        expect_shape(op, *op.output(0),
+                     TensorShape{in.dim(0), in.dim(1) / s, in.dim(2) / s, f.dim(3)},
+                     "output", emit);
+        break;
+      }
+      case OpType::kConv2DGradInput: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const TensorShape& dy = op.input(0)->shape();
+        const TensorShape& f = op.input(1)->shape();
+        const TensorShape& dx = op.output(0)->shape();
+        if (dy.rank() != 4 || f.rank() != 4 || dx.rank() != 4) {
+          emit.error(op_loc(op), "grad_out, filter, and dInput must be rank 4");
+          return;
+        }
+        expect_dim(op, dx.dim(3), f.dim(2), "dInput channels vs filter Cin", emit);
+        expect_dim(op, dy.dim(3), f.dim(3), "grad_out channels vs filter Cout", emit);
+        break;
+      }
+      case OpType::kConv2DGradFilter: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const TensorShape& x = op.input(0)->shape();
+        const TensorShape& dy = op.input(1)->shape();
+        const TensorShape& df = op.output(0)->shape();
+        if (x.rank() != 4 || dy.rank() != 4 || df.rank() != 4) {
+          emit.error(op_loc(op), "input, grad_out, and dFilter must be rank 4");
+          return;
+        }
+        expect_dim(op, df.dim(2), x.dim(3), "dFilter Cin vs input channels", emit);
+        expect_dim(op, df.dim(3), dy.dim(3), "dFilter Cout vs grad_out channels", emit);
+        break;
+      }
+      case OpType::kPointwise: {
+        const auto& pw = static_cast<const ir::PointwiseOp&>(op);
+        const std::size_t expected = pointwise_expected_arity(pw.fn());
+        if (op.inputs().empty() || op.outputs().size() != 1 ||
+            (expected != 0 && op.inputs().size() != expected)) {
+          emit.error(op_loc(op), std::string("wrong arity for pointwise fn '") +
+                                     ir::pointwise_fn_name(pw.fn()) + "'");
+          return;
+        }
+        for (const Tensor* in : op.inputs())
+          expect_shape(op, *in, op.input(0)->shape(), "input", emit);
+        expect_shape(op, *op.output(0), op.input(0)->shape(), "output", emit);
+        break;
+      }
+      case OpType::kBiasAdd: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const TensorShape& in = op.input(0)->shape();
+        const TensorShape& bias = op.input(1)->shape();
+        if (bias.rank() != 1 || in.rank() < 1) {
+          emit.error(op_loc(op), "bias must be rank 1 and input rank >= 1");
+          return;
+        }
+        expect_dim(op, in.dim(in.rank() - 1), bias.dim(0),
+                   "trailing input dim vs bias length", emit);
+        expect_shape(op, *op.output(0), in, "output", emit);
+        break;
+      }
+      case OpType::kEmbeddingLookup: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const TensorShape& table = op.input(0)->shape();
+        if (table.rank() != 2) {
+          emit.error(op_loc(op), "table must be (V, E)");
+          return;
+        }
+        if (!is_integral_dtype(op.input(1)->dtype()))
+          emit.error(op_loc(op), "ids must have an integral dtype");
+        std::vector<Expr> want = op.input(1)->shape().dims();
+        want.push_back(table.dim(1));
+        expect_shape(op, *op.output(0), TensorShape(std::move(want)), "output", emit);
+        break;
+      }
+      case OpType::kEmbeddingGrad: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        const TensorShape& ids = op.input(0)->shape();
+        const TensorShape& dy = op.input(1)->shape();
+        const TensorShape& dt = op.output(0)->shape();
+        if (dt.rank() != 2 || dy.rank() != ids.rank() + 1) {
+          emit.error(op_loc(op), "dTable must be (V, E) and grad_out rank ids-rank + 1");
+          return;
+        }
+        expect_dim(op, dy.dim(dy.rank() - 1), dt.dim(1),
+                   "grad_out embedding dim vs dTable E", emit);
+        break;
+      }
+      case OpType::kSoftmax: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        expect_shape(op, *op.output(0), op.input(0)->shape(), "output", emit);
+        break;
+      }
+      case OpType::kSoftmaxGrad: {
+        if (!check_arity(op, 2, 1, emit)) return;
+        expect_shape(op, *op.input(1), op.input(0)->shape(), "dy input", emit);
+        expect_shape(op, *op.output(0), op.input(0)->shape(), "output", emit);
+        break;
+      }
+      case OpType::kSoftmaxXent: {
+        if (!check_arity(op, 2, 2, emit)) return;
+        const TensorShape& logits = op.input(0)->shape();
+        const TensorShape& labels = op.input(1)->shape();
+        if (logits.rank() != 2 || labels.rank() != 1) {
+          emit.error(op_loc(op), "logits must be (rows, classes) and labels (rows)");
+          return;
+        }
+        if (!is_integral_dtype(op.input(1)->dtype()))
+          emit.error(op_loc(op), "labels must have an integral dtype");
+        expect_dim(op, logits.dim(0), labels.dim(0), "row count mismatch", emit);
+        expect_shape(op, *op.output(0), TensorShape{logits.dim(0)}, "loss output", emit);
+        expect_shape(op, *op.output(1), logits, "probs output", emit);
+        break;
+      }
+      case OpType::kSoftmaxXentGrad: {
+        if (!check_arity(op, 3, 1, emit)) return;
+        const TensorShape& probs = op.input(0)->shape();
+        if (probs.rank() != 2) {
+          emit.error(op_loc(op), "probs must be (rows, classes)");
+          return;
+        }
+        expect_shape(op, *op.input(2), TensorShape{probs.dim(0)}, "dLoss input", emit);
+        expect_shape(op, *op.output(0), probs, "output", emit);
+        break;
+      }
+      case OpType::kReduce: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        const auto& red = static_cast<const ir::ReduceOp&>(op);
+        const TensorShape& in = op.input(0)->shape();
+        if (red.keep_last_n() >= in.rank()) {
+          emit.error(op_loc(op), "keep_last_n must drop at least one axis");
+          return;
+        }
+        std::vector<Expr> want;
+        for (std::size_t i = in.rank() - red.keep_last_n(); i < in.rank(); ++i)
+          want.push_back(in.dim(i));
+        expect_shape(op, *op.output(0), TensorShape(std::move(want)), "output", emit);
+        break;
+      }
+      case OpType::kBroadcast: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        const TensorShape& in = op.input(0)->shape();
+        const TensorShape& target = op.output(0)->shape();
+        if (in.rank() > target.rank()) {
+          emit.error(op_loc(op), "target rank must be >= input rank");
+          return;
+        }
+        for (std::size_t i = 0; i < in.rank(); ++i)
+          expect_dim(op, in.dim(i), target.dim(target.rank() - in.rank() + i),
+                     "input dim " + std::to_string(i) + " vs trailing target dim", emit);
+        break;
+      }
+      case OpType::kBatchNorm: {
+        if (!check_arity(op, 3, 1, emit)) return;
+        const TensorShape& in = op.input(0)->shape();
+        if (in.rank() < 2) {
+          emit.error(op_loc(op), "input must be rank >= 2");
+          return;
+        }
+        const Expr& c = in.dim(in.rank() - 1);
+        expect_shape(op, *op.input(1), TensorShape{c}, "scale input", emit);
+        expect_shape(op, *op.input(2), TensorShape{c}, "shift input", emit);
+        expect_shape(op, *op.output(0), in, "output", emit);
+        break;
+      }
+      case OpType::kBatchNormGrad: {
+        if (!check_arity(op, 3, 3, emit)) return;
+        const TensorShape& in = op.input(0)->shape();
+        expect_shape(op, *op.input(2), in, "grad_out input", emit);
+        expect_shape(op, *op.output(0), in, "dX output", emit);
+        expect_shape(op, *op.output(1), op.input(1)->shape(), "dScale output", emit);
+        expect_shape(op, *op.output(2), op.input(1)->shape(), "dShift output", emit);
+        break;
+      }
+      case OpType::kPool: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        const auto& pool = static_cast<const ir::PoolOp&>(op);
+        const TensorShape& in = op.input(0)->shape();
+        if (in.rank() != 4) {
+          emit.error(op_loc(op), "input must be NHWC rank 4");
+          return;
+        }
+        expect_shape(op, *op.output(0),
+                     TensorShape{in.dim(0),
+                                 in.dim(1) / Expr(static_cast<double>(pool.window_h())),
+                                 in.dim(2) / Expr(static_cast<double>(pool.window_w())),
+                                 in.dim(3)},
+                     "output", emit);
+        break;
+      }
+      case OpType::kPoolGrad: {
+        if (!check_arity(op, 3, 1, emit)) return;
+        expect_shape(op, *op.input(2), op.input(1)->shape(),
+                     "grad_out input (must match forward output)", emit);
+        expect_shape(op, *op.output(0), op.input(0)->shape(), "output", emit);
+        break;
+      }
+      case OpType::kConcat: {
+        const auto& cc = static_cast<const ir::ConcatOp&>(op);
+        if (op.inputs().size() < 2 || op.outputs().size() != 1) {
+          emit.error(op_loc(op), "concat needs >= 2 inputs and exactly one output");
+          return;
+        }
+        const TensorShape& first = op.input(0)->shape();
+        if (cc.axis() >= first.rank()) {
+          emit.error(op_loc(op), "axis out of range");
+          return;
+        }
+        Expr axis_total(0.0);
+        bool dims_ok = true;
+        for (const Tensor* in : op.inputs()) {
+          if (in->shape().rank() != first.rank()) {
+            emit.error(op_loc(op), "input rank mismatch: " + tensor_loc(*in));
+            dims_ok = false;
+            continue;
+          }
+          for (std::size_t d = 0; d < first.rank(); ++d)
+            if (d != cc.axis() && !in->shape().dim(d).equals(first.dim(d))) {
+              emit.error(op_loc(op), "non-axis dim " + std::to_string(d) +
+                                         " mismatch: " + tensor_loc(*in));
+              dims_ok = false;
+            }
+          axis_total = axis_total + in->shape().dim(cc.axis());
+        }
+        if (dims_ok) {
+          std::vector<Expr> want = first.dims();
+          want[cc.axis()] = axis_total;
+          expect_shape(op, *op.output(0), TensorShape(std::move(want)), "output", emit);
+        }
+        break;
+      }
+      case OpType::kSplit: {
+        const auto& sp = static_cast<const ir::SplitOp&>(op);
+        if (op.inputs().size() != 1 || op.outputs().size() != sp.parts() ||
+            sp.parts() < 1) {
+          emit.error(op_loc(op), "split must have one input and `parts` outputs");
+          return;
+        }
+        const TensorShape& in = op.input(0)->shape();
+        if (sp.axis() >= in.rank()) {
+          emit.error(op_loc(op), "axis out of range");
+          return;
+        }
+        std::vector<Expr> want = in.dims();
+        want[sp.axis()] = want[sp.axis()] / Expr(static_cast<double>(sp.parts()));
+        const TensorShape want_shape{std::move(want)};
+        for (const Tensor* o : op.outputs())
+          expect_shape(op, *o, want_shape, "output", emit);
+        break;
+      }
+      case OpType::kSlice: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        const auto& sl = static_cast<const ir::SliceOp&>(op);
+        const TensorShape& in = op.input(0)->shape();
+        const TensorShape& o = op.output(0)->shape();
+        if (sl.axis() >= in.rank() || o.rank() != in.rank()) {
+          emit.error(op_loc(op), "axis out of range or rank change");
+          return;
+        }
+        for (std::size_t d = 0; d < in.rank(); ++d)
+          if (d != sl.axis())
+            expect_dim(op, o.dim(d), in.dim(d),
+                       "non-axis dim " + std::to_string(d) + " must pass through", emit);
+        break;
+      }
+      case OpType::kReshape: {
+        if (!check_arity(op, 1, 1, emit)) return;
+        if (!op.input(0)->num_elements().equals(op.output(0)->num_elements()))
+          emit.error(op_loc(op), "element count changes across reshape: " +
+                                     op.input(0)->shape().str() + " -> " +
+                                     op.output(0)->shape().str(),
+                     "reshape is a view change; it must preserve the element count");
+        break;
+      }
+      case OpType::kApplyGradient: {
+        const auto& ag = static_cast<const ir::ApplyGradientOp&>(op);
+        if (op.inputs().size() != 2 + ag.num_slots() || !op.outputs().empty()) {
+          emit.error(op_loc(op),
+                     "must read weight + gradient + " + std::to_string(ag.num_slots()) +
+                         " optimizer slot(s) and produce no outputs");
+          return;
+        }
+        if (op.input(0)->role() != TensorRole::kWeight)
+          emit.error(op_loc(op), "first operand " + tensor_loc(*op.input(0)) +
+                                     " is not a weight tensor");
+        for (std::size_t s = 2; s < op.inputs().size(); ++s) {
+          if (op.input(s)->role() != TensorRole::kOptimizerState)
+            emit.error(op_loc(op), "slot operand " + tensor_loc(*op.input(s)) +
+                                       " is not optimizer state");
+          expect_shape(op, *op.input(s), op.input(0)->shape(), "optimizer slot", emit);
+        }
+        break;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// symbolic: sanity of the closed-form expressions everything is built on.
+// ---------------------------------------------------------------------------
+
+class SymbolicPass final : public Pass {
+ public:
+  const char* name() const override { return "symbolic"; }
+  const char* description() const override {
+    return "dims provably positive and FLOP/byte formulas non-negative under "
+           "positive-symbol assumptions";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    for (const auto& t : g.tensors()) {
+      for (std::size_t i = 0; i < t->shape().rank(); ++i) {
+        const Expr& d = t->shape().dim(i);
+        switch (sym::sign_of(d)) {
+          case sym::Sign::kPositive:
+            break;
+          case sym::Sign::kZero:
+          case sym::Sign::kNegative:
+          case sym::Sign::kNonPositive:
+            emit.error(tensor_loc(*t), "dimension " + std::to_string(i) + " = " +
+                                           d.str() + " is provably non-positive",
+                       "dimensions are counts and must be >= 1 for every binding");
+            break;
+          default:
+            emit.warning(tensor_loc(*t),
+                         "cannot prove dimension " + std::to_string(i) + " = " + d.str() +
+                             " positive under positive-symbol assumptions",
+                         "some bindings may make this dimension <= 0 and every "
+                         "derived count wrong");
+        }
+      }
+    }
+    for (const auto& op : g.ops()) {
+      check_formula(*op, op->flops(), "FLOP", emit);
+      check_formula(*op, op->bytes_accessed(), "byte", emit);
+    }
+  }
+
+ private:
+  static void check_formula(const Op& op, const Expr& e, const char* what,
+                            const Emitter& emit) {
+    switch (sym::sign_of(e)) {
+      case sym::Sign::kPositive:
+      case sym::Sign::kNonNegative:
+      case sym::Sign::kZero:
+        break;
+      case sym::Sign::kNegative:
+        emit.error(op_loc(op), std::string(what) + " formula " + e.str() +
+                                   " is provably negative",
+                   "aggregate tables would subtract work; fix the op's cost model");
+        break;
+      default:
+        emit.warning(op_loc(op), std::string("cannot prove ") + what + " formula " +
+                                     e.str() + " non-negative");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// gradients: training-step invariants over the weight-update ops.
+// ---------------------------------------------------------------------------
+
+class GradientPass final : public Pass {
+ public:
+  const char* name() const override { return "gradients"; }
+  const char* description() const override {
+    return "every trainable weight receives exactly one matching-shape update";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    bool is_training_graph = false;
+    std::unordered_map<const Tensor*, std::vector<const Op*>> updates;
+    for (const auto& op : g.ops()) {
+      if (op->type() != OpType::kApplyGradient) continue;
+      is_training_graph = true;
+      if (!op->inputs().empty()) updates[op->input(0)].push_back(op.get());
+    }
+    if (!is_training_graph) return;  // forward-only graphs carry no updates
+
+    for (const Tensor* w : g.weights()) {
+      auto it = updates.find(w);
+      if (it == updates.end()) {
+        emit.error(tensor_loc(*w),
+                   "trainable weight never receives a gradient update",
+                   "dead weights skew parameter counts and weight memory; "
+                   "connect the weight to the loss or drop it");
+        continue;
+      }
+      if (it->second.size() > 1)
+        emit.error(tensor_loc(*w),
+                   "updated by " + std::to_string(it->second.size()) +
+                       " ApplyGradient ops",
+                   "multiple in-place updates of one buffer have no defined order");
+      for (const Op* update : it->second) {
+        if (update->inputs().size() < 2) continue;  // arity diagnosed by shapes pass
+        const Tensor* grad = update->input(1);
+        if (!grad->shape().equals(w->shape()))
+          emit.error("op '" + update->name() + "'",
+                     "gradient " + tensor_loc(*grad) + " has shape " +
+                         grad->shape().str() + " but weight " + tensor_loc(*w) +
+                         " has shape " + w->shape().str(),
+                     "the in-place update would read out of bounds");
+        if (grad->dtype() != w->dtype())
+          emit.warning("op '" + update->name() + "'",
+                       "gradient dtype differs from weight dtype");
+        if (grad->producer() != nullptr && grad->role() != TensorRole::kWeightGradient)
+          emit.warning(tensor_loc(*grad),
+                       "feeds a weight update but is not marked kWeightGradient",
+                       "the footprint estimator treats weight gradients as persistent");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_race_pass();  // race.cpp
+
+std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(std::make_unique<StructurePass>());
+  passes.push_back(std::make_unique<ShapePass>());
+  passes.push_back(std::make_unique<SymbolicPass>());
+  passes.push_back(std::make_unique<GradientPass>());
+  passes.push_back(make_race_pass());
+  return passes;
+}
+
+}  // namespace gf::verify

@@ -1,0 +1,169 @@
+// Static race checker over the scheduler DAG.
+//
+// The wavefront executor (rt::Executor) runs any two ops concurrently
+// unless the op DAG orders them. Proving the whole *family* of feasible
+// schedules race-free therefore reduces to a static property of the DAG:
+// for every buffer, every pair of accessing ops where at least one
+// writes must be connected by a directed path. This pass re-derives each
+// op's buffer accesses from the graph (outputs are writes; inputs are
+// reads; ApplyGradient's weight and optimizer-slot operands are
+// read-writes) and checks path connectivity for every conflicting pair —
+// so a hazard edge deleted from the DAG surfaces as a concrete
+// "these two ops may run concurrently" diagnostic rather than a
+// once-in-a-thousand-runs nondeterministic corruption.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::Graph;
+using ir::Op;
+using ir::OpDag;
+using ir::OpType;
+using ir::Tensor;
+
+constexpr std::uint8_t kRead = 1;
+constexpr std::uint8_t kWrite = 2;
+
+const char* access_name(std::uint8_t a) {
+  if (a == (kRead | kWrite)) return "updates in place";
+  return (a & kWrite) != 0 ? "writes" : "reads";
+}
+
+/// Answers "is there a directed path from `from` to `to`?" on a DAG whose
+/// edges all go forward in topological order. Intact graphs order every
+/// conflicting pair with a *direct* edge (data dep or hazard edge), so the
+/// binary-search fast path almost always settles it; the DFS fallback
+/// covers transitive orderings and only visits indices in (from, to].
+class ReachOracle {
+ public:
+  explicit ReachOracle(const OpDag& dag)
+      : dag_(&dag), mark_(dag.order.size(), 0) {}
+
+  bool reaches(std::size_t from, std::size_t to) {
+    const auto& direct = dag_->successors[from];
+    if (std::binary_search(direct.begin(), direct.end(), to)) return true;
+    ++epoch_;
+    stack_.clear();
+    stack_.push_back(from);
+    while (!stack_.empty()) {
+      const std::size_t at = stack_.back();
+      stack_.pop_back();
+      for (const std::size_t next : dag_->successors[at]) {
+        if (next > to) break;  // successors sorted ascending; rest are past `to`
+        if (next == to) return true;
+        if (mark_[next] == epoch_) continue;
+        mark_[next] = epoch_;
+        stack_.push_back(next);
+      }
+    }
+    return false;
+  }
+
+ private:
+  const OpDag* dag_;
+  std::vector<std::uint32_t> mark_;  // epoch-stamped visited set, no clearing
+  std::vector<std::size_t> stack_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> check_races(const Graph& graph, const OpDag& dag) {
+  (void)graph;  // accesses are re-derived from the ops in dag.order
+  std::vector<Diagnostic> out;
+  const std::size_t n = dag.order.size();
+
+  // Re-derive every op's buffer accesses, merged per (tensor, op): an op
+  // that touches a tensor through several operands gets one combined mode.
+  std::unordered_map<const Tensor*, std::vector<std::pair<std::size_t, std::uint8_t>>>
+      accesses;
+  auto touch = [&](const Tensor* t, std::size_t op_index, std::uint8_t mode) {
+    auto& list = accesses[t];
+    for (auto& [idx, m] : list)
+      if (idx == op_index) {
+        m |= mode;
+        return;
+      }
+    list.emplace_back(op_index, mode);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op* op = dag.order[i];
+    for (const Tensor* o : op->outputs()) touch(o, i, kWrite);
+    const bool in_place = op->type() == OpType::kApplyGradient;
+    for (std::size_t k = 0; k < op->inputs().size(); ++k) {
+      const std::uint8_t mode =
+          (in_place && k != 1) ? static_cast<std::uint8_t>(kRead | kWrite) : kRead;
+      touch(op->input(k), i, mode);
+    }
+  }
+
+  ReachOracle oracle(dag);
+  for (const auto& [tensor, list_const] : accesses) {
+    auto list = list_const;
+    std::sort(list.begin(), list.end());  // topological order within the tensor
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        const auto [ia, ma] = list[a];
+        const auto [ib, mb] = list[b];
+        if (((ma | mb) & kWrite) == 0) continue;  // read/read pairs never race
+        if (oracle.reaches(ia, ib)) continue;
+        const Op* first = dag.order[ia];
+        const Op* second = dag.order[ib];
+        out.push_back(
+            {Severity::kError, "races", "tensor '" + tensor->name() + "'",
+             "ops '" + first->name() + "' (" + access_name(ma) + ") and '" +
+                 second->name() + "' (" + access_name(mb) +
+                 ") are unordered in the scheduler DAG and share this buffer",
+             "a wavefront schedule may run them concurrently; add the missing "
+             "dependency (hazard) edge"});
+      }
+    }
+  }
+  // Deterministic report order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(), [](const Diagnostic& x, const Diagnostic& y) {
+    return std::tie(x.location, x.message) < std::tie(y.location, y.message);
+  });
+  return out;
+}
+
+namespace {
+
+class RacePass final : public Pass {
+ public:
+  const char* name() const override { return "races"; }
+  const char* description() const override {
+    return "no unordered op pair shares a buffer with a write (all wavefront "
+           "schedules race-free)";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    OpDag dag;
+    try {
+      dag = ir::build_op_dag(g);
+    } catch (const std::exception& e) {
+      out.push_back({Severity::kError, name(), "graph '" + g.name() + "'",
+                     std::string("cannot construct the scheduler DAG: ") + e.what(),
+                     "fix the structural errors first; race analysis needs a "
+                     "valid topological order"});
+      return;
+    }
+    auto findings = check_races(g, dag);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_race_pass() { return std::make_unique<RacePass>(); }
+
+}  // namespace gf::verify

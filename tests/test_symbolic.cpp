@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/symbolic/expr.h"
+#include "src/symbolic/sign.h"
 
 namespace gf::sym {
 namespace {
@@ -150,6 +151,43 @@ TEST(Expr, SymbolNameValidation) {
 TEST(Expr, AccessorsThrowOnWrongKind) {
   EXPECT_THROW(x.constant_value(), std::logic_error);
   EXPECT_THROW(Expr(3).symbol_name(), std::logic_error);
+}
+
+// --- sign analysis (src/symbolic/sign.h) -----------------------------------
+// All under the standing assumption that free symbols are > 0.
+
+TEST(Sign, ConstantsAndSymbols) {
+  EXPECT_EQ(sign_of(Expr(3)), Sign::kPositive);
+  EXPECT_EQ(sign_of(Expr(0)), Sign::kZero);
+  EXPECT_EQ(sign_of(Expr(-2)), Sign::kNegative);
+  EXPECT_EQ(sign_of(x), Sign::kPositive);
+}
+
+TEST(Sign, SumsAndProducts) {
+  const Expr y = Expr::symbol("y");
+  EXPECT_EQ(sign_of(x + y + Expr(1)), Sign::kPositive);
+  EXPECT_EQ(sign_of(x * y), Sign::kPositive);
+  EXPECT_EQ(sign_of(-x), Sign::kNegative);
+  EXPECT_EQ(sign_of(Expr(-3) * x * y), Sign::kNegative);
+  EXPECT_EQ(sign_of(x - x), Sign::kZero);
+  EXPECT_EQ(sign_of(x - Expr(1)), Sign::kUnknown);  // x>0 does not bound x-1
+  EXPECT_EQ(sign_of(-x - Expr(2)), Sign::kNegative);
+}
+
+TEST(Sign, PowersLogsAndMax) {
+  EXPECT_EQ(sign_of(sqrt(x)), Sign::kPositive);
+  EXPECT_EQ(sign_of(Expr(6) / x), Sign::kPositive);
+  EXPECT_EQ(sign_of(pow(x - Expr(1), Rational{2, 1})), Sign::kNonNegative);
+  EXPECT_EQ(sign_of(log(x)), Sign::kUnknown);  // log(x) < 0 for x < 1
+  EXPECT_EQ(sign_of(max(x - Expr(5), Expr(1))), Sign::kPositive);
+}
+
+TEST(Sign, ProvablyHelpers) {
+  EXPECT_TRUE(provably_positive(x * Expr(2)));
+  EXPECT_FALSE(provably_positive(x - Expr(1)));
+  EXPECT_TRUE(provably_nonnegative(Expr(0)));
+  EXPECT_TRUE(provably_nonnegative(pow(x - Expr(1), Rational{2, 1})));
+  EXPECT_FALSE(provably_nonnegative(Expr(1) - x));
 }
 
 }  // namespace

@@ -117,6 +117,8 @@ void BM_ExecutorStepSchedule(benchmark::State& state) {
   state.counters["step_flops"] = report.total_flops;
   state.counters["step_bytes"] = report.total_bytes;
   state.counters["arena_peak"] = static_cast<double>(report.peak_allocated_bytes);
+  if (report.total_seconds > 0)
+    state.counters["achieved_gflops"] = report.total_flops / report.total_seconds / 1e9;
   if (const char* path = std::getenv("GF_CHROME_TRACE")) {
     std::ofstream os(path);
     report.write_chrome_trace(os);

@@ -6,8 +6,10 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "src/concurrency/thread_pool.h"
 #include "src/ir/footprint.h"
 #include "src/models/models.h"
+#include "src/runtime/executor.h"
 #include "src/scaling/projection.h"
 
 int main() {
@@ -65,6 +67,27 @@ int main() {
                                       timeline.size())
               << " through the step) -> end "
               << util::format_bytes(timeline.back().live_bytes) << "\n";
+  }
+
+  // Executed (not just counted) utilization, in the paper's Fig. 9 terms:
+  // run one numeric training step at toy scale and report per-op-type
+  // achieved GFLOP/s next to the FLOP/byte split. Matrix ops should sit
+  // well above the memory-bound pointwise/reduce tail.
+  {
+    models::WordLmConfig cfg;
+    cfg.vocab = 256;
+    cfg.layers = 2;
+    cfg.seq_length = 8;
+    const auto spec = models::build_word_lm(cfg);
+    conc::ThreadPool pool(4);
+    rt::ExecutorOptions opt;
+    opt.pool = &pool;
+    rt::Executor ex(*spec.graph, spec.bind(64, 8), opt);
+    ex.run_step();  // warm up allocations and thread-local scratch
+    const rt::ProfileReport report = ex.run_step();
+    std::cout << "\nword LM, numeric step at toy scale (achieved GFLOP/s per"
+                 " op type):\n";
+    report.print(std::cout);
   }
 
   std::cout << "\nReading: matrix ops (MatMul/Conv2D + their gradients) dominate\n"

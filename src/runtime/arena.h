@@ -1,5 +1,6 @@
 // Allocation accounting, mirroring the TensorFlow-allocator measurement the
-// paper compares its topological footprint estimates against (Figure 10).
+// paper compares its topological footprint estimates against (Figure 10),
+// plus the aligned allocator every runtime buffer goes through.
 //
 // Lock-free: the wavefront executor allocates from its dispatch thread while
 // worker threads release retired activations concurrently, so current/peak
@@ -8,9 +9,51 @@
 
 #include <atomic>
 #include <cstddef>
+#include <new>
 #include <stdexcept>
+#include <vector>
 
 namespace gf::rt {
+
+/// All DenseTensor storage and GEMM packing scratch is aligned to this so
+/// packed tiles start on cacheline boundaries and SIMD loads never split.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Minimal std::allocator replacement with a fixed over-alignment.
+template <typename T, std::size_t Alignment = kTensorAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Cacheline-aligned vector: tensor buffers, packed GEMM panels, im2col
+/// scratch.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 class ArenaAccounting {
  public:

@@ -1,5 +1,7 @@
 #include "src/runtime/dense_tensor.h"
 
+#include <cassert>
+#include <cstdint>
 #include <stdexcept>
 
 namespace gf::rt {
@@ -14,9 +16,11 @@ DenseTensor::DenseTensor(std::vector<std::int64_t> shape, ir::DataType dtype)
   if (dtype_ == ir::DataType::kFloat32 || dtype_ == ir::DataType::kFloat16) {
     dtype_ = ir::DataType::kFloat32;  // runtime computes in fp32
     fbuf_.assign(static_cast<std::size_t>(numel_), 0.0f);
+    assert(reinterpret_cast<std::uintptr_t>(fbuf_.data()) % kTensorAlignment == 0);
   } else {
     dtype_ = ir::DataType::kInt32;
     ibuf_.assign(static_cast<std::size_t>(numel_), 0);
+    assert(reinterpret_cast<std::uintptr_t>(ibuf_.data()) % kTensorAlignment == 0);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/ir/tensor.h"
+#include "src/runtime/arena.h"
 
 namespace gf::rt {
 
@@ -44,8 +45,9 @@ class DenseTensor {
   std::vector<std::int64_t> shape_;
   ir::DataType dtype_ = ir::DataType::kFloat32;
   std::int64_t numel_ = 0;
-  std::vector<float> fbuf_;
-  std::vector<std::int32_t> ibuf_;
+  // Cacheline-aligned so packed GEMM tiles and SIMD loads start aligned.
+  AlignedVector<float> fbuf_;
+  AlignedVector<std::int32_t> ibuf_;
 };
 
 }  // namespace gf::rt

@@ -395,84 +395,85 @@ void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
     }
     case OpType::kConv2D: {
       const auto& c = static_cast<const ir::Conv2DOp&>(op);
-      conv2d(*in[0], *in[1], *out[0], c.stride(), stats);
+      conv2d(*in[0], *in[1], *out[0], c.stride(), *pool_, stats);
       break;
     }
     case OpType::kConv2DGradInput: {
       const auto& c = static_cast<const ir::Conv2DGradInputOp&>(op);
-      conv2d_grad_input(*in[0], *in[1], *out[0], c.stride(), stats);
+      conv2d_grad_input(*in[0], *in[1], *out[0], c.stride(), *pool_, stats);
       break;
     }
     case OpType::kConv2DGradFilter: {
       const auto& c = static_cast<const ir::Conv2DGradFilterOp&>(op);
-      conv2d_grad_filter(*in[0], *in[1], *out[0], c.stride(), stats);
+      conv2d_grad_filter(*in[0], *in[1], *out[0], c.stride(), *pool_, stats);
       break;
     }
     case OpType::kPointwise: {
       const auto& p = static_cast<const ir::PointwiseOp&>(op);
-      pointwise(p.fn(), const_inputs(), p.scale_alpha().eval(bindings_), *out[0], stats);
+      pointwise(p.fn(), const_inputs(), p.scale_alpha().eval(bindings_), *out[0], *pool_,
+                stats);
       break;
     }
     case OpType::kBiasAdd:
-      bias_add(*in[0], *in[1], *out[0], stats);
+      bias_add(*in[0], *in[1], *out[0], *pool_, stats);
       break;
     case OpType::kEmbeddingLookup:
-      embedding_lookup(*in[0], *in[1], *out[0], stats);
+      embedding_lookup(*in[0], *in[1], *out[0], *pool_, stats);
       break;
     case OpType::kEmbeddingGrad:
-      embedding_grad(*in[0], *in[1], *out[0], stats);
+      embedding_grad(*in[0], *in[1], *out[0], *pool_, stats);
       break;
     case OpType::kSoftmax:
-      softmax(*in[0], *out[0], stats);
+      softmax(*in[0], *out[0], *pool_, stats);
       break;
     case OpType::kSoftmaxGrad:
-      softmax_grad(*in[0], *in[1], *out[0], stats);
+      softmax_grad(*in[0], *in[1], *out[0], *pool_, stats);
       break;
     case OpType::kSoftmaxXent:
-      softmax_xent(*in[0], *in[1], *out[0], *out[1], stats);
+      softmax_xent(*in[0], *in[1], *out[0], *out[1], *pool_, stats);
       break;
     case OpType::kSoftmaxXentGrad:
-      softmax_xent_grad(*in[0], *in[1], *in[2], *out[0], stats);
+      softmax_xent_grad(*in[0], *in[1], *in[2], *out[0], *pool_, stats);
       break;
     case OpType::kReduce: {
       const auto& red = static_cast<const ir::ReduceOp&>(op);
-      reduce(red.reduce_kind(), *in[0], *out[0], stats);
+      reduce(red.reduce_kind(), *in[0], *out[0], *pool_, stats);
       break;
     }
     case OpType::kBroadcast:
-      broadcast(*in[0], *out[0], stats);
+      broadcast(*in[0], *out[0], *pool_, stats);
       break;
     case OpType::kBatchNorm:
-      batch_norm(*in[0], *in[1], *in[2], *out[0], stats);
+      batch_norm(*in[0], *in[1], *in[2], *out[0], *pool_, stats);
       break;
     case OpType::kBatchNormGrad:
-      batch_norm_grad(*in[0], *in[1], *in[2], *out[0], *out[1], *out[2], stats);
+      batch_norm_grad(*in[0], *in[1], *in[2], *out[0], *out[1], *out[2], *pool_, stats);
       break;
     case OpType::kPool: {
       const auto& p = static_cast<const ir::PoolOp&>(op);
-      pool(p.pool_kind(), *in[0], *out[0], p.window_h(), p.window_w(), stats);
+      pool(p.pool_kind(), *in[0], *out[0], p.window_h(), p.window_w(), *pool_, stats);
       break;
     }
     case OpType::kPoolGrad: {
       const auto& p = static_cast<const ir::PoolGradOp&>(op);
       pool_grad(p.pool_kind(), *in[0], *in[1], *in[2], *out[0], p.window_h(),
-                p.window_w(), stats);
+                p.window_w(), *pool_, stats);
       break;
     }
     case OpType::kConcat: {
       const auto& c = static_cast<const ir::ConcatOp&>(op);
-      concat(const_inputs(), c.axis(), *out[0], stats);
+      concat(const_inputs(), c.axis(), *out[0], *pool_, stats);
       break;
     }
     case OpType::kSplit: {
       const auto& s = static_cast<const ir::SplitOp&>(op);
-      split(*in[0], s.axis(), out, stats);
+      split(*in[0], s.axis(), out, *pool_, stats);
       break;
     }
     case OpType::kSlice: {
       const auto& s = static_cast<const ir::SliceOp&>(op);
       slice(*in[0], s.axis(), static_cast<std::int64_t>(s.offset().eval(bindings_)),
-            *out[0], stats);
+            *out[0], *pool_, stats);
       break;
     }
     case OpType::kReshape:
@@ -483,7 +484,7 @@ void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
       const auto& a = static_cast<const ir::ApplyGradientOp&>(op);
       std::vector<DenseTensor*> slots(in.begin() + 2, in.end());
       apply_gradient(a.optimizer(), *in[0], *in[1], slots, options_.learning_rate,
-                     stats);
+                     *pool_, stats);
       break;
     }
   }

@@ -1,0 +1,253 @@
+#include "src/runtime/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/runtime/arena.h"
+
+namespace gf::rt {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+std::int64_t round_down_to(std::int64_t v, std::int64_t unit) {
+  const std::int64_t r = (v / unit) * unit;
+  return r < unit ? unit : r;
+}
+
+KernelBackend backend_from_env() {
+  const char* env = std::getenv("GF_REFERENCE_KERNELS");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0')
+    return KernelBackend::kReference;
+  return KernelBackend::kBlocked;
+}
+
+std::atomic<KernelBackend>& backend_state() {
+  static std::atomic<KernelBackend> state{backend_from_env()};
+  return state;
+}
+
+/// Per-thread packing/accumulator scratch. Workers are long-lived pool
+/// threads and a `parallel_for` iteration never yields mid-tile, so one
+/// scratch set per thread is race-free by construction.
+struct GemmScratch {
+  AlignedVector<float> a_panel;
+  AlignedVector<float> b_panel;
+  AlignedVector<double> acc;
+};
+
+GemmScratch& thread_scratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
+}
+
+/// Packs the (mc_eff x kc_eff) block of op(A) at (i0, kk) into kMr-row
+/// strips, k-major within a strip: a_panel[(ib*kc_eff + p)*kMr + i].
+/// Rows past mc_eff are zero-padded so the micro-kernel needs no edge
+/// branches. The transpose flag dies here: the strip layout is identical
+/// either way.
+void pack_a(const float* a, bool trans_a, std::int64_t m, std::int64_t k,
+            std::int64_t i0, std::int64_t kk, std::int64_t mc_eff,
+            std::int64_t kc_eff, float* panel) {
+  const std::int64_t mr_blocks = ceil_div(mc_eff, kGemmMr);
+  for (std::int64_t ib = 0; ib < mr_blocks; ++ib) {
+    float* strip = panel + ib * kc_eff * kGemmMr;
+    const std::int64_t rows = std::min(kGemmMr, mc_eff - ib * kGemmMr);
+    for (std::int64_t p = 0; p < kc_eff; ++p) {
+      float* dst = strip + p * kGemmMr;
+      const std::int64_t col = kk + p;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const std::int64_t row = i0 + ib * kGemmMr + i;
+        dst[i] = trans_a ? a[col * m + row] : a[row * k + col];
+      }
+      for (std::int64_t i = rows; i < kGemmMr; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+/// Packs the (kc_eff x nc_eff) block of op(B) at (kk, j0) into kNr-column
+/// strips, k-major within a strip: b_panel[(jb*kc_eff + p)*kNr + j].
+void pack_b(const float* b, bool trans_b, std::int64_t k, std::int64_t n,
+            std::int64_t kk, std::int64_t j0, std::int64_t kc_eff,
+            std::int64_t nc_eff, float* panel) {
+  const std::int64_t nr_blocks = ceil_div(nc_eff, kGemmNr);
+  for (std::int64_t jb = 0; jb < nr_blocks; ++jb) {
+    float* strip = panel + jb * kc_eff * kGemmNr;
+    const std::int64_t cols = std::min(kGemmNr, nc_eff - jb * kGemmNr);
+    for (std::int64_t p = 0; p < kc_eff; ++p) {
+      float* dst = strip + p * kGemmNr;
+      const std::int64_t row = kk + p;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int64_t col = j0 + jb * kGemmNr + j;
+        dst[j] = trans_b ? b[col * k + row] : b[row * n + col];
+      }
+      for (std::int64_t j = cols; j < kGemmNr; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// kMr x kNr register tile: acc[i][j] += fl(A[p][i] * B[p][j]) for p
+/// ascending. Products are rounded to float (exactly as the reference
+/// kernel's `acc += a * b` does) and accumulated in double, so the k-chain
+/// per element is bit-identical to the naive loop.
+void micro_kernel(const float* a_strip, const float* b_strip, std::int64_t kc_eff,
+                  double* acc) {
+  for (std::int64_t p = 0; p < kc_eff; ++p) {
+    const float* arow = a_strip + p * kGemmMr;
+    const float* brow = b_strip + p * kGemmNr;
+    for (std::int64_t i = 0; i < kGemmMr; ++i) {
+      const float av = arow[i];
+      double* accrow = acc + i * kGemmNr;
+      for (std::int64_t j = 0; j < kGemmNr; ++j)
+        accrow[j] += static_cast<double>(av * brow[j]);
+    }
+  }
+}
+
+}  // namespace
+
+GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes) {
+  // Same square-tile rule as hw::tiled_matmul_bytes: three T x T operand
+  // tiles (A, B, C blocks) share the cache.
+  double tile = std::floor(std::sqrt(cache_bytes / (3.0 * static_cast<double>(
+                                                              dtype_bytes))));
+  if (tile < 1.0) tile = 1.0;
+  const auto t = static_cast<std::int64_t>(tile);
+  GemmTiling tl;
+  tl.mc = round_down_to(t, kGemmMr);
+  tl.nc = round_down_to(t, kGemmNr);
+  tl.kc = std::max<std::int64_t>(t, 1);
+  return tl;
+}
+
+double gemm_model_cache_bytes() {
+  static const double cached = [] {
+    if (const char* env = std::getenv("GF_GEMM_CACHE_BYTES")) {
+      const double v = std::atof(env);
+      if (v > 0) return v;
+    }
+    return 256.0 * 1024.0;  // a per-core L2-like working set
+  }();
+  return cached;
+}
+
+const GemmTiling& default_gemm_tiling() {
+  static const GemmTiling tiling =
+      select_gemm_tiling(gemm_model_cache_bytes(), sizeof(float));
+  return tiling;
+}
+
+void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+                  bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
+                  std::int64_t c_stride, const GemmTiling& tiling,
+                  conc::ThreadPool& pool, GemmTraffic* traffic) {
+  const std::int64_t mt = ceil_div(m, tiling.mc);
+  const std::int64_t nt = ceil_div(n, tiling.nc);
+  const std::int64_t tiles = batch * mt * nt;
+  std::atomic<std::int64_t> a_packed{0}, b_packed{0}, c_written{0};
+  const bool count = traffic != nullptr;
+
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(tiles), [&](std::size_t t) {
+    const auto ti = static_cast<std::int64_t>(t);
+    const std::int64_t bi = ti / (mt * nt);
+    const std::int64_t im = (ti / nt) % mt;
+    const std::int64_t jn = ti % nt;
+
+    const float* a_mat = a + bi * a_stride;
+    const float* b_mat = b + bi * b_stride;
+    float* c_mat = c + bi * c_stride;
+
+    const std::int64_t i0 = im * tiling.mc;
+    const std::int64_t j0 = jn * tiling.nc;
+    const std::int64_t mc_eff = std::min(tiling.mc, m - i0);
+    const std::int64_t nc_eff = std::min(tiling.nc, n - j0);
+    const std::int64_t mr_blocks = ceil_div(mc_eff, kGemmMr);
+    const std::int64_t nr_blocks = ceil_div(nc_eff, kGemmNr);
+
+    GemmScratch& scratch = thread_scratch();
+    const std::size_t acc_size =
+        static_cast<std::size_t>(mr_blocks * nr_blocks * kGemmMr * kGemmNr);
+    if (scratch.acc.size() < acc_size) scratch.acc.resize(acc_size);
+    std::fill(scratch.acc.begin(), scratch.acc.begin() + acc_size, 0.0);
+
+    // One double-accumulator pass per tile: KC blocks stream through the
+    // packed panels in ascending-k order, C is converted to float once.
+    for (std::int64_t kk = 0; kk < k; kk += tiling.kc) {
+      const std::int64_t kc_eff = std::min(tiling.kc, k - kk);
+      const std::size_t a_size = static_cast<std::size_t>(mr_blocks * kGemmMr * kc_eff);
+      const std::size_t b_size = static_cast<std::size_t>(nr_blocks * kGemmNr * kc_eff);
+      if (scratch.a_panel.size() < a_size) scratch.a_panel.resize(a_size);
+      if (scratch.b_panel.size() < b_size) scratch.b_panel.resize(b_size);
+      pack_a(a_mat, trans_a, m, k, i0, kk, mc_eff, kc_eff, scratch.a_panel.data());
+      pack_b(b_mat, trans_b, k, n, kk, j0, kc_eff, nc_eff, scratch.b_panel.data());
+      if (count) {
+        a_packed.fetch_add(static_cast<std::int64_t>(a_size * sizeof(float)),
+                           std::memory_order_relaxed);
+        b_packed.fetch_add(static_cast<std::int64_t>(b_size * sizeof(float)),
+                           std::memory_order_relaxed);
+      }
+      for (std::int64_t jb = 0; jb < nr_blocks; ++jb)
+        for (std::int64_t ib = 0; ib < mr_blocks; ++ib)
+          micro_kernel(scratch.a_panel.data() + ib * kc_eff * kGemmMr,
+                       scratch.b_panel.data() + jb * kc_eff * kGemmNr, kc_eff,
+                       scratch.acc.data() +
+                           (ib * nr_blocks + jb) * kGemmMr * kGemmNr);
+    }
+
+    for (std::int64_t ib = 0; ib < mr_blocks; ++ib) {
+      const std::int64_t rows = std::min(kGemmMr, mc_eff - ib * kGemmMr);
+      for (std::int64_t jb = 0; jb < nr_blocks; ++jb) {
+        const std::int64_t cols = std::min(kGemmNr, nc_eff - jb * kGemmNr);
+        const double* acc = scratch.acc.data() + (ib * nr_blocks + jb) * kGemmMr * kGemmNr;
+        for (std::int64_t i = 0; i < rows; ++i) {
+          float* crow = c_mat + (i0 + ib * kGemmMr + i) * n + j0 + jb * kGemmNr;
+          for (std::int64_t j = 0; j < cols; ++j)
+            crow[j] = static_cast<float>(acc[i * kGemmNr + j]);
+        }
+      }
+    }
+    if (count)
+      c_written.fetch_add(mc_eff * nc_eff * static_cast<std::int64_t>(sizeof(float)),
+                          std::memory_order_relaxed);
+  });
+
+  if (traffic != nullptr) {
+    traffic->a_packed_bytes += static_cast<double>(a_packed.load());
+    traffic->b_packed_bytes += static_cast<double>(b_packed.load());
+    traffic->c_bytes += static_cast<double>(c_written.load());
+  }
+}
+
+void reference_gemm(const float* a, const float* b, float* c, std::int64_t batch,
+                    std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+                    bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
+                    std::int64_t c_stride, conc::ThreadPool& pool) {
+  auto at = [&](std::int64_t bi, std::int64_t r, std::int64_t col) {
+    return a[bi * a_stride + (trans_a ? col * m + r : r * k + col)];
+  };
+  auto bt = [&](std::int64_t bi, std::int64_t r, std::int64_t col) {
+    return b[bi * b_stride + (trans_b ? col * k + r : r * n + col)];
+  };
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(batch * m), [&](std::size_t idx) {
+    const std::int64_t bi = static_cast<std::int64_t>(idx) / m;
+    const std::int64_t r = static_cast<std::int64_t>(idx) % m;
+    for (std::int64_t col = 0; col < n; ++col) {
+      double acc = 0;
+      for (std::int64_t x = 0; x < k; ++x) acc += at(bi, r, x) * bt(bi, x, col);
+      c[bi * c_stride + r * n + col] = static_cast<float>(acc);
+    }
+  });
+}
+
+KernelBackend kernel_backend() {
+  return backend_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) {
+  backend_state().store(backend, std::memory_order_relaxed);
+}
+
+}  // namespace gf::rt

@@ -1,0 +1,99 @@
+// Cache-blocked, packed GEMM core — the numeric-runtime counterpart of the
+// paper's cache-hierarchy execution model (`hw/cache_model.h`).
+//
+// The hardware analysis (§4, Table 4, Fig. 9) assumes matrix ops run as a
+// tiled GEMM whose square tile edge follows the Coleman–McKinley rule
+//   T = floor(sqrt(cache_bytes / (3 * dtype_bytes)))
+// and whose off-chip traffic is
+//   A: M*K * ceil(N/T)   B: K*N * ceil(M/T)   C: 2*M*N     (elements).
+// This file implements exactly that algorithm, so the executor's measured
+// behaviour can validate the model instead of contradicting it:
+//
+//  - KC/MC/NC cache blocks are derived from the same tile rule
+//    (`select_gemm_tiling`), with MC/NC rounded to register-tile multiples.
+//  - A and B panels are packed into contiguous micro-tile strips; the
+//    `trans_a`/`trans_b` flags are folded into the pack step, so the inner
+//    loop is branch- and lambda-free and streams unit-stride memory.
+//  - The micro-kernel accumulates a kMr x kNr register tile in double, in
+//    ascending-k order, and each C element is written exactly once after a
+//    single accumulator pass — results are bitwise identical to the
+//    retained reference kernel and independent of thread count.
+//  - Work is partitioned 2D over (batch x M-tiles x N-tiles); every tile is
+//    computed by exactly one `parallel_for` iteration (disjoint writes, no
+//    cross-thread reduction), which preserves the wavefront executor's
+//    bitwise-determinism guarantees.
+//  - Packing volume is counted per call (`GemmTraffic`), giving an
+//    *empirical* traffic measurement that `bench/kernel_bench` cross-checks
+//    against `hw::tiled_matmul_bytes`.
+#pragma once
+
+#include <cstdint>
+
+#include "src/concurrency/thread_pool.h"
+
+namespace gf::rt {
+
+/// Register micro-tile edges. kMr x kNr double accumulators fit the
+/// architectural register file; packing pads partial strips to these.
+inline constexpr std::int64_t kGemmMr = 4;
+inline constexpr std::int64_t kGemmNr = 8;
+
+/// Cache-block edges (KC/MC/NC) plus the micro-tile they are rounded to.
+struct GemmTiling {
+  std::int64_t mc = 0;  ///< A-panel rows per macro-tile (multiple of kMr)
+  std::int64_t nc = 0;  ///< B-panel cols per macro-tile (multiple of kNr)
+  std::int64_t kc = 0;  ///< shared-dimension block length
+};
+
+/// Derives KC/MC/NC from a cache size using the same square-tile rule as
+/// `hw::tiled_matmul_bytes` (T = floor(sqrt(cache/3/dtype))), rounding MC/NC
+/// down to micro-tile multiples (never below one micro-tile).
+GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes);
+
+/// Cache size the default tiling models. Overridable for experiments via
+/// the GF_GEMM_CACHE_BYTES environment variable (read once).
+double gemm_model_cache_bytes();
+
+/// Tiling used by the runtime kernels: `select_gemm_tiling` applied to
+/// `gemm_model_cache_bytes()` at fp32.
+const GemmTiling& default_gemm_tiling();
+
+/// Bytes the blocked GEMM actually moved through its packing/write paths —
+/// measured by counting, not modeled. Matches the paper's tiled-traffic
+/// shape: A is re-packed once per N-tile column, B once per M-tile row.
+struct GemmTraffic {
+  double a_packed_bytes = 0;  ///< bytes copied into A panels (incl. padding)
+  double b_packed_bytes = 0;  ///< bytes copied into B panels (incl. padding)
+  double c_bytes = 0;         ///< bytes written to C
+  double total() const { return a_packed_bytes + b_packed_bytes + c_bytes; }
+};
+
+/// C = op(A) . op(B) over `batch` independent row-major matrices.
+/// op(A) is (m x k) (stored k x m when trans_a), op(B) is (k x n) (stored
+/// n x k when trans_b). Strides are in elements between consecutive batch
+/// matrices; pass b_stride = 0 to broadcast one shared B across the batch.
+/// Each C element is accumulated in double over ascending k and written
+/// once: output bits are independent of tiling and thread count.
+void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+                  bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
+                  std::int64_t c_stride, const GemmTiling& tiling,
+                  conc::ThreadPool& pool, GemmTraffic* traffic = nullptr);
+
+/// The retained reference kernel: naive row-parallel triple loop with
+/// per-element transpose lambdas and a double accumulator. The blocked path
+/// must match it bitwise; `kernel_bench` reports speedup against it.
+void reference_gemm(const float* a, const float* b, float* c, std::int64_t batch,
+                    std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+                    bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
+                    std::int64_t c_stride, conc::ThreadPool& pool);
+
+/// Which implementation the op-level kernels (matmul/conv2d/...) dispatch
+/// to. Defaults to kBlocked; the GF_REFERENCE_KERNELS=1 environment
+/// variable (read once, before any override) selects kReference — CI uses
+/// it to keep sanitizer jobs on the small, simple kernels.
+enum class KernelBackend : std::uint8_t { kBlocked, kReference };
+KernelBackend kernel_backend();
+void set_kernel_backend(KernelBackend backend);
+
+}  // namespace gf::rt

@@ -1,0 +1,60 @@
+#include "src/runtime/im2col.h"
+
+namespace gf::rt {
+
+void im2col(const float* x, const Im2ColShape& s, float* col,
+            conc::ThreadPool& pool) {
+  const std::int64_t ph = (s.kh - 1) / 2, pw = (s.kw - 1) / 2;
+  const std::int64_t cols = s.cols();
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(s.rows()), [&](std::size_t idx) {
+    const auto row = static_cast<std::int64_t>(idx);
+    const std::int64_t nidx = row / (s.ho * s.wo);
+    const std::int64_t ho = (row / s.wo) % s.ho;
+    const std::int64_t wo = row % s.wo;
+    float* dst = col + row * cols;
+    for (std::int64_t kh = 0; kh < s.kh; ++kh) {
+      const std::int64_t h = ho * s.stride + kh - ph;
+      const bool h_in = h >= 0 && h < s.h;
+      for (std::int64_t kw = 0; kw < s.kw; ++kw) {
+        const std::int64_t w = wo * s.stride + kw - pw;
+        if (h_in && w >= 0 && w < s.w) {
+          const float* src = x + ((nidx * s.h + h) * s.w + w) * s.c;
+          for (std::int64_t c = 0; c < s.c; ++c) dst[c] = src[c];
+        } else {
+          for (std::int64_t c = 0; c < s.c; ++c) dst[c] = 0.0f;
+        }
+        dst += s.c;
+      }
+    }
+  });
+}
+
+void col2im_add(const float* col, const Im2ColShape& s, float* dx,
+                conc::ThreadPool& pool) {
+  const std::int64_t ph = (s.kh - 1) / 2, pw = (s.kw - 1) / 2;
+  const std::int64_t cols = s.cols();
+  // Batch images write disjoint dx regions; within one image the taps
+  // accumulate on the calling iteration in a fixed order.
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(s.n), [&](std::size_t b) {
+    const auto nidx = static_cast<std::int64_t>(b);
+    for (std::int64_t ho = 0; ho < s.ho; ++ho)
+      for (std::int64_t wo = 0; wo < s.wo; ++wo) {
+        const std::int64_t row = (nidx * s.ho + ho) * s.wo + wo;
+        const float* src = col + row * cols;
+        for (std::int64_t kh = 0; kh < s.kh; ++kh) {
+          const std::int64_t h = ho * s.stride + kh - ph;
+          const bool h_in = h >= 0 && h < s.h;
+          for (std::int64_t kw = 0; kw < s.kw; ++kw) {
+            const std::int64_t w = wo * s.stride + kw - pw;
+            if (h_in && w >= 0 && w < s.w) {
+              float* dst = dx + ((nidx * s.h + h) * s.w + w) * s.c;
+              for (std::int64_t c = 0; c < s.c; ++c) dst[c] += src[c];
+            }
+            src += s.c;
+          }
+        }
+      }
+  });
+}
+
+}  // namespace gf::rt

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/im2col.h"
+
 namespace gf::rt {
 namespace {
 
@@ -12,6 +14,12 @@ void expect(bool cond, const char* what) {
 }
 
 double tensor_bytes(const DenseTensor& t) { return static_cast<double>(t.byte_size()); }
+
+/// Minimum iterations per parallel_for chunk for fine-grained (per-element
+/// or per-row) loops, so tiny tensors run inline instead of paying
+/// dispatch overhead.
+constexpr std::size_t kElementChunk = 4096;
+constexpr std::size_t kRowChunk = 8;
 
 /// outer/axis/inner decomposition for axis-wise data movement.
 struct AxisView {
@@ -23,6 +31,21 @@ AxisView axis_view(const DenseTensor& t, std::size_t axis) {
   v.axis = t.dim(axis);
   for (std::size_t i = axis + 1; i < t.rank(); ++i) v.inner *= t.dim(i);
   return v;
+}
+
+Im2ColShape conv_shape(const DenseTensor& in, std::int64_t kh, std::int64_t kw,
+                       std::int64_t ho, std::int64_t wo, int stride) {
+  Im2ColShape s;
+  s.n = in.dim(0);
+  s.h = in.dim(1);
+  s.w = in.dim(2);
+  s.c = in.dim(3);
+  s.kh = kh;
+  s.kw = kw;
+  s.ho = ho;
+  s.wo = wo;
+  s.stride = stride;
+  return s;
 }
 
 }  // namespace
@@ -38,35 +61,89 @@ void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool t
   const std::int64_t n = trans_b ? b.dim(ob) : b.dim(ob + 1);
   expect((trans_b ? b.dim(ob + 1) : b.dim(ob)) == k, "matmul inner dim");
 
-  const float* ap = a.fdata();
-  const float* bp = b.fdata();
-  float* op = out.fdata();
   const std::int64_t a_stride = m * k;
-  const std::int64_t b_stride = b3 ? k * n : 0;
+  const std::int64_t b_stride = b3 ? k * n : 0;  // 0: broadcast shared B
   const std::int64_t o_stride = m * n;
 
-  auto at = [&](std::int64_t bi, std::int64_t r, std::int64_t c) {
-    return ap[bi * a_stride + (trans_a ? c * m + r : r * k + c)];
-  };
-  auto bt = [&](std::int64_t bi, std::int64_t r, std::int64_t c) {
-    return bp[bi * b_stride + (trans_b ? c * k + r : r * n + c)];
-  };
+  if (kernel_backend() == KernelBackend::kBlocked) {
+    blocked_gemm(a.fdata(), b.fdata(), out.fdata(), batch, m, n, k, trans_a, trans_b,
+                 a_stride, b_stride, o_stride, default_gemm_tiling(), pool);
+  } else {
+    reference_gemm(a.fdata(), b.fdata(), out.fdata(), batch, m, n, k, trans_a, trans_b,
+                   a_stride, b_stride, o_stride, pool);
+  }
 
-  conc::parallel_for(pool, 0, static_cast<std::size_t>(batch * m), [&](std::size_t idx) {
-    const std::int64_t bi = static_cast<std::int64_t>(idx) / m;
-    const std::int64_t r = static_cast<std::int64_t>(idx) % m;
-    for (std::int64_t c = 0; c < n; ++c) {
-      double acc = 0;
-      for (std::int64_t x = 0; x < k; ++x) acc += at(bi, r, x) * bt(bi, x, c);
-      op[bi * o_stride + r * n + c] = static_cast<float>(acc);
-    }
-  });
   stats.flops += 2.0 * static_cast<double>(batch) * m * n * k;
-  stats.bytes += tensor_bytes(a) + tensor_bytes(b) + tensor_bytes(out);
+  // Algorithmic bytes, matching MatMulOp::bytes_accessed(): each operand
+  // tensor charged exactly once. With a rank-2 B broadcast across a
+  // rank-3 batch, B is one tensor of k*n elements — charged once, however
+  // many batch matrices stream it.
+  const double dtype = static_cast<double>(ir::dtype_bytes(out.dtype()));
+  stats.bytes += dtype * (static_cast<double>(batch) * m * k +
+                          static_cast<double>(b3 ? batch : 1) * k * n +
+                          static_cast<double>(batch) * m * n);
 }
 
+// --- convolutions -----------------------------------------------------------
+
 void conv2d(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
-            int stride, KernelStats& stats) {
+            int stride, conc::ThreadPool& pool, KernelStats& stats) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    conv2d_reference(in, filter, out, stride, stats);
+    return;
+  }
+  const std::int64_t KH = filter.dim(0), KW = filter.dim(1), F = filter.dim(3);
+  const Im2ColShape s = conv_shape(in, KH, KW, out.dim(1), out.dim(2), stride);
+  // col: (N*HO*WO) x (KH*KW*C); filter (KH,KW,C,F) is already the
+  // row-major (KH*KW*C) x F right-hand side.
+  AlignedVector<float> col(static_cast<std::size_t>(s.rows() * s.cols()));
+  im2col(in.fdata(), s, col.data(), pool);
+  blocked_gemm(col.data(), filter.fdata(), out.fdata(), 1, s.rows(), F, s.cols(),
+               false, false, 0, 0, 0, default_gemm_tiling(), pool);
+  stats.flops += 2.0 * static_cast<double>(out.numel()) * KH * KW * s.c;
+  stats.bytes += tensor_bytes(in) + tensor_bytes(filter) + tensor_bytes(out);
+}
+
+void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTensor& dx,
+                       int stride, conc::ThreadPool& pool, KernelStats& stats) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    conv2d_grad_input_reference(dy, filter, dx, stride, stats);
+    return;
+  }
+  const std::int64_t KH = filter.dim(0), KW = filter.dim(1), F = filter.dim(3);
+  const Im2ColShape s = conv_shape(dx, KH, KW, dy.dim(1), dy.dim(2), stride);
+  // dcol = dy . filter^T : (rows x F) . (F x KH*KW*C), then col2im
+  // scatter-adds the tap gradients back onto the input image.
+  AlignedVector<float> dcol(static_cast<std::size_t>(s.rows() * s.cols()));
+  blocked_gemm(dy.fdata(), filter.fdata(), dcol.data(), 1, s.rows(), s.cols(), F,
+               false, true, 0, 0, 0, default_gemm_tiling(), pool);
+  std::fill(dx.fdata(), dx.fdata() + dx.numel(), 0.0f);
+  col2im_add(dcol.data(), s, dx.fdata(), pool);
+  stats.flops += 2.0 * static_cast<double>(dy.numel()) * KH * KW * s.c;
+  stats.bytes += tensor_bytes(dy) + tensor_bytes(filter) + tensor_bytes(dx);
+}
+
+void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTensor& df,
+                        int stride, conc::ThreadPool& pool, KernelStats& stats) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    conv2d_grad_filter_reference(in, dy, df, stride, stats);
+    return;
+  }
+  const std::int64_t KH = df.dim(0), KW = df.dim(1), F = df.dim(3);
+  const Im2ColShape s = conv_shape(in, KH, KW, dy.dim(1), dy.dim(2), stride);
+  // dF = im2col(input)^T . dy : (KH*KW*C x rows) . (rows x F).
+  AlignedVector<float> col(static_cast<std::size_t>(s.rows() * s.cols()));
+  im2col(in.fdata(), s, col.data(), pool);
+  blocked_gemm(col.data(), dy.fdata(), df.fdata(), 1, s.cols(), F, s.rows(), true,
+               false, 0, 0, 0, default_gemm_tiling(), pool);
+  stats.flops += 2.0 * static_cast<double>(dy.numel()) * KH * KW * s.c;
+  stats.bytes += tensor_bytes(in) + tensor_bytes(dy) + tensor_bytes(df);
+}
+
+// --- retained reference convolutions (the seed kernels) --------------------
+
+void conv2d_reference(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
+                      int stride, KernelStats& stats) {
   const std::int64_t N = in.dim(0), H = in.dim(1), W = in.dim(2), C = in.dim(3);
   const std::int64_t KH = filter.dim(0), KW = filter.dim(1), F = filter.dim(3);
   const std::int64_t HO = out.dim(1), WO = out.dim(2);
@@ -96,8 +173,8 @@ void conv2d(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
   stats.bytes += tensor_bytes(in) + tensor_bytes(filter) + tensor_bytes(out);
 }
 
-void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTensor& dx,
-                       int stride, KernelStats& stats) {
+void conv2d_grad_input_reference(const DenseTensor& dy, const DenseTensor& filter,
+                                 DenseTensor& dx, int stride, KernelStats& stats) {
   const std::int64_t N = dx.dim(0), H = dx.dim(1), W = dx.dim(2), C = dx.dim(3);
   const std::int64_t KH = filter.dim(0), KW = filter.dim(1), F = filter.dim(3);
   const std::int64_t HO = dy.dim(1), WO = dy.dim(2);
@@ -127,8 +204,8 @@ void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTe
   stats.bytes += tensor_bytes(dy) + tensor_bytes(filter) + tensor_bytes(dx);
 }
 
-void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTensor& df,
-                        int stride, KernelStats& stats) {
+void conv2d_grad_filter_reference(const DenseTensor& in, const DenseTensor& dy,
+                                  DenseTensor& df, int stride, KernelStats& stats) {
   const std::int64_t N = in.dim(0), H = in.dim(1), W = in.dim(2), C = in.dim(3);
   const std::int64_t KH = df.dim(0), KW = df.dim(1), F = df.dim(3);
   const std::int64_t HO = dy.dim(1), WO = dy.dim(2);
@@ -158,35 +235,42 @@ void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTenso
   stats.bytes += tensor_bytes(in) + tensor_bytes(dy) + tensor_bytes(df);
 }
 
+// --- element/row kernels ----------------------------------------------------
+
 void pointwise(ir::PointwiseFn fn, const std::vector<const DenseTensor*>& inputs,
-               double scale_alpha, DenseTensor& out, KernelStats& stats) {
+               double scale_alpha, DenseTensor& out, conc::ThreadPool& pool,
+               KernelStats& stats) {
   expect(!inputs.empty(), "pointwise inputs");
   const std::int64_t n = out.numel();
   float* o = out.fdata();
   auto in = [&](std::size_t which, std::int64_t i) { return inputs[which]->f(i); };
   using Fn = ir::PointwiseFn;
-  for (std::int64_t i = 0; i < n; ++i) {
-    switch (fn) {
-      case Fn::kAdd: o[i] = in(0, i) + in(1, i); break;
-      case Fn::kSub: o[i] = in(0, i) - in(1, i); break;
-      case Fn::kMul: o[i] = in(0, i) * in(1, i); break;
-      case Fn::kAddN: {
-        double acc = 0;
-        for (std::size_t j = 0; j < inputs.size(); ++j) acc += in(j, i);
-        o[i] = static_cast<float>(acc);
-        break;
-      }
-      case Fn::kSigmoid: o[i] = 1.0f / (1.0f + std::exp(-in(0, i))); break;
-      case Fn::kTanh: o[i] = std::tanh(in(0, i)); break;
-      case Fn::kRelu: o[i] = std::max(0.0f, in(0, i)); break;
-      case Fn::kOneMinus: o[i] = 1.0f - in(0, i); break;
-      case Fn::kScale: o[i] = static_cast<float>(scale_alpha) * in(0, i); break;
-      case Fn::kIdentity: o[i] = in(0, i); break;
-      case Fn::kSigmoidGrad: o[i] = in(1, i) * in(0, i) * (1.0f - in(0, i)); break;
-      case Fn::kTanhGrad: o[i] = in(1, i) * (1.0f - in(0, i) * in(0, i)); break;
-      case Fn::kReluGrad: o[i] = in(0, i) > 0 ? in(1, i) : 0.0f; break;
-    }
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(n),
+      [&](std::size_t idx) {
+        const auto i = static_cast<std::int64_t>(idx);
+        switch (fn) {
+          case Fn::kAdd: o[i] = in(0, i) + in(1, i); break;
+          case Fn::kSub: o[i] = in(0, i) - in(1, i); break;
+          case Fn::kMul: o[i] = in(0, i) * in(1, i); break;
+          case Fn::kAddN: {
+            double acc = 0;
+            for (std::size_t j = 0; j < inputs.size(); ++j) acc += in(j, i);
+            o[i] = static_cast<float>(acc);
+            break;
+          }
+          case Fn::kSigmoid: o[i] = 1.0f / (1.0f + std::exp(-in(0, i))); break;
+          case Fn::kTanh: o[i] = std::tanh(in(0, i)); break;
+          case Fn::kRelu: o[i] = std::max(0.0f, in(0, i)); break;
+          case Fn::kOneMinus: o[i] = 1.0f - in(0, i); break;
+          case Fn::kScale: o[i] = static_cast<float>(scale_alpha) * in(0, i); break;
+          case Fn::kIdentity: o[i] = in(0, i); break;
+          case Fn::kSigmoidGrad: o[i] = in(1, i) * in(0, i) * (1.0f - in(0, i)); break;
+          case Fn::kTanhGrad: o[i] = in(1, i) * (1.0f - in(0, i) * in(0, i)); break;
+          case Fn::kReluGrad: o[i] = in(0, i) > 0 ? in(1, i) : 0.0f; break;
+        }
+      },
+      kElementChunk);
   stats.flops +=
       ir::pointwise_fn_flops_per_element(fn, inputs.size()) * static_cast<double>(n);
   for (const DenseTensor* t : inputs) stats.bytes += tensor_bytes(*t);
@@ -194,131 +278,186 @@ void pointwise(ir::PointwiseFn fn, const std::vector<const DenseTensor*>& inputs
 }
 
 void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
-              KernelStats& stats) {
+              conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t nb = bias.numel();
   const std::int64_t rows = in.numel() / nb;
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t c = 0; c < nb; ++c)
-      out.f(r * nb + c) = in.f(r * nb + c) + bias.f(c);
+  const float* x = in.fdata();
+  const float* b = bias.fdata();
+  float* o = out.fdata();
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t r) {
+        const std::int64_t base = static_cast<std::int64_t>(r) * nb;
+        for (std::int64_t c = 0; c < nb; ++c) o[base + c] = x[base + c] + b[c];
+      },
+      kRowChunk);
   stats.flops += static_cast<double>(in.numel());
   stats.bytes += tensor_bytes(in) + tensor_bytes(bias) + tensor_bytes(out);
 }
 
 void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
-                      KernelStats& stats) {
+                      conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t v = table.dim(0), e = table.dim(1);
   const std::int64_t rows = ids.numel();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t id = ids.i32(r);
-    expect(id >= 0 && id < v, "embedding id out of range");
-    for (std::int64_t c = 0; c < e; ++c) out.f(r * e + c) = table.f(id * e + c);
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t idx) {
+        const auto r = static_cast<std::int64_t>(idx);
+        const std::int32_t id = ids.i32(r);
+        expect(id >= 0 && id < v, "embedding id out of range");
+        const float* src = table.fdata() + static_cast<std::int64_t>(id) * e;
+        float* dst = out.fdata() + r * e;
+        for (std::int64_t c = 0; c < e; ++c) dst[c] = src[c];
+      },
+      kRowChunk);
   stats.bytes += 2.0 * tensor_bytes(out) + tensor_bytes(ids);
 }
 
 void embedding_grad(const DenseTensor& ids, const DenseTensor& dy, DenseTensor& dtable,
-                    KernelStats& stats) {
+                    conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t e = dtable.dim(1);
   std::fill(dtable.fdata(), dtable.fdata() + dtable.numel(), 0.0f);
   const std::int64_t rows = ids.numel();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t id = ids.i32(r);
-    for (std::int64_t c = 0; c < e; ++c) dtable.f(id * e + c) += dy.f(r * e + c);
-  }
+  // Fixed-width column blocks (independent of thread count): each block
+  // owns a disjoint slice of every table row and scans the lookup rows in
+  // ascending order, so the per-element accumulation order never changes.
+  constexpr std::int64_t kColBlock = 32;
+  const std::int64_t blocks = (e + kColBlock - 1) / kColBlock;
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(blocks), [&](std::size_t blk) {
+    const std::int64_t c0 = static_cast<std::int64_t>(blk) * kColBlock;
+    const std::int64_t c1 = std::min(e, c0 + kColBlock);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t id = ids.i32(r);
+      const float* src = dy.fdata() + r * e;
+      float* dst = dtable.fdata() + id * e;
+      for (std::int64_t c = c0; c < c1; ++c) dst[c] += src[c];
+    }
+  });
   stats.flops += static_cast<double>(dy.numel());
   stats.bytes += tensor_bytes(ids) + tensor_bytes(dy) + tensor_bytes(dtable);
 }
 
-void softmax(const DenseTensor& logits, DenseTensor& out, KernelStats& stats) {
+void softmax(const DenseTensor& logits, DenseTensor& out, conc::ThreadPool& pool,
+             KernelStats& stats) {
   const std::int64_t c = logits.dim(logits.rank() - 1);
   const std::int64_t rows = logits.numel() / c;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = logits.fdata() + r * c;
-    float* y = out.fdata() + r * c;
-    float m = x[0];
-    for (std::int64_t i = 1; i < c; ++i) m = std::max(m, x[i]);
-    double sum = 0;
-    for (std::int64_t i = 0; i < c; ++i) sum += y[i] = std::exp(x[i] - m);
-    for (std::int64_t i = 0; i < c; ++i) y[i] = static_cast<float>(y[i] / sum);
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t idx) {
+        const auto r = static_cast<std::int64_t>(idx);
+        const float* x = logits.fdata() + r * c;
+        float* y = out.fdata() + r * c;
+        float m = x[0];
+        for (std::int64_t i = 1; i < c; ++i) m = std::max(m, x[i]);
+        double sum = 0;
+        for (std::int64_t i = 0; i < c; ++i) sum += y[i] = std::exp(x[i] - m);
+        for (std::int64_t i = 0; i < c; ++i) y[i] = static_cast<float>(y[i] / sum);
+      },
+      kRowChunk);
   stats.flops += 5.0 * static_cast<double>(logits.numel());
   stats.bytes += tensor_bytes(logits) + tensor_bytes(out);
 }
 
 void softmax_grad(const DenseTensor& y, const DenseTensor& dy, DenseTensor& dx,
-                  KernelStats& stats) {
+                  conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t c = y.dim(y.rank() - 1);
   const std::int64_t rows = y.numel() / c;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    double dot = 0;
-    for (std::int64_t i = 0; i < c; ++i) dot += y.f(r * c + i) * dy.f(r * c + i);
-    for (std::int64_t i = 0; i < c; ++i)
-      dx.f(r * c + i) =
-          y.f(r * c + i) * (dy.f(r * c + i) - static_cast<float>(dot));
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t idx) {
+        const auto r = static_cast<std::int64_t>(idx);
+        double dot = 0;
+        for (std::int64_t i = 0; i < c; ++i) dot += y.f(r * c + i) * dy.f(r * c + i);
+        for (std::int64_t i = 0; i < c; ++i)
+          dx.f(r * c + i) =
+              y.f(r * c + i) * (dy.f(r * c + i) - static_cast<float>(dot));
+      },
+      kRowChunk);
   stats.flops += 4.0 * static_cast<double>(y.numel());
   stats.bytes += tensor_bytes(y) + tensor_bytes(dy) + tensor_bytes(dx);
 }
 
 void softmax_xent(const DenseTensor& logits, const DenseTensor& labels, DenseTensor& loss,
-                  DenseTensor& probs, KernelStats& stats) {
-  softmax(logits, probs, stats);
+                  DenseTensor& probs, conc::ThreadPool& pool, KernelStats& stats) {
+  softmax(logits, probs, pool, stats);
   const std::int64_t c = logits.dim(1);
   const std::int64_t rows = logits.dim(0);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t label = labels.i32(r);
-    expect(label >= 0 && label < c, "label out of range");
-    loss.f(r) = -std::log(std::max(probs.f(r * c + label), 1e-30f));
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t idx) {
+        const auto r = static_cast<std::int64_t>(idx);
+        const std::int32_t label = labels.i32(r);
+        expect(label >= 0 && label < c, "label out of range");
+        loss.f(r) = -std::log(std::max(probs.f(r * c + label), 1e-30f));
+      },
+      kRowChunk);
   stats.flops += static_cast<double>(logits.numel());
   stats.bytes += tensor_bytes(labels) + tensor_bytes(loss);
 }
 
 void softmax_xent_grad(const DenseTensor& probs, const DenseTensor& labels,
                        const DenseTensor& dloss, DenseTensor& dlogits,
-                       KernelStats& stats) {
+                       conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t c = probs.dim(1);
   const std::int64_t rows = probs.dim(0);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float d = dloss.f(r);
-    const std::int32_t label = labels.i32(r);
-    for (std::int64_t i = 0; i < c; ++i)
-      dlogits.f(r * c + i) = (probs.f(r * c + i) - (i == label ? 1.0f : 0.0f)) * d;
-  }
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(rows),
+      [&](std::size_t idx) {
+        const auto r = static_cast<std::int64_t>(idx);
+        const float d = dloss.f(r);
+        const std::int32_t label = labels.i32(r);
+        for (std::int64_t i = 0; i < c; ++i)
+          dlogits.f(r * c + i) = (probs.f(r * c + i) - (i == label ? 1.0f : 0.0f)) * d;
+      },
+      kRowChunk);
   stats.flops += 2.0 * static_cast<double>(probs.numel());
   stats.bytes += tensor_bytes(probs) + tensor_bytes(labels) + tensor_bytes(dloss) +
                  tensor_bytes(dlogits);
 }
 
 void reduce(ir::ReduceKind kind, const DenseTensor& in, DenseTensor& out,
-            KernelStats& stats) {
+            conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t keep = out.numel();
   const std::int64_t groups = in.numel() / keep;
-  for (std::int64_t j = 0; j < keep; ++j) {
-    double acc = 0;
-    for (std::int64_t g = 0; g < groups; ++g) acc += in.f(g * keep + j);
-    if (kind == ir::ReduceKind::kMean) acc /= static_cast<double>(groups);
-    out.f(j) = static_cast<float>(acc);
-  }
+  // Parallel over kept elements; each sums its strided group in ascending
+  // order on one iteration, so the reduction tree is fixed.
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(keep),
+      [&](std::size_t idx) {
+        const auto j = static_cast<std::int64_t>(idx);
+        double acc = 0;
+        for (std::int64_t g = 0; g < groups; ++g) acc += in.f(g * keep + j);
+        if (kind == ir::ReduceKind::kMean) acc /= static_cast<double>(groups);
+        out.f(j) = static_cast<float>(acc);
+      },
+      kRowChunk);
   stats.flops += static_cast<double>(in.numel()) +
                  (kind == ir::ReduceKind::kMean ? static_cast<double>(keep) : 0.0);
   stats.bytes += tensor_bytes(in) + tensor_bytes(out);
 }
 
-void broadcast(const DenseTensor& in, DenseTensor& out, KernelStats& stats) {
+void broadcast(const DenseTensor& in, DenseTensor& out, conc::ThreadPool& pool,
+               KernelStats& stats) {
   const std::int64_t inner = in.numel();
   const std::int64_t copies = out.numel() / inner;
-  for (std::int64_t cidx = 0; cidx < copies; ++cidx)
-    for (std::int64_t j = 0; j < inner; ++j) out.f(cidx * inner + j) = in.f(j);
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(copies),
+      [&](std::size_t cidx) {
+        float* dst = out.fdata() + static_cast<std::int64_t>(cidx) * inner;
+        const float* src = in.fdata();
+        for (std::int64_t j = 0; j < inner; ++j) dst[j] = src[j];
+      },
+      kRowChunk);
   stats.bytes += tensor_bytes(in) + tensor_bytes(out);
 }
 
 void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTensor& shift,
-                DenseTensor& out, KernelStats& stats) {
+                DenseTensor& out, conc::ThreadPool& pool, KernelStats& stats) {
   constexpr double kEps = 1e-5;
   const std::int64_t c = scale.numel();
   const std::int64_t rows = in.numel() / c;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(c), [&](std::size_t chidx) {
+    const auto ch = static_cast<std::int64_t>(chidx);
     double mean = 0, var = 0;
     for (std::int64_t r = 0; r < rows; ++r) mean += in.f(r * c + ch);
     mean /= static_cast<double>(rows);
@@ -331,7 +470,7 @@ void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTens
     for (std::int64_t r = 0; r < rows; ++r)
       out.f(r * c + ch) = static_cast<float>(
           (in.f(r * c + ch) - mean) * inv * scale.f(ch) + shift.f(ch));
-  }
+  });
   stats.flops += 8.0 * static_cast<double>(in.numel());
   stats.bytes +=
       tensor_bytes(in) + tensor_bytes(scale) + tensor_bytes(shift) + tensor_bytes(out);
@@ -339,11 +478,12 @@ void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTens
 
 void batch_norm_grad(const DenseTensor& in, const DenseTensor& scale,
                      const DenseTensor& dy, DenseTensor& dx, DenseTensor& dscale,
-                     DenseTensor& dshift, KernelStats& stats) {
+                     DenseTensor& dshift, conc::ThreadPool& pool, KernelStats& stats) {
   constexpr double kEps = 1e-5;
   const std::int64_t c = scale.numel();
   const std::int64_t rows = in.numel() / c;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  conc::parallel_for(pool, 0, static_cast<std::size_t>(c), [&](std::size_t chidx) {
+    const auto ch = static_cast<std::int64_t>(chidx);
     double mean = 0, var = 0;
     for (std::int64_t r = 0; r < rows; ++r) mean += in.f(r * c + ch);
     mean /= static_cast<double>(rows);
@@ -368,84 +508,95 @@ void batch_norm_grad(const DenseTensor& in, const DenseTensor& scale,
       dx.f(r * c + ch) = static_cast<float>(
           scale.f(ch) * inv * (dy.f(r * c + ch) - sum_dy / n - xhat * sum_dy_xhat / n));
     }
-  }
+  });
   stats.flops += 12.0 * static_cast<double>(in.numel());
   stats.bytes += tensor_bytes(in) + tensor_bytes(scale) + tensor_bytes(dy) +
                  tensor_bytes(dx) + tensor_bytes(dscale) + tensor_bytes(dshift);
 }
 
 void pool(ir::PoolKind kind, const DenseTensor& in, DenseTensor& out, int window_h,
-          int window_w, KernelStats& stats) {
+          int window_w, conc::ThreadPool& pool_, KernelStats& stats) {
   const std::int64_t N = in.dim(0), H = in.dim(1), W = in.dim(2), C = in.dim(3);
   const std::int64_t HO = out.dim(1), WO = out.dim(2);
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t ho = 0; ho < HO; ++ho)
-      for (std::int64_t wo = 0; wo < WO; ++wo)
-        for (std::int64_t c = 0; c < C; ++c) {
-          double acc = (kind == ir::PoolKind::kMax) ? -1e30 : 0.0;
-          for (std::int64_t kh = 0; kh < window_h; ++kh)
-            for (std::int64_t kw = 0; kw < window_w; ++kw) {
-              const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
-              if (h >= H || w >= W) continue;
-              const double v = in.f(((n * H + h) * W + w) * C + c);
-              acc = (kind == ir::PoolKind::kMax) ? std::max(acc, v) : acc + v;
-            }
-          if (kind == ir::PoolKind::kAvg) acc /= window_h * window_w;
-          out.f(((n * HO + ho) * WO + wo) * C + c) = static_cast<float>(acc);
-        }
+  conc::parallel_for(pool_, 0, static_cast<std::size_t>(N * HO), [&](std::size_t idx) {
+    const std::int64_t n = static_cast<std::int64_t>(idx) / HO;
+    const std::int64_t ho = static_cast<std::int64_t>(idx) % HO;
+    for (std::int64_t wo = 0; wo < WO; ++wo)
+      for (std::int64_t c = 0; c < C; ++c) {
+        double acc = (kind == ir::PoolKind::kMax) ? -1e30 : 0.0;
+        for (std::int64_t kh = 0; kh < window_h; ++kh)
+          for (std::int64_t kw = 0; kw < window_w; ++kw) {
+            const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
+            if (h >= H || w >= W) continue;
+            const double v = in.f(((n * H + h) * W + w) * C + c);
+            acc = (kind == ir::PoolKind::kMax) ? std::max(acc, v) : acc + v;
+          }
+        if (kind == ir::PoolKind::kAvg) acc /= window_h * window_w;
+        out.f(((n * HO + ho) * WO + wo) * C + c) = static_cast<float>(acc);
+      }
+  });
   stats.flops += static_cast<double>(in.numel());
   stats.bytes += tensor_bytes(in) + tensor_bytes(out);
 }
 
 void pool_grad(ir::PoolKind kind, const DenseTensor& in, const DenseTensor& out,
                const DenseTensor& dy, DenseTensor& dx, int window_h, int window_w,
-               KernelStats& stats) {
+               conc::ThreadPool& pool_, KernelStats& stats) {
   const std::int64_t N = in.dim(0), H = in.dim(1), W = in.dim(2), C = in.dim(3);
   const std::int64_t HO = out.dim(1), WO = out.dim(2);
   std::fill(dx.fdata(), dx.fdata() + dx.numel(), 0.0f);
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t ho = 0; ho < HO; ++ho)
-      for (std::int64_t wo = 0; wo < WO; ++wo)
-        for (std::int64_t c = 0; c < C; ++c) {
-          const std::int64_t oi = ((n * HO + ho) * WO + wo) * C + c;
-          if (kind == ir::PoolKind::kAvg) {
-            const float share = dy.f(oi) / (window_h * window_w);
-            for (std::int64_t kh = 0; kh < window_h; ++kh)
-              for (std::int64_t kw = 0; kw < window_w; ++kw) {
-                const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
-                if (h >= H || w >= W) continue;
-                dx.f(((n * H + h) * W + w) * C + c) += share;
+  // Windows tile the input (stride == window), so (n, ho) rows touch
+  // disjoint dx rows and can scatter in parallel.
+  conc::parallel_for(pool_, 0, static_cast<std::size_t>(N * HO), [&](std::size_t idx) {
+    const std::int64_t n = static_cast<std::int64_t>(idx) / HO;
+    const std::int64_t ho = static_cast<std::int64_t>(idx) % HO;
+    for (std::int64_t wo = 0; wo < WO; ++wo)
+      for (std::int64_t c = 0; c < C; ++c) {
+        const std::int64_t oi = ((n * HO + ho) * WO + wo) * C + c;
+        if (kind == ir::PoolKind::kAvg) {
+          const float share = dy.f(oi) / (window_h * window_w);
+          for (std::int64_t kh = 0; kh < window_h; ++kh)
+            for (std::int64_t kw = 0; kw < window_w; ++kw) {
+              const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
+              if (h >= H || w >= W) continue;
+              dx.f(((n * H + h) * W + w) * C + c) += share;
+            }
+        } else {
+          // Route the gradient to the (first) argmax position.
+          for (std::int64_t kh = 0; kh < window_h; ++kh)
+            for (std::int64_t kw = 0; kw < window_w; ++kw) {
+              const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
+              if (h >= H || w >= W) continue;
+              if (in.f(((n * H + h) * W + w) * C + c) == out.f(oi)) {
+                dx.f(((n * H + h) * W + w) * C + c) += dy.f(oi);
+                kh = window_h;  // break both loops
+                break;
               }
-          } else {
-            // Route the gradient to the (first) argmax position.
-            for (std::int64_t kh = 0; kh < window_h; ++kh)
-              for (std::int64_t kw = 0; kw < window_w; ++kw) {
-                const std::int64_t h = ho * window_h + kh, w = wo * window_w + kw;
-                if (h >= H || w >= W) continue;
-                if (in.f(((n * H + h) * W + w) * C + c) == out.f(oi)) {
-                  dx.f(((n * H + h) * W + w) * C + c) += dy.f(oi);
-                  kh = window_h;  // break both loops
-                  break;
-                }
-              }
-          }
+            }
         }
+      }
+  });
   stats.flops += static_cast<double>(dx.numel());
   stats.bytes += tensor_bytes(in) + tensor_bytes(out) + tensor_bytes(dy) +
                  tensor_bytes(dx);
 }
 
 void concat(const std::vector<const DenseTensor*>& inputs, std::size_t axis,
-            DenseTensor& out, KernelStats& stats) {
+            DenseTensor& out, conc::ThreadPool& pool, KernelStats& stats) {
   const AxisView ov = axis_view(out, axis);
   std::int64_t offset = 0;
   for (const DenseTensor* t : inputs) {
     const AxisView iv = axis_view(*t, axis);
-    for (std::int64_t o = 0; o < iv.outer; ++o)
-      for (std::int64_t a = 0; a < iv.axis; ++a)
-        for (std::int64_t i = 0; i < iv.inner; ++i)
-          out.f((o * ov.axis + offset + a) * ov.inner + i) =
-              t->f((o * iv.axis + a) * iv.inner + i);
+    conc::parallel_for(
+        pool, 0, static_cast<std::size_t>(iv.outer),
+        [&](std::size_t oidx) {
+          const auto o = static_cast<std::int64_t>(oidx);
+          for (std::int64_t a = 0; a < iv.axis; ++a)
+            for (std::int64_t i = 0; i < iv.inner; ++i)
+              out.f((o * ov.axis + offset + a) * ov.inner + i) =
+                  t->f((o * iv.axis + a) * iv.inner + i);
+        },
+        kRowChunk);
     offset += iv.axis;
     stats.bytes += tensor_bytes(*t);
   }
@@ -453,16 +604,22 @@ void concat(const std::vector<const DenseTensor*>& inputs, std::size_t axis,
 }
 
 void split(const DenseTensor& in, std::size_t axis,
-           const std::vector<DenseTensor*>& outs, KernelStats& stats) {
+           const std::vector<DenseTensor*>& outs, conc::ThreadPool& pool,
+           KernelStats& stats) {
   const AxisView iv = axis_view(in, axis);
   std::int64_t offset = 0;
   for (DenseTensor* t : outs) {
     const AxisView ov = axis_view(*t, axis);
-    for (std::int64_t o = 0; o < ov.outer; ++o)
-      for (std::int64_t a = 0; a < ov.axis; ++a)
-        for (std::int64_t i = 0; i < ov.inner; ++i)
-          t->f((o * ov.axis + a) * ov.inner + i) =
-              in.f((o * iv.axis + offset + a) * iv.inner + i);
+    conc::parallel_for(
+        pool, 0, static_cast<std::size_t>(ov.outer),
+        [&](std::size_t oidx) {
+          const auto o = static_cast<std::int64_t>(oidx);
+          for (std::int64_t a = 0; a < ov.axis; ++a)
+            for (std::int64_t i = 0; i < ov.inner; ++i)
+              t->f((o * ov.axis + a) * ov.inner + i) =
+                  in.f((o * iv.axis + offset + a) * iv.inner + i);
+        },
+        kRowChunk);
     offset += ov.axis;
     stats.bytes += tensor_bytes(*t);
   }
@@ -470,14 +627,19 @@ void split(const DenseTensor& in, std::size_t axis,
 }
 
 void slice(const DenseTensor& in, std::size_t axis, std::int64_t offset, DenseTensor& out,
-           KernelStats& stats) {
+           conc::ThreadPool& pool, KernelStats& stats) {
   const AxisView iv = axis_view(in, axis);
   const AxisView ov = axis_view(out, axis);
-  for (std::int64_t o = 0; o < ov.outer; ++o)
-    for (std::int64_t a = 0; a < ov.axis; ++a)
-      for (std::int64_t i = 0; i < ov.inner; ++i)
-        out.f((o * ov.axis + a) * ov.inner + i) =
-            in.f((o * iv.axis + offset + a) * iv.inner + i);
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(ov.outer),
+      [&](std::size_t oidx) {
+        const auto o = static_cast<std::int64_t>(oidx);
+        for (std::int64_t a = 0; a < ov.axis; ++a)
+          for (std::int64_t i = 0; i < ov.inner; ++i)
+            out.f((o * ov.axis + a) * ov.inner + i) =
+                in.f((o * iv.axis + offset + a) * iv.inner + i);
+      },
+      kRowChunk);
   stats.bytes += 2.0 * tensor_bytes(out);
 }
 
@@ -488,12 +650,17 @@ void reshape_copy(const DenseTensor& in, DenseTensor& out, KernelStats& stats) {
 
 void apply_gradient(ir::Optimizer optimizer, DenseTensor& weight, const DenseTensor& grad,
                     const std::vector<DenseTensor*>& slots, double learning_rate,
-                    KernelStats& stats) {
+                    conc::ThreadPool& pool, KernelStats& stats) {
   const std::int64_t n = weight.numel();
   switch (optimizer) {
     case ir::Optimizer::kSGD:
-      for (std::int64_t i = 0; i < n; ++i)
-        weight.f(i) -= static_cast<float>(learning_rate) * grad.f(i);
+      conc::parallel_for(
+          pool, 0, static_cast<std::size_t>(n),
+          [&](std::size_t idx) {
+            const auto i = static_cast<std::int64_t>(idx);
+            weight.f(i) -= static_cast<float>(learning_rate) * grad.f(i);
+          },
+          kElementChunk);
       stats.flops += 2.0 * static_cast<double>(n);
       stats.bytes += 2.0 * tensor_bytes(weight) + tensor_bytes(grad);
       return;
@@ -501,10 +668,14 @@ void apply_gradient(ir::Optimizer optimizer, DenseTensor& weight, const DenseTen
       expect(slots.size() == 1, "momentum needs one slot");
       DenseTensor& v = *slots[0];
       constexpr float kMomentum = 0.9f;
-      for (std::int64_t i = 0; i < n; ++i) {
-        v.f(i) = kMomentum * v.f(i) + grad.f(i);
-        weight.f(i) -= static_cast<float>(learning_rate) * v.f(i);
-      }
+      conc::parallel_for(
+          pool, 0, static_cast<std::size_t>(n),
+          [&](std::size_t idx) {
+            const auto i = static_cast<std::int64_t>(idx);
+            v.f(i) = kMomentum * v.f(i) + grad.f(i);
+            weight.f(i) -= static_cast<float>(learning_rate) * v.f(i);
+          },
+          kElementChunk);
       stats.flops += 4.0 * static_cast<double>(n);
       stats.bytes += 2.0 * tensor_bytes(weight) + tensor_bytes(grad) +
                      2.0 * tensor_bytes(v);
@@ -515,12 +686,16 @@ void apply_gradient(ir::Optimizer optimizer, DenseTensor& weight, const DenseTen
       DenseTensor& m = *slots[0];
       DenseTensor& v = *slots[1];
       constexpr float kB1 = 0.9f, kB2 = 0.999f, kEps = 1e-8f;
-      for (std::int64_t i = 0; i < n; ++i) {
-        m.f(i) = kB1 * m.f(i) + (1 - kB1) * grad.f(i);
-        v.f(i) = kB2 * v.f(i) + (1 - kB2) * grad.f(i) * grad.f(i);
-        weight.f(i) -=
-            static_cast<float>(learning_rate) * m.f(i) / (std::sqrt(v.f(i)) + kEps);
-      }
+      conc::parallel_for(
+          pool, 0, static_cast<std::size_t>(n),
+          [&](std::size_t idx) {
+            const auto i = static_cast<std::int64_t>(idx);
+            m.f(i) = kB1 * m.f(i) + (1 - kB1) * grad.f(i);
+            v.f(i) = kB2 * v.f(i) + (1 - kB2) * grad.f(i) * grad.f(i);
+            weight.f(i) -=
+                static_cast<float>(learning_rate) * m.f(i) / (std::sqrt(v.f(i)) + kEps);
+          },
+          kElementChunk);
       stats.flops += 10.0 * static_cast<double>(n);
       stats.bytes += 2.0 * tensor_bytes(weight) + tensor_bytes(grad) +
                      2.0 * tensor_bytes(m) + 2.0 * tensor_bytes(v);

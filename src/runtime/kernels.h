@@ -1,9 +1,17 @@
 // Numeric kernels for every op type in the IR.
 //
-// Correctness over speed: these run small bound graphs so tests can verify
-// shape propagation, gradient math (finite-difference checks), and that
-// executed work matches the symbolic algorithmic counts. The only
-// performance concession is a row-parallel GEMM on the thread pool.
+// The kernel layer is the runtime's performance floor: matrix ops lower to
+// the cache-blocked packed GEMM in gemm.h (convolutions via im2col), and
+// every remaining kernel partitions its disjoint-output loop over the
+// thread pool with `parallel_for`. All kernels keep the executor's
+// bitwise-determinism contract — each output element is produced by
+// exactly one iteration with a fixed accumulation order, so results are
+// identical across schedules and thread counts.
+//
+// The pre-blocking implementations are retained as `*_reference` (and
+// `reference_gemm`): sanitizer CI runs on them via GF_REFERENCE_KERNELS=1,
+// tests pin blocked-vs-reference equivalence, and `bench/kernel_bench`
+// reports speedup against them.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include "src/concurrency/thread_pool.h"
 #include "src/ir/ops.h"
 #include "src/runtime/dense_tensor.h"
+#include "src/runtime/gemm.h"
 
 namespace gf::rt {
 
@@ -22,65 +31,87 @@ struct KernelStats {
 };
 
 // Dense (optionally batched/transposed) GEMM. Shapes follow MatMulOp.
+// Bytes are charged algorithmically, matching MatMulOp::bytes_accessed():
+// each operand tensor once — in particular a rank-2 B broadcast under a
+// rank-3 A is charged once, not once per batch (shared weights are read
+// once algorithmically; cache re-streaming is the hw model's concern).
 void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool trans_a,
             bool trans_b, conc::ThreadPool& pool, KernelStats& stats);
 
-// NHWC convolution, "same" padding (odd kernel), square stride.
+// NHWC convolution, "same" padding (odd kernel), square stride. Executed
+// as im2col + blocked GEMM (kernel_backend() == kBlocked) or the retained
+// direct loops (kReference).
 void conv2d(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
-            int stride, KernelStats& stats);
+            int stride, conc::ThreadPool& pool, KernelStats& stats);
 void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTensor& dx,
-                       int stride, KernelStats& stats);
+                       int stride, conc::ThreadPool& pool, KernelStats& stats);
 void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTensor& df,
-                        int stride, KernelStats& stats);
+                        int stride, conc::ThreadPool& pool, KernelStats& stats);
+
+// Retained single-threaded direct convolution loops (the seed kernels).
+void conv2d_reference(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
+                      int stride, KernelStats& stats);
+void conv2d_grad_input_reference(const DenseTensor& dy, const DenseTensor& filter,
+                                 DenseTensor& dx, int stride, KernelStats& stats);
+void conv2d_grad_filter_reference(const DenseTensor& in, const DenseTensor& dy,
+                                  DenseTensor& df, int stride, KernelStats& stats);
 
 void pointwise(ir::PointwiseFn fn, const std::vector<const DenseTensor*>& inputs,
-               double scale_alpha, DenseTensor& out, KernelStats& stats);
-
-void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
-              KernelStats& stats);
-
-void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
-                      KernelStats& stats);
-void embedding_grad(const DenseTensor& ids, const DenseTensor& dy, DenseTensor& dtable,
-                    KernelStats& stats);
-
-void softmax(const DenseTensor& logits, DenseTensor& out, KernelStats& stats);
-void softmax_grad(const DenseTensor& y, const DenseTensor& dy, DenseTensor& dx,
-                  KernelStats& stats);
-void softmax_xent(const DenseTensor& logits, const DenseTensor& labels, DenseTensor& loss,
-                  DenseTensor& probs, KernelStats& stats);
-void softmax_xent_grad(const DenseTensor& probs, const DenseTensor& labels,
-                       const DenseTensor& dloss, DenseTensor& dlogits,
-                       KernelStats& stats);
-
-void reduce(ir::ReduceKind kind, const DenseTensor& in, DenseTensor& out,
-            KernelStats& stats);
-void broadcast(const DenseTensor& in, DenseTensor& out, KernelStats& stats);
-
-void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTensor& shift,
-                DenseTensor& out, KernelStats& stats);
-void batch_norm_grad(const DenseTensor& in, const DenseTensor& scale,
-                     const DenseTensor& dy, DenseTensor& dx, DenseTensor& dscale,
-                     DenseTensor& dshift, KernelStats& stats);
-
-void pool(ir::PoolKind kind, const DenseTensor& in, DenseTensor& out, int window_h,
-          int window_w, KernelStats& stats);
-void pool_grad(ir::PoolKind kind, const DenseTensor& in, const DenseTensor& out,
-               const DenseTensor& dy, DenseTensor& dx, int window_h, int window_w,
+               double scale_alpha, DenseTensor& out, conc::ThreadPool& pool,
                KernelStats& stats);
 
+void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
+              conc::ThreadPool& pool, KernelStats& stats);
+
+void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
+                      conc::ThreadPool& pool, KernelStats& stats);
+// Scatter-add partitioned over embedding-column blocks: each task owns a
+// disjoint column range and walks the rows in ascending order, so the sum
+// per table element is thread-count independent.
+void embedding_grad(const DenseTensor& ids, const DenseTensor& dy, DenseTensor& dtable,
+                    conc::ThreadPool& pool, KernelStats& stats);
+
+void softmax(const DenseTensor& logits, DenseTensor& out, conc::ThreadPool& pool,
+             KernelStats& stats);
+void softmax_grad(const DenseTensor& y, const DenseTensor& dy, DenseTensor& dx,
+                  conc::ThreadPool& pool, KernelStats& stats);
+void softmax_xent(const DenseTensor& logits, const DenseTensor& labels, DenseTensor& loss,
+                  DenseTensor& probs, conc::ThreadPool& pool, KernelStats& stats);
+void softmax_xent_grad(const DenseTensor& probs, const DenseTensor& labels,
+                       const DenseTensor& dloss, DenseTensor& dlogits,
+                       conc::ThreadPool& pool, KernelStats& stats);
+
+void reduce(ir::ReduceKind kind, const DenseTensor& in, DenseTensor& out,
+            conc::ThreadPool& pool, KernelStats& stats);
+void broadcast(const DenseTensor& in, DenseTensor& out, conc::ThreadPool& pool,
+               KernelStats& stats);
+
+void batch_norm(const DenseTensor& in, const DenseTensor& scale, const DenseTensor& shift,
+                DenseTensor& out, conc::ThreadPool& pool, KernelStats& stats);
+void batch_norm_grad(const DenseTensor& in, const DenseTensor& scale,
+                     const DenseTensor& dy, DenseTensor& dx, DenseTensor& dscale,
+                     DenseTensor& dshift, conc::ThreadPool& pool, KernelStats& stats);
+
+void pool(ir::PoolKind kind, const DenseTensor& in, DenseTensor& out, int window_h,
+          int window_w, conc::ThreadPool& pool_, KernelStats& stats);
+void pool_grad(ir::PoolKind kind, const DenseTensor& in, const DenseTensor& out,
+               const DenseTensor& dy, DenseTensor& dx, int window_h, int window_w,
+               conc::ThreadPool& pool_, KernelStats& stats);
+
 void concat(const std::vector<const DenseTensor*>& inputs, std::size_t axis,
-            DenseTensor& out, KernelStats& stats);
+            DenseTensor& out, conc::ThreadPool& pool, KernelStats& stats);
 void split(const DenseTensor& in, std::size_t axis,
-           const std::vector<DenseTensor*>& outs, KernelStats& stats);
-void slice(const DenseTensor& in, std::size_t axis, std::int64_t offset, DenseTensor& out,
+           const std::vector<DenseTensor*>& outs, conc::ThreadPool& pool,
            KernelStats& stats);
+void slice(const DenseTensor& in, std::size_t axis, std::int64_t offset, DenseTensor& out,
+           conc::ThreadPool& pool, KernelStats& stats);
 void reshape_copy(const DenseTensor& in, DenseTensor& out, KernelStats& stats);
 
 /// In-place optimizer update; slots may be empty (SGD) / 1 (momentum) /
-/// 2 (Adam). Learning rate is the caller's.
+/// 2 (Adam). Learning rate is the caller's. Element-wise and disjoint, so
+/// the parallel partition cannot change results.
 void apply_gradient(ir::Optimizer optimizer, DenseTensor& weight, const DenseTensor& grad,
                     const std::vector<DenseTensor*>& slots, double learning_rate,
-                    KernelStats& stats);
+                    conc::ThreadPool& pool, KernelStats& stats);
 
 }  // namespace gf::rt

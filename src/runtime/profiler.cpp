@@ -52,14 +52,19 @@ void ProfileReport::print(std::ostream& os) const {
                                                          per_type.end());
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.second.flops > b.second.flops; });
-  util::Table table({"op type", "count", "FLOPs", "bytes", "time"});
+  util::Table table({"op type", "count", "FLOPs", "bytes", "time", "GFLOP/s"});
+  auto rate = [](double flops, double seconds) {
+    return (seconds > 0 && flops > 0) ? util::format_sig(flops / seconds / 1e9, 3)
+                                      : std::string("-");
+  };
   for (const auto& [type, p] : rows)
     table.add_row({ir::op_type_name(type), std::to_string(p.count),
                    util::format_si(p.flops), util::format_bytes(p.bytes),
-                   util::format_duration(p.seconds, 2)});
+                   util::format_duration(p.seconds, 2), rate(p.flops, p.seconds)});
   table.add_separator();
   table.add_row({"total", "", util::format_si(total_flops), util::format_bytes(total_bytes),
-                 util::format_duration(total_seconds, 2)});
+                 util::format_duration(total_seconds, 2),
+                 rate(total_flops, total_seconds)});
   table.print(os);
   os << "peak allocated: " << util::format_bytes(static_cast<double>(peak_allocated_bytes))
      << "\n";
@@ -81,7 +86,7 @@ void ProfileReport::write_chrome_trace(std::ostream& os) const {
        << (e.worker + 1) << ",\"ts\":" << e.start_seconds * 1e6
        << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6
        << ",\"args\":{\"op_index\":" << e.op_index << ",\"flops\":" << e.flops
-       << ",\"bytes\":" << e.bytes << "}}";
+       << ",\"bytes\":" << e.bytes << ",\"gflops\":" << e.achieved_gflops() << "}}";
   }
   os << "]}\n";
 }

@@ -33,6 +33,13 @@ struct TimelineEvent {
   double end_seconds = 0;
   double flops = 0;
   double bytes = 0;
+
+  /// Achieved compute rate of this op, the metric the paper's Fig. 9 frames
+  /// utilization in. Zero-duration or zero-flop events report 0.
+  double achieved_gflops() const {
+    const double dur = end_seconds - start_seconds;
+    return (dur > 0 && flops > 0) ? flops / dur / 1e9 : 0.0;
+  }
 };
 
 struct ProfileReport {

@@ -74,7 +74,7 @@ TEST(Conv2dKernel, IdentityKernelCopiesCenter) {
   f.f(4) = 1.0f;  // center tap
   DenseTensor out({1, 3, 3, 1}, ir::DataType::kFloat32);
   KernelStats stats;
-  conv2d(in, f, out, 1, stats);
+  conv2d(in, f, out, 1, pool(), stats);
   for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out.f(i), in.f(i)) << i;
 }
 
@@ -85,7 +85,7 @@ TEST(Conv2dKernel, StrideSubsamples) {
   f.f(0) = 2.0f;
   DenseTensor out({1, 2, 2, 1}, ir::DataType::kFloat32);
   KernelStats stats;
-  conv2d(in, f, out, 2, stats);
+  conv2d(in, f, out, 2, pool(), stats);
   EXPECT_FLOAT_EQ(out.f(0), 0);
   EXPECT_FLOAT_EQ(out.f(1), 4);
   EXPECT_FLOAT_EQ(out.f(2), 16);
@@ -96,7 +96,7 @@ TEST(SoftmaxKernel, RowsSumToOne) {
   const DenseTensor logits = filled({2, 3}, {1, 2, 3, -1, 0, 1});
   DenseTensor out({2, 3}, ir::DataType::kFloat32);
   KernelStats stats;
-  softmax(logits, out, stats);
+  softmax(logits, out, pool(), stats);
   for (int r = 0; r < 2; ++r) {
     float sum = 0;
     for (int c = 0; c < 3; ++c) {
@@ -115,7 +115,7 @@ TEST(SoftmaxXentKernel, LossIsNegLogProb) {
   DenseTensor loss({1}, ir::DataType::kFloat32);
   DenseTensor probs({1, 2}, ir::DataType::kFloat32);
   KernelStats stats;
-  softmax_xent(logits, labels, loss, probs, stats);
+  softmax_xent(logits, labels, loss, probs, pool(), stats);
   EXPECT_NEAR(loss.f(0), std::log(2.0f), 1e-6f);
 }
 
@@ -127,9 +127,9 @@ TEST(PoolKernel, MaxAndAvg) {
   in.f(3) = 2;
   DenseTensor out({1, 1, 1, 1}, ir::DataType::kFloat32);
   KernelStats stats;
-  pool(ir::PoolKind::kMax, in, out, 2, 2, stats);
+  pool(ir::PoolKind::kMax, in, out, 2, 2, pool(), stats);
   EXPECT_FLOAT_EQ(out.f(0), 5);
-  pool(ir::PoolKind::kAvg, in, out, 2, 2, stats);
+  pool(ir::PoolKind::kAvg, in, out, 2, 2, pool(), stats);
   EXPECT_FLOAT_EQ(out.f(0), 2.75f);
 }
 
@@ -141,11 +141,11 @@ TEST(PoolGradKernel, MaxRoutesToArgmax) {
   in.f(3) = 2;
   DenseTensor out({1, 1, 1, 1}, ir::DataType::kFloat32);
   KernelStats stats;
-  pool(ir::PoolKind::kMax, in, out, 2, 2, stats);
+  pool(ir::PoolKind::kMax, in, out, 2, 2, pool(), stats);
   DenseTensor dy({1, 1, 1, 1}, ir::DataType::kFloat32);
   dy.f(0) = 7;
   DenseTensor dx({1, 2, 2, 1}, ir::DataType::kFloat32);
-  pool_grad(ir::PoolKind::kMax, in, out, dy, dx, 2, 2, stats);
+  pool_grad(ir::PoolKind::kMax, in, out, dy, dx, 2, 2, pool(), stats);
   EXPECT_FLOAT_EQ(dx.f(0), 0);
   EXPECT_FLOAT_EQ(dx.f(1), 7);
   EXPECT_FLOAT_EQ(dx.f(2), 0);
@@ -162,7 +162,7 @@ TEST(BatchNormKernel, NormalizesToZeroMeanUnitVar) {
   DenseTensor shift = filled({1}, {0});
   DenseTensor out({4, 1}, ir::DataType::kFloat32);
   KernelStats stats;
-  batch_norm(in, scale, shift, out, stats);
+  batch_norm(in, scale, shift, out, pool(), stats);
   float mean = 0, var = 0;
   for (int i = 0; i < 4; ++i) mean += out.f(i) / 4;
   for (int i = 0; i < 4; ++i) var += out.f(i) * out.f(i) / 4;
@@ -175,13 +175,13 @@ TEST(EmbeddingKernels, LookupAndScatterRoundTrip) {
   const DenseTensor ids = ints({2}, {2, 0});
   DenseTensor out({2, 2}, ir::DataType::kFloat32);
   KernelStats stats;
-  embedding_lookup(table, ids, out, stats);
+  embedding_lookup(table, ids, out, pool(), stats);
   EXPECT_FLOAT_EQ(out.f(0), 30);
   EXPECT_FLOAT_EQ(out.f(3), 11);
 
   const DenseTensor dy = filled({2, 2}, {1, 2, 3, 4});
   DenseTensor dtable({3, 2}, ir::DataType::kFloat32);
-  embedding_grad(ids, dy, dtable, stats);
+  embedding_grad(ids, dy, dtable, pool(), stats);
   EXPECT_FLOAT_EQ(dtable.f(0), 3);  // row 0 from second lookup
   EXPECT_FLOAT_EQ(dtable.f(1), 4);
   EXPECT_FLOAT_EQ(dtable.f(2), 0);  // row 1 untouched
@@ -193,11 +193,11 @@ TEST(ConcatSplitKernels, RoundTrip) {
   const DenseTensor b = filled({2, 2}, {3, 4, 7, 8});
   DenseTensor cat({2, 4}, ir::DataType::kFloat32);
   KernelStats stats;
-  concat({&a, &b}, 1, cat, stats);
+  concat({&a, &b}, 1, cat, pool(), stats);
   for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cat.f(i), static_cast<float>(i + 1));
 
   DenseTensor p0({2, 2}, ir::DataType::kFloat32), p1({2, 2}, ir::DataType::kFloat32);
-  split(cat, 1, {&p0, &p1}, stats);
+  split(cat, 1, {&p0, &p1}, pool(), stats);
   for (int i = 0; i < 4; ++i) {
     EXPECT_FLOAT_EQ(p0.f(i), a.f(i));
     EXPECT_FLOAT_EQ(p1.f(i), b.f(i));
@@ -208,7 +208,7 @@ TEST(SliceKernel, ExtractsOffsetRegion) {
   const DenseTensor in = filled({1, 4}, {1, 2, 3, 4});
   DenseTensor out({1, 2}, ir::DataType::kFloat32);
   KernelStats stats;
-  slice(in, 1, 1, out, stats);
+  slice(in, 1, 1, out, pool(), stats);
   EXPECT_FLOAT_EQ(out.f(0), 2);
   EXPECT_FLOAT_EQ(out.f(1), 3);
 }
@@ -217,12 +217,12 @@ TEST(ReduceBroadcastKernels, SumMeanAndBack) {
   const DenseTensor in = filled({2, 2}, {1, 2, 3, 4});
   DenseTensor sum({2}, ir::DataType::kFloat32);
   KernelStats stats;
-  reduce(ir::ReduceKind::kSum, in, sum, stats);
+  reduce(ir::ReduceKind::kSum, in, sum, pool(), stats);
   EXPECT_FLOAT_EQ(sum.f(0), 4);  // column sums (leading axes reduced)
   EXPECT_FLOAT_EQ(sum.f(1), 6);
 
   DenseTensor back({2, 2}, ir::DataType::kFloat32);
-  broadcast(sum, back, stats);
+  broadcast(sum, back, pool(), stats);
   EXPECT_FLOAT_EQ(back.f(0), 4);
   EXPECT_FLOAT_EQ(back.f(2), 4);
   EXPECT_FLOAT_EQ(back.f(3), 6);
@@ -232,7 +232,7 @@ TEST(ApplyGradientKernel, SgdStep) {
   DenseTensor w = filled({2}, {1.0f, 2.0f});
   const DenseTensor g = filled({2}, {10.0f, -10.0f});
   KernelStats stats;
-  apply_gradient(ir::Optimizer::kSGD, w, g, {}, 0.1, stats);
+  apply_gradient(ir::Optimizer::kSGD, w, g, {}, 0.1, pool(), stats);
   EXPECT_FLOAT_EQ(w.f(0), 0.0f);
   EXPECT_FLOAT_EQ(w.f(1), 3.0f);
 }
@@ -242,9 +242,9 @@ TEST(ApplyGradientKernel, MomentumAccumulates) {
   const DenseTensor g = filled({1}, {1.0f});
   DenseTensor v = DenseTensor::zeros({1});
   KernelStats stats;
-  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, stats);
+  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, pool(), stats);
   EXPECT_FLOAT_EQ(w.f(0), -1.0f);
-  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, stats);
+  apply_gradient(ir::Optimizer::kMomentum, w, g, {&v}, 1.0, pool(), stats);
   EXPECT_FLOAT_EQ(w.f(0), -2.9f);  // v = 1.9 on the second step
 }
 

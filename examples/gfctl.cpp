@@ -12,6 +12,7 @@
 //                      [--steps S] [--schedule wavefront|sequential]
 //   gfctl lint         <domain>|all [--json] [--passes a,b,...]
 //   gfctl lint         --file <graph.txt> [--json] [--passes a,b,...]
+//   gfctl memplan      <domain>|all [--hidden H] [--batch B]
 //   gfctl domains
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
@@ -239,6 +240,54 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+// Static memory plan for built-in models: how far liveness-based slab
+// reuse + in-place aliasing compress the step's transient footprint,
+// against the paper's Fig 10 sequential minimal footprint.
+int cmd_memplan(const Args& args) {
+  const double hidden = args.number("hidden", 32);
+  const double batch = args.number("batch", 4);
+  const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
+  std::vector<std::string> names;
+  if (target == "all")
+    names = {"wordlm", "charlm", "nmt", "speech", "image", "transformer"};
+  else
+    names = {target};
+
+  util::Table table({"model", "ops", "tensors", "aliases", "gross", "live peak",
+                     "slab", "fig10 transient", "reuse"});
+  bool all_within_footprint = true;
+  for (const std::string& n : names) {
+    const auto spec = build_named(n);
+    const auto bind = spec.bind(hidden, batch);
+    const auto dag = ir::build_op_dag(*spec.graph);
+    const auto plan = rt::plan_memory(*spec.graph, dag, bind);
+    const auto fp = ir::minimal_footprint(*spec.graph, bind);
+    // The acceptance bar: the packed slab must not need more than the
+    // sequential schedule's analytic transient peak (alignment padding is
+    // the only excuse, and these sizes are big enough that it never is).
+    if (static_cast<double>(plan.slab_bytes) >
+        fp.peak_transient_bytes + static_cast<double>(rt::kTensorAlignment) *
+                                      static_cast<double>(plan.tensors.size()))
+      all_within_footprint = false;
+    table.add_row({spec.name, std::to_string(spec.graph->num_ops()),
+                   std::to_string(plan.tensors.size()), std::to_string(plan.alias_count),
+                   util::format_bytes(static_cast<double>(plan.gross_bytes)),
+                   util::format_bytes(static_cast<double>(plan.liveness_peak_bytes)),
+                   util::format_bytes(static_cast<double>(plan.slab_bytes)),
+                   util::format_bytes(fp.peak_transient_bytes),
+                   util::format_percent(plan.reuse_fraction())});
+  }
+  table.print(std::cout);
+  std::cout << "(hidden " << hidden << ", batch " << batch
+            << "; gross = per-op heap total, slab = planned arena, reuse = saved "
+               "fraction)\n";
+  if (!all_within_footprint) {
+    std::cerr << "gfctl: a planned slab exceeds the sequential minimal footprint\n";
+    return 1;
+  }
+  return 0;
+}
+
 // Static analysis over built-in models or a serialized graph file.
 // Exit codes: 0 clean (warnings/notes allowed), 1 error-severity findings,
 // 2 file unreadable or not reconstructable.
@@ -311,8 +360,8 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
-                   "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint> "
-                   "...\n";
+                   "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint|"
+                   "memplan> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -325,6 +374,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return cmd_export(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "memplan") return cmd_memplan(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

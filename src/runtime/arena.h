@@ -19,6 +19,27 @@ namespace gf::rt {
 /// packed tiles start on cacheline boundaries and SIMD loads never split.
 inline constexpr std::size_t kTensorAlignment = 64;
 
+/// Process-wide counters over every AlignedAllocator heap allocation.
+/// memplan_bench uses the deltas to show a planned step performs O(1)
+/// allocations where the per-op heap path performs O(ops).
+struct AlignedAllocStats {
+  static std::atomic<std::size_t>& count() {
+    static std::atomic<std::size_t> v{0};
+    return v;
+  }
+  static std::atomic<std::size_t>& bytes() {
+    static std::atomic<std::size_t> v{0};
+    return v;
+  }
+};
+
+inline std::size_t aligned_alloc_count() {
+  return AlignedAllocStats::count().load(std::memory_order_relaxed);
+}
+inline std::size_t aligned_alloc_bytes() {
+  return AlignedAllocStats::bytes().load(std::memory_order_relaxed);
+}
+
 /// Minimal std::allocator replacement with a fixed over-alignment.
 template <typename T, std::size_t Alignment = kTensorAlignment>
 class AlignedAllocator {
@@ -32,6 +53,8 @@ class AlignedAllocator {
   AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
 
   T* allocate(std::size_t n) {
+    AlignedAllocStats::count().fetch_add(1, std::memory_order_relaxed);
+    AlignedAllocStats::bytes().fetch_add(n * sizeof(T), std::memory_order_relaxed);
     return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Alignment)));
   }
   void deallocate(T* p, std::size_t) noexcept {
@@ -66,8 +89,14 @@ class ArenaAccounting {
   }
 
   void release(std::size_t bytes) {
-    const std::size_t before = current_.fetch_sub(bytes, std::memory_order_acq_rel);
-    if (bytes > before) throw std::logic_error("arena accounting underflow");
+    // Validate-then-subtract in one CAS loop: the old fetch_sub-then-check
+    // wrapped current_ before throwing, corrupting accounting for every
+    // later reader. Now an underflowing release leaves current_ untouched.
+    std::size_t cur = current_.load(std::memory_order_acquire);
+    do {
+      if (bytes > cur) throw std::logic_error("arena accounting underflow");
+    } while (
+        !current_.compare_exchange_weak(cur, cur - bytes, std::memory_order_acq_rel));
   }
 
   std::size_t current_bytes() const { return current_.load(std::memory_order_acquire); }

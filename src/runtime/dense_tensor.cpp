@@ -1,5 +1,6 @@
 #include "src/runtime/dense_tensor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <stdexcept>
@@ -28,25 +29,53 @@ DenseTensor DenseTensor::zeros(std::vector<std::int64_t> shape, ir::DataType dty
   return DenseTensor(std::move(shape), dtype);
 }
 
+DenseTensor::DenseTensor(ViewTag, std::vector<std::int64_t> shape, ir::DataType dtype,
+                         void* data)
+    : shape_(std::move(shape)), ext_(data) {
+  numel_ = 1;
+  for (std::int64_t d : shape_) {
+    if (d <= 0) throw std::invalid_argument("DenseTensor dims must be positive");
+    numel_ *= d;
+  }
+  dtype_ = (dtype == ir::DataType::kFloat32 || dtype == ir::DataType::kFloat16)
+               ? ir::DataType::kFloat32
+               : ir::DataType::kInt32;
+  if (ext_ == nullptr) throw std::invalid_argument("DenseTensor view needs storage");
+  assert(reinterpret_cast<std::uintptr_t>(ext_) % kTensorAlignment == 0);
+}
+
+DenseTensor DenseTensor::view(std::vector<std::int64_t> shape, ir::DataType dtype,
+                              void* data) {
+  return DenseTensor(ViewTag{}, std::move(shape), dtype, data);
+}
+
+void DenseTensor::fill_zero() {
+  if (is_float()) {
+    std::fill_n(fdata(), numel_, 0.0f);
+  } else {
+    std::fill_n(idata(), numel_, 0);
+  }
+}
+
 std::size_t DenseTensor::byte_size() const {
   return static_cast<std::size_t>(numel_) * ir::dtype_bytes(dtype_);
 }
 
 float* DenseTensor::fdata() {
   if (!is_float()) throw std::logic_error("fdata() on integer tensor");
-  return fbuf_.data();
+  return ext_ != nullptr ? static_cast<float*>(ext_) : fbuf_.data();
 }
 const float* DenseTensor::fdata() const {
   if (!is_float()) throw std::logic_error("fdata() on integer tensor");
-  return fbuf_.data();
+  return ext_ != nullptr ? static_cast<const float*>(ext_) : fbuf_.data();
 }
 std::int32_t* DenseTensor::idata() {
   if (is_float()) throw std::logic_error("idata() on float tensor");
-  return ibuf_.data();
+  return ext_ != nullptr ? static_cast<std::int32_t*>(ext_) : ibuf_.data();
 }
 const std::int32_t* DenseTensor::idata() const {
   if (is_float()) throw std::logic_error("idata() on float tensor");
-  return ibuf_.data();
+  return ext_ != nullptr ? static_cast<const std::int32_t*>(ext_) : ibuf_.data();
 }
 
 }  // namespace gf::rt

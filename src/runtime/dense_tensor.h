@@ -22,6 +22,19 @@ class DenseTensor {
   static DenseTensor zeros(std::vector<std::int64_t> shape,
                            ir::DataType dtype = ir::DataType::kFloat32);
 
+  /// Non-owning view over externally managed storage (the memory planner's
+  /// slab). `data` must be kTensorAlignment-aligned and at least
+  /// numel * 4 bytes; the view does NOT zero it — the executor zeroes
+  /// planned outputs at execution time instead (see ResolvedOp::zero_first).
+  static DenseTensor view(std::vector<std::int64_t> shape, ir::DataType dtype,
+                          void* data);
+
+  /// True when storage is an external view rather than an owned buffer.
+  bool is_view() const { return ext_ != nullptr; }
+
+  /// Zero-fills the storage (owned or viewed).
+  void fill_zero();
+
   const std::vector<std::int64_t>& shape() const { return shape_; }
   ir::DataType dtype() const { return dtype_; }
   std::int64_t numel() const { return numel_; }
@@ -42,12 +55,17 @@ class DenseTensor {
   std::int32_t i32(std::int64_t i) const { return idata()[i]; }
 
  private:
+  struct ViewTag {};
+  DenseTensor(ViewTag, std::vector<std::int64_t> shape, ir::DataType dtype, void* data);
+
   std::vector<std::int64_t> shape_;
   ir::DataType dtype_ = ir::DataType::kFloat32;
   std::int64_t numel_ = 0;
   // Cacheline-aligned so packed GEMM tiles and SIMD loads start aligned.
   AlignedVector<float> fbuf_;
   AlignedVector<std::int32_t> ibuf_;
+  // External storage (memory-planner slab); when set, fbuf_/ibuf_ stay empty.
+  void* ext_ = nullptr;
 };
 
 }  // namespace gf::rt

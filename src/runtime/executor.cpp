@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <random>
 #include <stdexcept>
@@ -43,6 +45,11 @@ std::int64_t infer_int_range(const ir::Tensor* t, const sym::Bindings& bind) {
 }
 
 }  // namespace
+
+bool memory_plan_env_default() {
+  const char* env = std::getenv("GF_MEMORY_PLAN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options)
     : graph_(&graph), bindings_(std::move(bindings)), options_(options),
@@ -92,6 +99,9 @@ void Executor::set_input(const ir::Tensor* tensor, DenseTensor value) {
   const auto& expected = shapes_.at(tensor);
   if (value.shape() != expected)
     throw std::invalid_argument("set_input: shape mismatch for " + tensor->name());
+  // A newly pinned input leaves the slab (its storage is caller-owned), so
+  // the plan must be recomputed before the next step.
+  if (!pinned_inputs_.contains(tensor)) plan_dirty_ = true;
   pinned_inputs_[tensor] = std::move(value);
 }
 
@@ -131,17 +141,67 @@ DenseTensor& Executor::materialize(const ir::Tensor* tensor) {
   }
   auto [it, inserted] = transient_.try_emplace(tensor);
   if (inserted) {
-    it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
-    arena_.allocate(tensor_bytes(tensor));
+    const PlannedTensor* pt = plan_active_ ? plan_.find(tensor) : nullptr;
+    if (pt != nullptr) {
+      // Slab-resident: a non-owning view at the planned offset. The slab
+      // was charged to the arena once in build_plan(), so no accounting
+      // here; the bytes are NOT zeroed — resolve() schedules zeroing at
+      // execution time for non-aliased outputs (ResolvedOp::zero_first).
+      it->second =
+          DenseTensor::view(shapes_.at(tensor), tensor->dtype(), slab_.data() + pt->offset);
+    } else {
+      it->second = DenseTensor(shapes_.at(tensor), tensor->dtype());
+      arena_.allocate(tensor_bytes(tensor));
+    }
   }
   return it->second;
 }
 
+void Executor::build_plan() {
+  if (plan_active_) {
+    // Replacing a plan: stale views point into the old slab; drop them and
+    // un-charge the old slab before the new one is accounted.
+    for (auto it = transient_.begin(); it != transient_.end();) {
+      if (it->second.is_view()) {
+        it = transient_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    arena_.release(plan_.slab_bytes);
+  }
+  MemPlanOptions mopts;
+  mopts.exclude.reserve(pinned_inputs_.size());
+  for (const auto& [t, v] : pinned_inputs_) mopts.exclude.insert(t);
+  mopts.retained = retained_;
+  plan_ = plan_memory(*graph_, dag_, bindings_, mopts);
+
+  slab_.resize(plan_.slab_bytes);
+  arena_.allocate(plan_.slab_bytes);
+
+  // Wavefront scheduling must also respect the plan's reuse edges: an op
+  // that first writes a reused slab range may not run until every accessor
+  // of the range's previous occupant retired.
+  planned_successors_ = dag_.successors;
+  planned_predecessor_count_ = dag_.predecessor_count;
+  for (const auto& [from, to] : plan_.reuse_edges) {
+    auto& succ = planned_successors_[from];
+    auto pos = std::lower_bound(succ.begin(), succ.end(), to);
+    if (pos != succ.end() && *pos == to) continue;  // already a DAG edge
+    succ.insert(pos, to);
+    ++planned_predecessor_count_[to];
+  }
+
+  plan_active_ = true;
+  plan_dirty_ = false;
+}
+
 void Executor::prepare_step() {
-  // Drop any non-retained leftovers from a previous step.
+  // Drop any non-retained leftovers from a previous step. Slab views carry
+  // no individual arena charge (the slab is charged once).
   for (auto it = transient_.begin(); it != transient_.end();) {
     if (!retained_.contains(it->first)) {
-      arena_.release(tensor_bytes(it->first));
+      if (!it->second.is_view()) arena_.release(tensor_bytes(it->first));
       it = transient_.erase(it);
     } else {
       ++it;
@@ -170,7 +230,7 @@ void Executor::free_if_dead(
   if (pinned_inputs_.contains(t)) return;
   auto it = transient_.find(t);
   if (it != transient_.end()) {
-    arena_.release(tensor_bytes(t));
+    if (!it->second.is_view()) arena_.release(tensor_bytes(t));
     transient_.erase(it);
   }
 }
@@ -221,13 +281,21 @@ Executor::ResolvedOp Executor::resolve(const ir::Op& op) {
   ResolvedOp r;
   r.op = &op;
   r.out.reserve(op.outputs().size());
-  for (const ir::Tensor* t : op.outputs()) r.out.push_back(&materialize(t));
+  for (const ir::Tensor* t : op.outputs()) {
+    DenseTensor* out = &materialize(t);
+    r.out.push_back(out);
+    if (plan_active_) {
+      const PlannedTensor* pt = plan_.find(t);
+      if (pt != nullptr && pt->alias_root == nullptr) r.zero_first.push_back(out);
+    }
+  }
   r.in.reserve(op.inputs().size());
   for (const ir::Tensor* t : op.inputs()) r.in.push_back(&storage(t));
   return r;
 }
 
 ProfileReport Executor::run_step() {
+  if (options_.memory_plan && plan_dirty_) build_plan();
   prepare_step();
   if (options_.schedule == Schedule::kSequential || dag_.order.empty())
     return run_step_sequential();
@@ -266,13 +334,21 @@ ProfileReport Executor::run_step_wavefront() {
   const std::size_t n = dag_.order.size();
   std::vector<OpSlot> slots(n);
   std::vector<ResolvedOp> resolved(n);
-  std::vector<std::size_t> preds = dag_.predecessor_count;
+  // Under an active plan the DAG carries the reuse edges, so slab regions
+  // are never written while their previous occupant is still accessed.
+  const std::vector<std::vector<std::size_t>>& successors =
+      plan_active_ ? planned_successors_ : dag_.successors;
+  std::vector<std::size_t> preds =
+      plan_active_ ? planned_predecessor_count_ : dag_.predecessor_count;
   std::vector<char> allocated(n, 0);
   std::unordered_map<const ir::Tensor*, std::size_t> pending;
   pending.reserve(graph_->tensors().size());
   for (const auto& t : graph_->tensors()) pending[t.get()] = t->consumers().size();
 
-  const std::size_t budget = simulated_sequential_peak();
+  // With a plan the step's transient footprint is the fixed slab: no
+  // backpressure needed (or meaningful), so the budget gate is disabled.
+  const std::size_t budget = plan_active_ ? std::numeric_limits<std::size_t>::max()
+                                          : simulated_sequential_peak();
 
   // Scheduling state. One mutex guards the tensor maps, the arena, the
   // countdowns, and the submit/retire counters; kernels run outside it.
@@ -316,7 +392,7 @@ ProfileReport Executor::run_step_wavefront() {
           free_if_dead(in, pending);
         }
         for (const ir::Tensor* out : op->outputs()) free_if_dead(out, pending);
-        for (std::size_t s : dag_.successors[i])
+        for (std::size_t s : successors[i])
           if (--preds[s] == 0 && allocated[s]) submit_op(s);
       }
       progress.notify_all();
@@ -368,8 +444,19 @@ ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
     const ir::Op* op = dag_.order[i];
     report.add(op->type(), s.stats.flops, s.stats.bytes,
                s.end_seconds - s.start_seconds);
-    report.timeline.push_back({op->name(), op->type(), i, s.worker, s.start_seconds,
-                               s.end_seconds, s.stats.flops, s.stats.bytes});
+    TimelineEvent event{op->name(), op->type(), i, s.worker, s.start_seconds,
+                        s.end_seconds, s.stats.flops, s.stats.bytes};
+    if (plan_active_) {
+      // Surface where the op's first planned output landed in the slab.
+      for (const ir::Tensor* out : op->outputs()) {
+        if (const PlannedTensor* pt = plan_.find(out); pt != nullptr) {
+          event.slab_offset = static_cast<std::int64_t>(pt->offset);
+          event.reuse_generation = static_cast<std::int64_t>(pt->generation);
+          break;
+        }
+      }
+    }
+    report.timeline.push_back(event);
   }
   report.wall_seconds = wall_seconds;
   report.peak_allocated_bytes = arena_.peak_bytes();
@@ -377,6 +464,10 @@ ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
 }
 
 void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
+  // Planned slab regions start with a previous occupant's bytes; give the
+  // kernel the same zeroed output the per-op heap path would have.
+  for (DenseTensor* z : r.zero_first) z->fill_zero();
+
   using ir::OpType;
   const ir::Op& op = *r.op;
   const std::vector<DenseTensor*>& in = r.in;

@@ -32,9 +32,15 @@
 #include "src/runtime/arena.h"
 #include "src/runtime/dense_tensor.h"
 #include "src/runtime/kernels.h"
+#include "src/runtime/memplan.h"
 #include "src/runtime/profiler.h"
 
 namespace gf::rt {
+
+/// Default for ExecutorOptions::memory_plan: true when the GF_MEMORY_PLAN
+/// environment variable is set to a non-empty, non-"0" value. Lets CI run
+/// the full test suite with planning on without touching call sites.
+bool memory_plan_env_default();
 
 /// Inter-op scheduling policy for run_step().
 enum class Schedule : std::uint8_t {
@@ -56,6 +62,13 @@ struct ExecutorOptions {
   /// Off by default — verification is O(graph) per Executor, and built-in
   /// models are already linted in CI.
   bool verify = false;
+  /// Static memory planning: place every non-persistent tensor at a fixed
+  /// offset in one slab (see src/runtime/memplan.h), so a step performs
+  /// zero per-op heap allocations and the arena peak equals the planned
+  /// peak exactly. Default follows GF_MEMORY_PLAN (off otherwise): per-op
+  /// heap allocation stays the default so sanitizer CI keeps byte-accurate
+  /// bounds checking on every tensor.
+  bool memory_plan = memory_plan_env_default();
 };
 
 class Executor {
@@ -67,7 +80,13 @@ class Executor {
   void set_input(const ir::Tensor* tensor, DenseTensor value);
 
   /// Keeps the named activation's value available after run_step().
-  void retain(const ir::Tensor* tensor) { retained_.insert(tensor); }
+  void retain(const ir::Tensor* tensor) {
+    if (retained_.insert(tensor).second) plan_dirty_ = true;
+  }
+
+  /// The active memory plan, or nullptr when planning is off. Built lazily
+  /// on the first run_step() after construction / retain() / new pins.
+  const MemoryPlan* memory_plan() const { return plan_active_ ? &plan_ : nullptr; }
 
   /// Mutable access to persistent state (weights / optimizer slots).
   DenseTensor& weight_value(const ir::Tensor* tensor);
@@ -87,6 +106,14 @@ class Executor {
     const ir::Op* op = nullptr;
     std::vector<DenseTensor*> in;
     std::vector<DenseTensor*> out;
+    /// Planned, non-aliased outputs to zero-fill immediately before the
+    /// kernel runs: slab regions hold a previous occupant's bytes, while
+    /// the heap path hands every op a fresh zeroed buffer (scatter kernels
+    /// like pool_grad/embedding_grad rely on that). Zeroing happens at
+    /// execution (not dispatch) time so it is ordered after the previous
+    /// occupant's last access by the plan's reuse edges. Aliased outputs
+    /// are never zeroed — their storage IS the op's live input.
+    std::vector<DenseTensor*> zero_first;
   };
   /// Per-op result slot; each op writes only its own (disjoint) slot, and
   /// run_step folds slots into the report in topological order so totals
@@ -112,6 +139,9 @@ class Executor {
                     const std::unordered_map<const ir::Tensor*, std::size_t>& pending);
   ResolvedOp resolve(const ir::Op& op);
   void execute_resolved(const ResolvedOp& r, KernelStats& stats);
+  /// (Re)builds the memory plan, the slab, and the reuse-edge-augmented
+  /// scheduling DAG. Any existing slab views are dropped first.
+  void build_plan();
   /// Sequential arena trajectory from the current step-start state; its
   /// peak is the wavefront scheduler's allocation budget.
   std::size_t simulated_sequential_peak() const;
@@ -132,6 +162,16 @@ class Executor {
   std::unordered_map<const ir::Tensor*, DenseTensor> transient_;
   std::unordered_set<const ir::Tensor*> retained_;
   ArenaAccounting arena_;
+
+  // Memory-plan state (unused when options_.memory_plan is false).
+  MemoryPlan plan_;
+  bool plan_active_ = false;
+  bool plan_dirty_ = true;
+  AlignedVector<unsigned char> slab_;
+  /// Scheduler DAG augmented with the plan's reuse edges; the wavefront
+  /// schedule uses these instead of dag_'s when the plan is active.
+  std::vector<std::vector<std::size_t>> planned_successors_;
+  std::vector<std::size_t> planned_predecessor_count_;
 };
 
 }  // namespace gf::rt

@@ -33,6 +33,19 @@ AxisView axis_view(const DenseTensor& t, std::size_t axis) {
   return v;
 }
 
+/// Per-thread im2col/col2im scratch, grown monotonically and reused across
+/// conv calls so steady-state steps hit the allocator O(1) times. Safe for
+/// the same reason as GemmScratch: an op owns its executing thread until
+/// the kernel returns (parallel_for callers block on a condition variable
+/// instead of draining unrelated pool tasks), so two convs never
+/// interleave on one thread. Every consumer fully overwrites the scratch
+/// (im2col writes pad cells, GEMM writes the whole dcol), so no zeroing.
+float* conv_scratch(std::size_t n) {
+  thread_local AlignedVector<float> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
 Im2ColShape conv_shape(const DenseTensor& in, std::int64_t kh, std::int64_t kw,
                        std::int64_t ho, std::int64_t wo, int stride) {
   Im2ColShape s;
@@ -96,9 +109,9 @@ void conv2d(const DenseTensor& in, const DenseTensor& filter, DenseTensor& out,
   const Im2ColShape s = conv_shape(in, KH, KW, out.dim(1), out.dim(2), stride);
   // col: (N*HO*WO) x (KH*KW*C); filter (KH,KW,C,F) is already the
   // row-major (KH*KW*C) x F right-hand side.
-  AlignedVector<float> col(static_cast<std::size_t>(s.rows() * s.cols()));
-  im2col(in.fdata(), s, col.data(), pool);
-  blocked_gemm(col.data(), filter.fdata(), out.fdata(), 1, s.rows(), F, s.cols(),
+  float* col = conv_scratch(static_cast<std::size_t>(s.rows() * s.cols()));
+  im2col(in.fdata(), s, col, pool);
+  blocked_gemm(col, filter.fdata(), out.fdata(), 1, s.rows(), F, s.cols(),
                false, false, 0, 0, 0, default_gemm_tiling(), pool);
   stats.flops += 2.0 * static_cast<double>(out.numel()) * KH * KW * s.c;
   stats.bytes += tensor_bytes(in) + tensor_bytes(filter) + tensor_bytes(out);
@@ -114,11 +127,11 @@ void conv2d_grad_input(const DenseTensor& dy, const DenseTensor& filter, DenseTe
   const Im2ColShape s = conv_shape(dx, KH, KW, dy.dim(1), dy.dim(2), stride);
   // dcol = dy . filter^T : (rows x F) . (F x KH*KW*C), then col2im
   // scatter-adds the tap gradients back onto the input image.
-  AlignedVector<float> dcol(static_cast<std::size_t>(s.rows() * s.cols()));
-  blocked_gemm(dy.fdata(), filter.fdata(), dcol.data(), 1, s.rows(), s.cols(), F,
+  float* dcol = conv_scratch(static_cast<std::size_t>(s.rows() * s.cols()));
+  blocked_gemm(dy.fdata(), filter.fdata(), dcol, 1, s.rows(), s.cols(), F,
                false, true, 0, 0, 0, default_gemm_tiling(), pool);
   std::fill(dx.fdata(), dx.fdata() + dx.numel(), 0.0f);
-  col2im_add(dcol.data(), s, dx.fdata(), pool);
+  col2im_add(dcol, s, dx.fdata(), pool);
   stats.flops += 2.0 * static_cast<double>(dy.numel()) * KH * KW * s.c;
   stats.bytes += tensor_bytes(dy) + tensor_bytes(filter) + tensor_bytes(dx);
 }
@@ -132,9 +145,9 @@ void conv2d_grad_filter(const DenseTensor& in, const DenseTensor& dy, DenseTenso
   const std::int64_t KH = df.dim(0), KW = df.dim(1), F = df.dim(3);
   const Im2ColShape s = conv_shape(in, KH, KW, dy.dim(1), dy.dim(2), stride);
   // dF = im2col(input)^T . dy : (KH*KW*C x rows) . (rows x F).
-  AlignedVector<float> col(static_cast<std::size_t>(s.rows() * s.cols()));
-  im2col(in.fdata(), s, col.data(), pool);
-  blocked_gemm(col.data(), dy.fdata(), df.fdata(), 1, s.cols(), F, s.rows(), true,
+  float* col = conv_scratch(static_cast<std::size_t>(s.rows() * s.cols()));
+  im2col(in.fdata(), s, col, pool);
+  blocked_gemm(col, dy.fdata(), df.fdata(), 1, s.cols(), F, s.rows(), true,
                false, 0, 0, 0, default_gemm_tiling(), pool);
   stats.flops += 2.0 * static_cast<double>(dy.numel()) * KH * KW * s.c;
   stats.bytes += tensor_bytes(in) + tensor_bytes(dy) + tensor_bytes(df);

@@ -1,0 +1,289 @@
+#include "src/runtime/memplan.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "src/ir/ops.h"
+
+namespace gf::rt {
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
+
+std::size_t concrete_numel(const ir::Tensor& t, const sym::Bindings& bindings) {
+  std::size_t n = 1;
+  for (std::int64_t d : t.shape().eval(bindings)) n *= static_cast<std::size_t>(d);
+  return n;
+}
+
+/// Runtime storage bytes: DenseTensor stores every element as fp32/int32,
+/// so storage is 4 bytes per element regardless of declared dtype.
+std::size_t storage_bytes(const ir::Tensor& t, const sym::Bindings& bindings) {
+  return concrete_numel(t, bindings) * 4;
+}
+
+/// Algorithmic bytes, matching what the executor's arena charges for
+/// persistent state (so planned peak equals measured peak exactly).
+std::size_t algorithmic_bytes(const ir::Tensor& t, const sym::Bindings& bindings) {
+  return concrete_numel(t, bindings) * ir::dtype_bytes(t.dtype());
+}
+
+bool float_storage(ir::DataType d) {
+  return d == ir::DataType::kFloat32 || d == ir::DataType::kFloat16;
+}
+
+/// Strictly elementwise ops: out[i] is a function of in[k][i] only, so
+/// writing the output over input 0's storage can never read a clobbered
+/// element. (Softmax/reduce/concat read across elements — never aliased.)
+bool elementwise_alias_candidate(const ir::Op& op) {
+  return (op.type() == ir::OpType::kPointwise || op.type() == ir::OpType::kBiasAdd) &&
+         op.outputs().size() == 1 && !op.inputs().empty();
+}
+
+/// One slab region: an alias chain of tensors sharing the same storage.
+struct Region {
+  std::vector<std::size_t> members;  // indices into plan.tensors, root first
+  std::size_t bytes = 0;             // aligned storage of the (equal-size) members
+  std::size_t def = 0;               // min member def
+  std::size_t last = 0;              // max member last_use
+  std::size_t offset = 0;
+  std::size_t generation = 0;
+};
+
+}  // namespace
+
+void MemoryPlan::rebuild_index() {
+  index_.clear();
+  index_.reserve(tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) index_.emplace(tensors[i].tensor, i);
+}
+
+MemoryPlan plan_memory(const ir::Graph& graph, const ir::OpDag& dag,
+                       const sym::Bindings& bindings, const MemPlanOptions& options) {
+  MemoryPlan plan;
+  const std::size_t n = dag.order.size();
+
+  std::unordered_map<const ir::Op*, std::size_t> op_index;
+  op_index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) op_index.emplace(dag.order[i], i);
+
+  // --- 1. planned tensors and their live intervals --------------------------
+  // graph.tensors() is in creation (= id) order, so the plan is deterministic.
+  for (const auto& t : graph.tensors()) {
+    if (t->is_persistent()) {
+      plan.persistent_bytes += algorithmic_bytes(*t, bindings);
+      continue;
+    }
+    if (options.exclude.contains(t.get())) continue;
+    PlannedTensor pt;
+    pt.tensor = t.get();
+    pt.bytes = storage_bytes(*t, bindings);
+    pt.aligned_bytes = align_up(pt.bytes, options.alignment);
+    pt.def = t->producer() != nullptr ? op_index.at(t->producer()) : 0;
+    pt.last_use = pt.def;
+    for (const ir::Op* c : t->consumers())
+      pt.last_use = std::max(pt.last_use, op_index.at(c));
+    if (options.retained.contains(t.get()) && n > 0) pt.last_use = n - 1;
+    plan.gross_bytes += pt.aligned_bytes;
+    plan.tensors.push_back(pt);
+  }
+  plan.rebuild_index();
+
+  std::unordered_map<const ir::Tensor*, std::size_t> planned_index;
+  planned_index.reserve(plan.tensors.size());
+  for (std::size_t i = 0; i < plan.tensors.size(); ++i)
+    planned_index.emplace(plan.tensors[i].tensor, i);
+
+  // --- 2. in-place aliasing (union-find over planned tensors) ---------------
+  std::vector<std::size_t> parent(plan.tensors.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find_root = [&](std::size_t i) {
+    while (parent[i] != i) i = parent[i] = parent[parent[i]];
+    return i;
+  };
+
+  if (options.enable_aliasing) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const ir::Op* op = dag.order[i];
+      if (!elementwise_alias_candidate(*op)) continue;
+      const ir::Tensor* a = op->input(0);
+      const ir::Tensor* b = op->output(0);
+      auto ia = planned_index.find(a);
+      auto ib = planned_index.find(b);
+      if (ia == planned_index.end() || ib == planned_index.end()) continue;
+      // Sole-reader proof (the race checker's own criterion): this op is
+      // the input's only consumer, so nothing else can observe the
+      // overwrite. Retained inputs must keep their value to step end.
+      if (a->consumers().size() != 1) continue;
+      if (options.retained.contains(a)) continue;
+      if (plan.tensors[ia->second].bytes != plan.tensors[ib->second].bytes) continue;
+      if (float_storage(a->dtype()) != float_storage(b->dtype())) continue;
+      parent[find_root(ib->second)] = find_root(ia->second);
+      ++plan.alias_count;
+    }
+  }
+
+  // --- 3. regions: one per alias-chain root ---------------------------------
+  std::unordered_map<std::size_t, std::size_t> region_of_root;
+  std::vector<Region> regions;
+  for (std::size_t i = 0; i < plan.tensors.size(); ++i) {
+    const std::size_t root = find_root(i);
+    auto [it, inserted] = region_of_root.try_emplace(root, regions.size());
+    if (inserted) regions.emplace_back();
+    Region& r = regions[it->second];
+    if (i == root) {
+      r.members.insert(r.members.begin(), i);
+    } else {
+      r.members.push_back(i);
+      plan.tensors[i].alias_root = plan.tensors[root].tensor;
+    }
+    r.bytes = std::max(r.bytes, plan.tensors[i].aligned_bytes);
+    r.def = r.members.size() == 1 ? plan.tensors[i].def
+                                  : std::min(r.def, plan.tensors[i].def);
+    r.last = r.members.size() == 1 ? plan.tensors[i].last_use
+                                   : std::max(r.last, plan.tensors[i].last_use);
+  }
+
+  // --- 4. greedy best-fit offset assignment ---------------------------------
+  // Regions are placed largest-first (ties: earliest def, then lowest root
+  // id); each goes into the smallest free gap among regions whose live
+  // intervals overlap it, or extends the slab when no gap fits.
+  std::vector<std::size_t> order(regions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const Region& a = regions[x];
+    const Region& b = regions[y];
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    if (a.def != b.def) return a.def < b.def;
+    return plan.tensors[a.members.front()].tensor->id() <
+           plan.tensors[b.members.front()].tensor->id();
+  });
+
+  std::vector<std::size_t> placed;  // region ids, in placement order
+  for (const std::size_t rid : order) {
+    Region& r = regions[rid];
+    std::vector<std::pair<std::size_t, std::size_t>> busy;  // [offset, end)
+    for (const std::size_t pid : placed) {
+      const Region& p = regions[pid];
+      if (p.def <= r.last && r.def <= p.last)
+        busy.emplace_back(p.offset, p.offset + p.bytes);
+    }
+    std::sort(busy.begin(), busy.end());
+    std::size_t best_offset = std::numeric_limits<std::size_t>::max();
+    std::size_t best_gap = std::numeric_limits<std::size_t>::max();
+    std::size_t cursor = 0;
+    for (const auto& [start, end] : busy) {
+      if (start > cursor) {
+        const std::size_t gap = start - cursor;
+        if (gap >= r.bytes && gap < best_gap) {
+          best_gap = gap;
+          best_offset = cursor;
+        }
+      }
+      cursor = std::max(cursor, end);
+    }
+    r.offset = best_offset != std::numeric_limits<std::size_t>::max() ? best_offset
+                                                                      : cursor;
+    plan.slab_bytes = std::max(plan.slab_bytes, r.offset + r.bytes);
+    placed.push_back(rid);
+  }
+
+  // --- 5. liveness peak (the packing lower bound) ---------------------------
+  if (!regions.empty()) {
+    // +bytes at def, -bytes after last; peak of the prefix sum.
+    std::vector<std::pair<std::size_t, std::ptrdiff_t>> events;
+    events.reserve(regions.size() * 2);
+    for (const Region& r : regions) {
+      events.emplace_back(r.def, static_cast<std::ptrdiff_t>(r.bytes));
+      events.emplace_back(r.last + 1, -static_cast<std::ptrdiff_t>(r.bytes));
+    }
+    std::sort(events.begin(), events.end());
+    std::ptrdiff_t live = 0;
+    std::ptrdiff_t peak = 0;
+    for (std::size_t i = 0; i < events.size();) {
+      const std::size_t at = events[i].first;
+      for (; i < events.size() && events[i].first == at; ++i) live += events[i].second;
+      peak = std::max(peak, live);
+    }
+    plan.liveness_peak_bytes = static_cast<std::size_t>(peak);
+  }
+
+  // --- 6. reuse generations + wavefront reuse edges -------------------------
+  // Paint the slab address space in def order; whenever a region covers
+  // addresses previously held by another, every accessor (producer and
+  // consumers of every member) of the previous occupant must be ordered
+  // before the new occupant's first write. Transitivity over consecutive
+  // occupants covers older ones: each region's def op is one of its own
+  // accessors, so edge chains compose along the occupancy history.
+  std::vector<std::size_t> def_order(regions.size());
+  for (std::size_t i = 0; i < def_order.size(); ++i) def_order[i] = i;
+  std::sort(def_order.begin(), def_order.end(), [&](std::size_t x, std::size_t y) {
+    if (regions[x].def != regions[y].def) return regions[x].def < regions[y].def;
+    return plan.tensors[regions[x].members.front()].tensor->id() <
+           plan.tensors[regions[y].members.front()].tensor->id();
+  });
+
+  struct Seg {
+    std::size_t end = 0;
+    std::size_t region = 0;
+  };
+  std::map<std::size_t, Seg> painted;  // start offset -> segment
+  auto accessors_of = [&](const Region& p, std::vector<std::size_t>& out) {
+    for (const std::size_t m : p.members) {
+      const ir::Tensor* t = plan.tensors[m].tensor;
+      if (t->producer() != nullptr) out.push_back(op_index.at(t->producer()));
+      for (const ir::Op* c : t->consumers()) out.push_back(op_index.at(c));
+    }
+  };
+  std::vector<std::size_t> prior;
+  std::vector<std::size_t> froms;
+  for (const std::size_t rid : def_order) {
+    Region& r = regions[rid];
+    const std::size_t o = r.offset;
+    const std::size_t e = r.offset + r.bytes;
+    prior.clear();
+    auto it = painted.lower_bound(o);
+    if (it != painted.begin() && std::prev(it)->second.end > o) --it;
+    while (it != painted.end() && it->first < e) {
+      const std::size_t s0 = it->first;
+      const std::size_t e0 = it->second.end;
+      const std::size_t p0 = it->second.region;
+      prior.push_back(p0);
+      it = painted.erase(it);
+      if (s0 < o) painted.emplace(s0, Seg{o, p0});
+      if (e0 > e) it = painted.emplace(e, Seg{e0, p0}).first;
+    }
+    painted.emplace(o, Seg{e, rid});
+
+    std::sort(prior.begin(), prior.end());
+    prior.erase(std::unique(prior.begin(), prior.end()), prior.end());
+    for (const std::size_t pid : prior) {
+      const Region& p = regions[pid];
+      r.generation = std::max(r.generation, p.generation + 1);
+      froms.clear();
+      accessors_of(p, froms);
+      for (const std::size_t from : froms) {
+        if (from >= r.def)
+          throw std::logic_error(
+              "memplan: reuse edge would not be forward in topological order");
+        plan.reuse_edges.emplace_back(from, r.def);
+      }
+    }
+  }
+  std::sort(plan.reuse_edges.begin(), plan.reuse_edges.end());
+  plan.reuse_edges.erase(std::unique(plan.reuse_edges.begin(), plan.reuse_edges.end()),
+                         plan.reuse_edges.end());
+
+  // --- 7. write region placement back into the per-tensor entries -----------
+  for (const Region& r : regions) {
+    for (const std::size_t m : r.members) {
+      plan.tensors[m].offset = r.offset;
+      plan.tensors[m].generation = r.generation;
+    }
+  }
+  return plan;
+}
+
+}  // namespace gf::rt

@@ -86,7 +86,11 @@ void ProfileReport::write_chrome_trace(std::ostream& os) const {
        << (e.worker + 1) << ",\"ts\":" << e.start_seconds * 1e6
        << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6
        << ",\"args\":{\"op_index\":" << e.op_index << ",\"flops\":" << e.flops
-       << ",\"bytes\":" << e.bytes << ",\"gflops\":" << e.achieved_gflops() << "}}";
+       << ",\"bytes\":" << e.bytes << ",\"gflops\":" << e.achieved_gflops();
+    if (e.slab_offset >= 0)
+      os << ",\"slab_offset\":" << e.slab_offset
+         << ",\"reuse_generation\":" << e.reuse_generation;
+    os << "}}";
   }
   os << "]}\n";
 }

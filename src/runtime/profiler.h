@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -33,6 +34,12 @@ struct TimelineEvent {
   double end_seconds = 0;
   double flops = 0;
   double bytes = 0;
+  /// Slab placement of this op's first planned output when the memory
+  /// planner is active (-1 otherwise): byte offset into the slab and how
+  /// many earlier regions occupied that range this step. Makes reuse
+  /// decisions visible in `gfctl trace`.
+  std::int64_t slab_offset = -1;
+  std::int64_t reuse_generation = -1;
 
   /// Achieved compute rate of this op, the metric the paper's Fig. 9 frames
   /// utilization in. Zero-duration or zero-flop events report 0.

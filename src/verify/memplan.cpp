@@ -1,0 +1,262 @@
+// Static checker for memory plans (src/runtime/memplan.h).
+//
+// The planner promises three properties (interval safety, alias safety,
+// schedule safety); this pass re-derives each one from the graph and the
+// scheduler DAG instead of trusting the planner's own bookkeeping, so a
+// planner bug surfaces as a lint diagnostic rather than silent tensor
+// corruption at execution time. The registered "memplan" pass computes a
+// plan under canonical symbol bindings and checks it; check_memory_plan()
+// is exposed separately so tests can hand-break a plan (overlapping
+// intervals, unjustified alias) and prove the checker catches it.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/runtime/memplan.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::Graph;
+using ir::Op;
+using ir::OpDag;
+using ir::OpType;
+using ir::Tensor;
+using rt::MemoryPlan;
+using rt::PlannedTensor;
+
+bool elementwise(const Op& op) {
+  return op.type() == OpType::kPointwise || op.type() == OpType::kBiasAdd;
+}
+
+/// Region view of a plan: one entry per alias root, the unit address
+/// placement actually works in.
+struct Region {
+  const Tensor* root = nullptr;
+  std::size_t offset = 0;
+  std::size_t bytes = 0;  // max member aligned size
+  std::size_t def = 0;
+  std::size_t last = 0;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> check_memory_plan(const Graph& graph, const OpDag& dag,
+                                          const MemoryPlan& plan) {
+  (void)graph;  // intervals are re-derived from the planned tensors' ops
+  std::vector<Diagnostic> out;
+  const std::size_t n = dag.order.size();
+
+  std::unordered_map<const Op*, std::size_t> op_index;
+  op_index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) op_index.emplace(dag.order[i], i);
+
+  auto emit = [&](const std::string& location, const std::string& message,
+                  const std::string& hint) {
+    out.push_back({Severity::kError, "memplan", location, message, hint});
+  };
+
+  std::map<const Tensor*, Region> regions;
+  for (const PlannedTensor& pt : plan.tensors) {
+    const Tensor* t = pt.tensor;
+    const std::string loc = "tensor '" + t->name() + "'";
+
+    if (t->is_persistent())
+      emit(loc, "persistent tensor was placed in the transient slab",
+           "weights/optimizer state must keep dedicated storage across steps");
+    if (pt.offset + pt.aligned_bytes > plan.slab_bytes)
+      emit(loc,
+           "planned range [" + std::to_string(pt.offset) + ", " +
+               std::to_string(pt.offset + pt.aligned_bytes) + ") exceeds the " +
+               std::to_string(plan.slab_bytes) + "-byte slab",
+           "the slab must cover every planned tensor");
+
+    // Interval consistency: def at the producer, alive through the last
+    // consumer. last_use may extend further (retained tensors), never less.
+    std::size_t def = 0;
+    std::size_t last = 0;
+    if (t->producer() != nullptr) {
+      auto it = op_index.find(t->producer());
+      if (it == op_index.end()) {
+        emit(loc, "producer op is not in the scheduler DAG",
+             "plan and DAG must come from the same graph");
+        continue;
+      }
+      def = last = it->second;
+    }
+    for (const Op* c : t->consumers()) {
+      auto it = op_index.find(c);
+      if (it == op_index.end()) continue;  // diagnosed via the producer path
+      last = std::max(last, it->second);
+    }
+    if (pt.def != def)
+      emit(loc,
+           "planned def index " + std::to_string(pt.def) +
+               " does not match the producer's topological index " + std::to_string(def),
+           "the live interval must start where the tensor is written");
+    if (pt.last_use < last)
+      emit(loc,
+           "planned last_use " + std::to_string(pt.last_use) +
+               " is before the last consumer at index " + std::to_string(last),
+           "the live interval must cover every reader");
+
+    // Alias justification: the producing op must be strictly elementwise
+    // with a single output, and its first input must be the sole-read
+    // member of the same region — the race checker's criterion for a safe
+    // in-place overwrite.
+    const Tensor* root = pt.alias_root != nullptr ? pt.alias_root : t;
+    if (pt.alias_root != nullptr) {
+      const Op* prod = t->producer();
+      if (prod == nullptr || !elementwise(*prod) || prod->outputs().size() != 1) {
+        emit(loc,
+             "in-place alias is not produced by a single-output elementwise op",
+             "only pointwise/bias_add outputs may overwrite their input");
+      } else {
+        const Tensor* src = prod->input(0);
+        const PlannedTensor* spt = plan.find(src);
+        const Tensor* src_root =
+            spt == nullptr ? nullptr
+                           : (spt->alias_root != nullptr ? spt->alias_root : src);
+        if (src_root != pt.alias_root)
+          emit(loc, "alias root is not the producer's first input's region",
+               "an output may only alias the storage it overwrites in place");
+        if (src->consumers().size() != 1)
+          emit(loc,
+               "aliased input '" + src->name() + "' has " +
+                   std::to_string(src->consumers().size()) +
+                   " consumers (must be exactly 1)",
+               "another reader would observe the in-place overwrite");
+        if (spt != nullptr && spt->bytes != pt.bytes)
+          emit(loc, "alias member sizes differ",
+               "in-place reuse requires equal storage sizes");
+      }
+    }
+
+    // Fold into the region map (the address-placement unit).
+    auto [it, inserted] = regions.try_emplace(root);
+    Region& r = it->second;
+    if (inserted) {
+      r.root = root;
+      r.offset = pt.offset;
+      r.def = pt.def;
+      r.last = pt.last_use;
+      r.bytes = pt.aligned_bytes;
+    } else {
+      if (r.offset != pt.offset)
+        emit(loc, "alias member offset differs from its region's offset",
+             "all members of an alias chain share one slab range");
+      r.def = std::min(r.def, pt.def);
+      r.last = std::max(r.last, pt.last_use);
+      r.bytes = std::max(r.bytes, pt.aligned_bytes);
+    }
+  }
+
+  // Interval safety: regions overlapping in time must not overlap in
+  // address. (std::map iteration makes the pair order deterministic.)
+  std::vector<const Region*> flat;
+  flat.reserve(regions.size());
+  for (const auto& [root, r] : regions) flat.push_back(&r);
+  for (std::size_t a = 0; a < flat.size(); ++a) {
+    for (std::size_t b = a + 1; b < flat.size(); ++b) {
+      const Region& x = *flat[a];
+      const Region& y = *flat[b];
+      const bool time_overlap = x.def <= y.last && y.def <= x.last;
+      const bool addr_overlap =
+          x.offset < y.offset + y.bytes && y.offset < x.offset + x.bytes;
+      if (time_overlap && addr_overlap)
+        emit("tensor '" + x.root->name() + "'",
+             "live interval [" + std::to_string(x.def) + ", " + std::to_string(x.last) +
+                 "] overlaps tensor '" + y.root->name() + "' [" +
+                 std::to_string(y.def) + ", " + std::to_string(y.last) +
+                 "] while sharing slab bytes",
+             "two simultaneously-live tensors were packed into the same range");
+    }
+  }
+
+  // Schedule safety plumbing: reuse edges must be forward edges of the DAG.
+  for (const auto& [from, to] : plan.reuse_edges) {
+    if (from >= n || to >= n)
+      emit("reuse edge", "edge (" + std::to_string(from) + " -> " + std::to_string(to) +
+                             ") references an op index outside the DAG",
+           "plan and DAG must come from the same graph");
+    else if (from >= to)
+      emit("reuse edge",
+           "edge (" + std::to_string(from) + " -> " + std::to_string(to) +
+               ") is not forward in topological order",
+           "reuse edges must order the previous occupant before the reuser");
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& x, const Diagnostic& y) {
+    return std::tie(x.location, x.message) < std::tie(y.location, y.message);
+  });
+  return out;
+}
+
+namespace {
+
+class MemPlanPass final : public Pass {
+ public:
+  const char* name() const override { return "memplan"; }
+  const char* description() const override {
+    return "static memory plan is sound: disjoint slab intervals, race-checker-"
+           "justified aliases, forward reuse edges";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    OpDag dag;
+    try {
+      dag = ir::build_op_dag(g);
+    } catch (const std::exception& e) {
+      out.push_back({Severity::kError, name(), "graph '" + g.name() + "'",
+                     std::string("cannot construct the scheduler DAG: ") + e.what(),
+                     "fix the structural errors first; memory planning needs a "
+                     "valid topological order"});
+      return;
+    }
+
+    // Canonical bindings: every free shape symbol gets one small concrete
+    // value (trying a few in case some dim divides the symbol).
+    std::set<std::string> symbols;
+    for (const auto& t : g.tensors())
+      for (const auto& d : t->shape().dims())
+        symbols.merge(d.free_symbols());
+
+    rt::MemoryPlan plan;
+    bool planned = false;
+    std::string last_error;
+    for (const double value : {8.0, 64.0, 96.0}) {
+      sym::Bindings bindings;
+      for (const std::string& s : symbols) bindings.emplace(s, value);
+      try {
+        plan = rt::plan_memory(g, dag, bindings);
+        planned = true;
+        break;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      }
+    }
+    if (!planned) {
+      out.push_back({Severity::kWarning, name(), "graph '" + g.name() + "'",
+                     "shapes not evaluable under canonical bindings, plan not "
+                     "checked: " + last_error,
+                     "bind the graph's symbols and run the planner directly"});
+      return;
+    }
+
+    auto findings = check_memory_plan(g, dag, plan);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_memplan_pass() { return std::make_unique<MemPlanPass>(); }
+
+}  // namespace gf::verify

@@ -15,6 +15,9 @@
 //   gradients  — every trainable weight gets one matching-shape update
 //   races      — no unordered op pair may touch the same buffer with a
 //                write (proves every wavefront schedule race-free)
+//   memplan    — the static memory plan is sound: disjoint slab
+//                intervals, race-checker-justified in-place aliases,
+//                forward reuse edges
 //
 // Entry points: verify_graph() for structured diagnostics (gfctl lint,
 // the executor's debug hook), validate_or_throw() as the compat shim
@@ -28,6 +31,10 @@
 
 #include "src/ir/graph.h"
 #include "src/verify/diagnostics.h"
+
+namespace gf::rt {
+struct MemoryPlan;  // src/runtime/memplan.h
+}
 
 namespace gf::verify {
 
@@ -82,6 +89,17 @@ VerifyResult verify_serialized(std::istream& is, const VerifyOptions& options = 
 /// so tests can delete a hazard edge and prove the checker reports the
 /// resulting schedule race.
 std::vector<Diagnostic> check_races(const ir::Graph& graph, const ir::OpDag& dag);
+
+/// The memory-plan checker on an explicit plan (rt::plan_memory output or
+/// hand-built): every planned tensor non-persistent and inside the slab,
+/// intervals consistent with the graph, no two time-overlapping regions
+/// sharing slab addresses, every in-place alias justified by the race
+/// checker's sole-reader criterion, every reuse edge a forward edge. The
+/// registered "memplan" pass plans the graph itself under canonical
+/// bindings; this overload exists so tests can hand-break a plan and
+/// prove the breakage is caught.
+std::vector<Diagnostic> check_memory_plan(const ir::Graph& graph, const ir::OpDag& dag,
+                                          const rt::MemoryPlan& plan);
 
 /// The built-in suite, in registration order (used once by
 /// PassRegistry::instance(); exposed for tools that list passes).

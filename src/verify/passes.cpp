@@ -750,7 +750,8 @@ class GradientPass final : public Pass {
 
 }  // namespace
 
-std::unique_ptr<Pass> make_race_pass();  // race.cpp
+std::unique_ptr<Pass> make_race_pass();     // race.cpp
+std::unique_ptr<Pass> make_memplan_pass();  // memplan.cpp
 
 std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   std::vector<std::unique_ptr<Pass>> passes;
@@ -759,6 +760,7 @@ std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   passes.push_back(std::make_unique<SymbolicPass>());
   passes.push_back(std::make_unique<GradientPass>());
   passes.push_back(make_race_pass());
+  passes.push_back(make_memplan_pass());
   return passes;
 }
 

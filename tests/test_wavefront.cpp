@@ -243,9 +243,14 @@ TEST_P(RandomDagProperty, WavefrontMatchesSymbolicCountsAndFootprintBound) {
   EXPECT_NEAR(report.total_bytes, sym_bytes, 1e-6 * sym_bytes) << "seed " << seed;
 
   // Backpressure invariant: out-of-order retirement must never need more
-  // arena than the sequential schedule's analytic footprint.
+  // arena than the sequential schedule's analytic footprint. Under an
+  // active memory plan the slab replaces backpressure; at these toy sizes
+  // 64-byte padding dominates, so allow per-tensor alignment slack.
   const auto fp = ir::minimal_footprint(*spec.graph, bind);
-  EXPECT_LE(static_cast<double>(report.peak_allocated_bytes), fp.total_bytes)
+  const MemoryPlan* plan = ex.memory_plan();
+  const double slack =
+      plan != nullptr ? static_cast<double>(kTensorAlignment * plan->tensors.size()) : 0.0;
+  EXPECT_LE(static_cast<double>(report.peak_allocated_bytes), fp.total_bytes + slack)
       << "seed " << seed;
   EXPECT_GT(report.peak_allocated_bytes, 0u);
 

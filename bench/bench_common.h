@@ -8,7 +8,12 @@
 
 #include <iostream>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
+#include "src/ir/fusion.h"
+#include "src/ir/serialize.h"
+#include "src/models/common.h"
 #include "src/util/format.h"
 #include "src/util/table.h"
 
@@ -18,6 +23,20 @@ inline void banner(const std::string& what, const std::string& description) {
   std::cout << "\n==============================================================\n"
             << what << " — " << description << "\n"
             << "==============================================================\n";
+}
+
+/// Deep-copies `spec` and runs the fusion rewrite on the copy, so a bench
+/// can report pre/post-fusion numbers from one binary without mutating the
+/// shared build. The loss always survives fusion (it has no consumers, so
+/// it can only ever be a group root, whose output tensor is kept).
+inline models::ModelSpec fused_spec(const models::ModelSpec& spec) {
+  models::ModelSpec out = spec;
+  std::unordered_map<const ir::Tensor*, ir::Tensor*> mapping;
+  auto clone = ir::clone_graph(*spec.graph, &mapping);
+  ir::fuse_graph(*clone);
+  out.loss = spec.loss != nullptr ? mapping.at(spec.loss) : nullptr;
+  out.graph = std::move(clone);
+  return out;
 }
 
 inline void print_with_csv(const util::Table& table) {

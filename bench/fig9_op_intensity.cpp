@@ -10,8 +10,17 @@ int main() {
 
   const auto targets = analysis::log_spaced(1e7, 1.8e8, 9);
   const auto series = bench::sweep_all_domains(targets, /*with_footprint=*/false);
+  const auto fused = bench::sweep_all_domains(targets, /*with_footprint=*/false,
+                                              /*fused=*/true);
 
-  bench::print_sweep(targets, series, "FLOP/B",
+  // Interleave so each domain column is followed by its post-fusion twin:
+  // same FLOPs, fewer bytes, so the intensity delta is the figure's point.
+  std::vector<bench::SweepSeries> columns;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    columns.push_back(series[i]);
+    columns.push_back(fused[i]);
+  }
+  bench::print_sweep(targets, columns, "FLOP/B (each domain pre / post fusion)",
                      [](const analysis::StepCounts& c) {
                        return util::format_sig(c.operational_intensity(), 4);
                      });

@@ -19,14 +19,20 @@ struct SweepSeries {
 };
 
 /// Sweeps all domains over `param_targets` at their paper subbatch.
+/// With `fused` set, each domain's graph is deep-copied and run through the
+/// fusion rewrite first (FLOPs conserved, bytes shrunk), and the series is
+/// labeled "<domain> +fuse".
 inline std::vector<SweepSeries> sweep_all_domains(
-    const std::vector<double>& param_targets, bool with_footprint) {
+    const std::vector<double>& param_targets, bool with_footprint,
+    bool fused = false) {
   std::vector<SweepSeries> out;
   for (const auto& spec : models::build_all_domains()) {
-    const analysis::ModelAnalyzer analyzer(spec);
+    const models::ModelSpec use = fused ? fused_spec(spec) : spec;
+    const analysis::ModelAnalyzer analyzer(use);
     const auto& d = scaling::domain_scaling(spec.domain);
     SweepSeries series;
-    series.domain = models::domain_name(spec.domain);
+    series.domain =
+        std::string(models::domain_name(spec.domain)) + (fused ? " +fuse" : "");
     series.points = analysis::sweep_model_sizes(analyzer, param_targets,
                                                 d.paper_subbatch, with_footprint);
     out.push_back(std::move(series));

@@ -7,15 +7,22 @@
 //   gfctl fit          <domain>
 //   gfctl subbatch     <domain> [--params P]
 //   gfctl sweep        <domain> [--from P] [--to P] [--points N] [--batch B]
-//   gfctl export       <domain> <file>
+//   gfctl export       <domain> <file> [--fuse]
 //   gfctl trace        <domain> <file> [--hidden H] [--batch B] [--threads N]
-//                      [--steps S] [--schedule wavefront|sequential]
-//   gfctl lint         <domain>|all [--json] [--passes a,b,...]
+//                      [--steps S] [--schedule wavefront|sequential] [--fuse]
+//   gfctl lint         <domain>|all [--json] [--passes a,b,...] [--fuse]
 //   gfctl lint         --file <graph.txt> [--json] [--passes a,b,...]
-//   gfctl memplan      <domain>|all [--hidden H] [--batch B]
+//   gfctl memplan      <domain>|all [--hidden H] [--batch B] [--fuse]
+//   gfctl fuse         <domain>|all [--hidden H] [--batch B]
 //   gfctl domains
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
+//
+// --fuse runs the graph-level fusion rewrite (src/ir/fusion.h) on the
+// built graph first: export writes the fused graph (so `lint --file`
+// exercises fused serialization), trace executes it, lint verifies it,
+// memplan plans it. `gfctl fuse` reports what the rewrite found and what
+// it buys analytically; it exits 1 if a fused graph fails verification.
 //
 // lint exit codes: 0 = no error-severity findings, 1 = error findings,
 // 2 = input file unreadable or not reconstructable.
@@ -50,7 +57,7 @@ Args parse(int argc, char** argv) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (key == "json") {  // boolean flag, consumes no value
+      if (key == "json" || key == "fuse") {  // boolean flags, consume no value
         args.flags[key] = "1";
         continue;
       }
@@ -197,6 +204,7 @@ int cmd_sweep(const Args& args) {
 int cmd_export(const Args& args) {
   const auto spec = build_named(args.positional.at(1));
   const std::string path = args.positional.at(2);
+  if (args.flags.count("fuse") != 0) ir::fuse_graph(*spec.graph);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   ir::serialize(*spec.graph, out);
@@ -218,6 +226,7 @@ int cmd_trace(const Args& args) {
   const std::string schedule_name =
       schedule_it == args.flags.end() ? "wavefront" : schedule_it->second;
   rt::ExecutorOptions opt;
+  opt.fuse = args.flags.count("fuse") != 0;
   if (schedule_name == "sequential") {
     opt.schedule = rt::Schedule::kSequential;
   } else if (schedule_name != "wavefront") {
@@ -258,6 +267,7 @@ int cmd_memplan(const Args& args) {
   bool all_within_footprint = true;
   for (const std::string& n : names) {
     const auto spec = build_named(n);
+    if (args.flags.count("fuse") != 0) ir::fuse_graph(*spec.graph);
     const auto bind = spec.bind(hidden, batch);
     const auto dag = ir::build_op_dag(*spec.graph);
     const auto plan = rt::plan_memory(*spec.graph, dag, bind);
@@ -283,6 +293,51 @@ int cmd_memplan(const Args& args) {
                "fraction)\n";
   if (!all_within_footprint) {
     std::cerr << "gfctl: a planned slab exceeds the sequential minimal footprint\n";
+    return 1;
+  }
+  return 0;
+}
+
+// Fusion rewrite report: what the pass finds on each built-in model and
+// what it buys analytically. The executor takes the same rewrite at run
+// time via --fuse here or ExecutorOptions::fuse / GF_FUSE=1.
+int cmd_fuse(const Args& args) {
+  const double hidden = args.number("hidden", 32);
+  const double batch = args.number("batch", 4);
+  const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
+  std::vector<std::string> names;
+  if (target == "all")
+    names = {"wordlm", "charlm", "nmt", "speech", "image", "transformer"};
+  else
+    names = {target};
+
+  util::Table table({"model", "ops", "fused ops", "groups", "epilogues",
+                     "tensors gone", "bytes/step", "fused bytes", "FLOP/B"});
+  bool all_clean = true;
+  for (const std::string& n : names) {
+    const auto spec = build_named(n);
+    const auto bind = spec.bind(hidden, batch);
+    const std::size_t ops_before = spec.graph->num_ops();
+    const double flops = spec.graph->total_flops().eval(bind);
+    const double bytes_before = spec.graph->total_bytes_accessed().eval(bind);
+    const auto r = ir::fuse_graph(*spec.graph);
+    const double bytes_after = spec.graph->total_bytes_accessed().eval(bind);
+    if (verify::verify_graph(*spec.graph).has_errors()) all_clean = false;
+    table.add_row({spec.name, std::to_string(ops_before),
+                   std::to_string(spec.graph->num_ops()),
+                   std::to_string(r.pointwise_groups),
+                   std::to_string(r.gemm_epilogues),
+                   std::to_string(r.tensors_removed),
+                   util::format_bytes(bytes_before), util::format_bytes(bytes_after),
+                   util::format_sig(flops / bytes_before, 4) + " -> " +
+                       util::format_sig(flops / bytes_after, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "(hidden " << hidden << ", batch " << batch
+            << "; FLOPs are conserved by the rewrite, so the FLOP/B gain is "
+               "exactly the byte reduction)\n";
+  if (!all_clean) {
+    std::cerr << "gfctl: a fused graph failed verification\n";
     return 1;
   }
   return 0;
@@ -336,6 +391,7 @@ int cmd_lint(const Args& args) {
       names = {target};
     for (const std::string& n : names) {
       const auto spec = build_named(n);
+      if (args.flags.count("fuse") != 0) ir::fuse_graph(*spec.graph);
       absorb(verify::verify_graph(*spec.graph, vopts));
     }
   }
@@ -361,7 +417,7 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
                    "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint|"
-                   "memplan> ...\n";
+                   "memplan|fuse> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -375,6 +431,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "memplan") return cmd_memplan(args);
+    if (cmd == "fuse") return cmd_fuse(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

@@ -27,6 +27,43 @@ Tensor* Graph::make_tensor(std::string name, TensorShape shape, DataType dtype,
   return tensors_.back().get();
 }
 
+void Graph::remove_op(const Op* op) {
+  for (auto it = ops_.begin(); it != ops_.end(); ++it) {
+    if (it->get() == op) {
+      ops_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("graph '" + name_ + "': remove_op of an op it does not own");
+}
+
+void Graph::move_op_before(const Op* op, const Op* anchor) {
+  std::size_t from = ops_.size(), to = ops_.size();
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].get() == op) from = i;
+    if (ops_[i].get() == anchor) to = i;
+  }
+  if (from == ops_.size() || to == ops_.size())
+    throw std::logic_error("graph '" + name_ +
+                           "': move_op_before of an op it does not own");
+  if (from == to) return;
+  std::unique_ptr<Op> moved = std::move(ops_[from]);
+  ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(from));
+  if (from < to) --to;
+  ops_.insert(ops_.begin() + static_cast<std::ptrdiff_t>(to), std::move(moved));
+}
+
+void Graph::remove_tensor(const Tensor* tensor) {
+  for (auto it = tensors_.begin(); it != tensors_.end(); ++it) {
+    if (it->get() == tensor) {
+      tensors_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("graph '" + name_ +
+                         "': remove_tensor of a tensor it does not own");
+}
+
 std::vector<Tensor*> Graph::weights() const {
   std::vector<Tensor*> out;
   for (const auto& t : tensors_)

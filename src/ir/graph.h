@@ -48,6 +48,23 @@ class Graph {
   /// Op::make_output; inputs/weights come from add_input/add_weight).
   Tensor* make_tensor(std::string name, TensorShape shape, DataType dtype, TensorRole role);
 
+  /// Graph-surgery escape hatches for rewrite passes (ir::fuse_graph).
+  /// They erase ownership only; the caller is responsible for unwiring
+  /// every reference first and for re-verifying the graph afterwards.
+  void remove_op(const Op* op);
+  void remove_tensor(const Tensor* tensor);
+  /// Repositions `op` immediately before `anchor` in the op list. List
+  /// position is the topological-order tiebreak (the framework schedule),
+  /// so a rewrite that appends a replacement op must move it into the
+  /// replaced op's slot or the schedule — and with it the liveness
+  /// footprint — silently degrades.
+  void move_op_before(const Op* op, const Op* anchor);
+
+  /// Tensor-id counter control, used by ir::clone_graph after it rewrites
+  /// clone tensor ids to match the originals.
+  int next_tensor_id() const { return next_tensor_id_; }
+  void set_next_tensor_id(int id) { next_tensor_id_ = id; }
+
   const std::vector<std::unique_ptr<Op>>& ops() const { return ops_; }
   const std::vector<std::unique_ptr<Tensor>>& tensors() const { return tensors_; }
   std::size_t num_ops() const { return ops_.size(); }

@@ -31,6 +31,7 @@ const char* op_type_name(OpType type) {
     case OpType::kSlice: return "Slice";
     case OpType::kReshape: return "Reshape";
     case OpType::kApplyGradient: return "ApplyGradient";
+    case OpType::kFusedPointwise: return "FusedPointwise";
   }
   return "Unknown";
 }
@@ -59,6 +60,18 @@ Tensor* Op::make_output(const std::string& suffix, TensorShape shape, DataType d
   t->set_producer(this);
   outputs_.push_back(t);
   return t;
+}
+
+void Op::adopt_output(Tensor* t) {
+  if (t == nullptr) throw std::invalid_argument("Op '" + name_ + "': null adopted output");
+  t->reset_producer(this);
+  outputs_.push_back(t);
+}
+
+void Op::drop_output(std::size_t i) {
+  if (i >= outputs_.size())
+    throw std::out_of_range("Op '" + name_ + "': drop_output index out of range");
+  outputs_.erase(outputs_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 }  // namespace gf::ir

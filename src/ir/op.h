@@ -42,6 +42,7 @@ enum class OpType : std::uint8_t {
   kSlice,
   kReshape,
   kApplyGradient,
+  kFusedPointwise,
 };
 
 const char* op_type_name(OpType type);
@@ -81,6 +82,16 @@ class Op {
   void bind_input(Tensor* t);
   Tensor* make_output(const std::string& suffix, TensorShape shape, DataType dtype,
                       TensorRole role = TensorRole::kActivation);
+
+  /// Takes over an existing tensor as this op's next output, overwriting
+  /// its producer link. Rewrite-pass hook (fusion adopts the root op's
+  /// output so downstream consumers keep their tensor pointers); the old
+  /// producer must be removed from the graph by the caller.
+  void adopt_output(Tensor* t);
+
+  /// Drops output slot `i` from this op without touching the tensor; the
+  /// caller removes the orphaned tensor from the graph. Rewrite-pass hook.
+  void drop_output(std::size_t i);
 
  private:
   Graph* graph_;

@@ -57,7 +57,51 @@ MatMulOp::MatMulOp(Graph* g, std::string name, Tensor* a, Tensor* b, bool trans_
   make_output(":out", std::move(out_shape), a->dtype());
 }
 
-sym::Expr MatMulOp::flops() const { return Expr(2.0) * batch_ * m_ * n_ * k_; }
+sym::Expr MatMulOp::flops() const {
+  Expr f = Expr(2.0) * batch_ * m_ * n_ * k_;
+  const Expr out_elems = batch_ * m_ * n_;
+  if (epilogue_bias_) f = f + out_elems;
+  if (epilogue_activation_ != PointwiseFn::kIdentity)
+    f = f + Expr(pointwise_fn_flops_per_element(epilogue_activation_, 1)) * out_elems;
+  return f;
+}
+
+void MatMulOp::fuse_epilogue(Tensor* bias, PointwiseFn activation, Tensor* adopted_output) {
+  require(!has_epilogue(), name(), "epilogue already fused");
+  require(activation == PointwiseFn::kIdentity || activation == PointwiseFn::kSigmoid ||
+              activation == PointwiseFn::kTanh || activation == PointwiseFn::kRelu,
+          name(), "unsupported epilogue activation");
+  require(bias != nullptr || activation != PointwiseFn::kIdentity, name(),
+          "epilogue must fold a bias or an activation");
+  require(adopted_output != nullptr, name(), "null adopted output");
+  require(adopted_output->shape().equals(output(0)->shape()), name(),
+          "adopted output shape must match the GEMM output");
+  if (bias != nullptr) {
+    require(bias->shape().rank() == 1 && bias->shape().dim(0).equals(n_), name(),
+            "epilogue bias must be rank-1 of length N");
+    bind_input(bias);
+    epilogue_bias_ = true;
+  }
+  epilogue_activation_ = activation;
+  drop_output(0);
+  adopt_output(adopted_output);
+}
+
+void MatMulOp::restore_epilogue(Tensor* bias, PointwiseFn activation) {
+  require(!has_epilogue(), name(), "epilogue already fused");
+  require(activation == PointwiseFn::kIdentity || activation == PointwiseFn::kSigmoid ||
+              activation == PointwiseFn::kTanh || activation == PointwiseFn::kRelu,
+          name(), "unsupported epilogue activation");
+  require(bias != nullptr || activation != PointwiseFn::kIdentity, name(),
+          "epilogue must fold a bias or an activation");
+  if (bias != nullptr) {
+    require(bias->shape().rank() == 1 && bias->shape().dim(0).equals(n_), name(),
+            "epilogue bias must be rank-1 of length N");
+    bind_input(bias);
+    epilogue_bias_ = true;
+  }
+  epilogue_activation_ = activation;
+}
 
 std::vector<Tensor*> MatMulOp::build_backward(const std::vector<Tensor*>& grad_outputs) {
   Tensor* a = input(0);
@@ -188,7 +232,35 @@ const char* pointwise_fn_name(PointwiseFn fn) {
   return "?";
 }
 
+namespace {
+std::size_t pointwise_arity(PointwiseFn fn) {
+  switch (fn) {
+    case PointwiseFn::kAdd:
+    case PointwiseFn::kSub:
+    case PointwiseFn::kMul:
+    case PointwiseFn::kSigmoidGrad:
+    case PointwiseFn::kTanhGrad:
+    case PointwiseFn::kReluGrad:
+      return 2;
+    case PointwiseFn::kAddN:
+      return 0;  // variadic, but needs >= 2
+    default:
+      return 1;
+  }
+}
+
+void require_pointwise_arity(PointwiseFn fn, std::size_t arity, const std::string& who) {
+  const std::size_t expected = pointwise_arity(fn);
+  const bool ok = expected == 0 ? arity >= 2 : arity == expected;
+  if (!ok)
+    throw std::invalid_argument(who + ": wrong arity for " + pointwise_fn_name(fn) +
+                                " (got " + std::to_string(arity) + ", need " +
+                                (expected == 0 ? ">= 2" : std::to_string(expected)) + ")");
+}
+}  // namespace
+
 double pointwise_fn_flops_per_element(PointwiseFn fn, std::size_t arity) {
+  require_pointwise_arity(fn, arity, "pointwise_fn_flops_per_element");
   switch (fn) {
     case PointwiseFn::kAdd:
     case PointwiseFn::kSub:
@@ -201,7 +273,7 @@ double pointwise_fn_flops_per_element(PointwiseFn fn, std::size_t arity) {
     case PointwiseFn::kIdentity:
       return 0.0;
     case PointwiseFn::kAddN:
-      return arity > 0 ? static_cast<double>(arity - 1) : 0.0;
+      return static_cast<double>(arity - 1);
     case PointwiseFn::kSigmoid:
       return 4.0;  // exp, add, div, negate
     case PointwiseFn::kTanh:
@@ -213,32 +285,12 @@ double pointwise_fn_flops_per_element(PointwiseFn fn, std::size_t arity) {
   return 1.0;
 }
 
-namespace {
-std::size_t pointwise_arity(PointwiseFn fn) {
-  switch (fn) {
-    case PointwiseFn::kAdd:
-    case PointwiseFn::kSub:
-    case PointwiseFn::kMul:
-    case PointwiseFn::kSigmoidGrad:
-    case PointwiseFn::kTanhGrad:
-    case PointwiseFn::kReluGrad:
-      return 2;
-    case PointwiseFn::kAddN:
-      return 0;  // variadic
-    default:
-      return 1;
-  }
-}
-}  // namespace
-
 PointwiseOp::PointwiseOp(Graph* g, std::string name, PointwiseFn fn,
                          std::vector<Tensor*> inputs, sym::Expr scale_alpha)
     : Op(g, OpType::kPointwise, std::move(name)), fn_(fn),
       scale_alpha_(std::move(scale_alpha)) {
-  const std::size_t expected = pointwise_arity(fn);
   require(!inputs.empty(), this->name(), "needs at least one input");
-  require(expected == 0 || inputs.size() == expected, this->name(),
-          std::string("wrong arity for ") + pointwise_fn_name(fn));
+  require_pointwise_arity(fn, inputs.size(), this->name());
   for (Tensor* t : inputs) {
     require(t != nullptr, this->name(), "null input");
     require(t->shape().equals(inputs[0]->shape()), this->name(),
@@ -307,6 +359,79 @@ std::vector<Tensor*> BiasAddOp::build_backward(const std::vector<Tensor*>& grad_
   require(dy != nullptr, name(), "missing output gradient");
   Tensor* dbias = reduce_sum(graph(), name() + ":dBias", dy, /*keep_last_n=*/1);
   return {dy, dbias};
+}
+
+// --- FusedPointwise ----------------------------------------------------------
+
+FusedPointwiseOp::FusedPointwiseOp(Graph* g, std::string name,
+                                   std::vector<Tensor*> inputs,
+                                   std::vector<FusedInstr> program, TensorShape out_shape,
+                                   Tensor* adopt)
+    : Op(g, OpType::kFusedPointwise, std::move(name)), program_(std::move(program)) {
+  require(!inputs.empty(), this->name(), "needs at least one input");
+  require(!program_.empty(), this->name(), "empty program");
+  require(program_.size() <= kMaxInstrs, this->name(),
+          "program exceeds kMaxInstrs (" + std::to_string(kMaxInstrs) + ")");
+  const std::size_t nin = inputs.size();
+
+  // Program well-formedness: per-fn arity, no forward/out-of-range operand
+  // references, and connectivity (every external input and every
+  // non-final intermediate result is read somewhere).
+  std::vector<bool> used(nin + program_.size(), false);
+  for (std::size_t j = 0; j < program_.size(); ++j) {
+    const FusedInstr& instr = program_[j];
+    require_pointwise_arity(instr.fn, instr.args.size(),
+                            this->name() + " instruction " + std::to_string(j));
+    for (const int a : instr.args) {
+      require(a >= 0 && static_cast<std::size_t>(a) < nin + j, this->name(),
+              "instruction " + std::to_string(j) + " references operand " +
+                  std::to_string(a) + " out of range");
+      used[static_cast<std::size_t>(a)] = true;
+    }
+  }
+  for (std::size_t i = 0; i < nin; ++i)
+    require(used[i], this->name(),
+            "external input " + std::to_string(i) + " is never read");
+  for (std::size_t j = 0; j + 1 < program_.size(); ++j)
+    require(used[nin + j], this->name(),
+            "instruction " + std::to_string(j) + " result is never read");
+
+  for (Tensor* t : inputs) {
+    require(t != nullptr, this->name(), "null input");
+    require(!is_integral(t->dtype()), this->name(), "inputs must be floating point");
+    // Modulo addressing is only exact for inputs matching the trailing
+    // dims of the output (full shape, rank-1 bias, broadcast source).
+    const std::size_t rin = t->shape().rank(), rout = out_shape.rank();
+    require(rin <= rout, this->name(), "input rank exceeds output rank");
+    for (std::size_t d = 0; d < rin; ++d)
+      require(t->shape().dim(d).equals(out_shape.dim(rout - rin + d)), this->name(),
+              "input must match the trailing dims of the output");
+  }
+
+  for (Tensor* t : inputs) bind_input(t);
+  if (adopt != nullptr) {
+    require(adopt->shape().equals(out_shape), this->name(),
+            "adopted output shape must match out_shape");
+    adopt_output(adopt);
+  } else {
+    make_output(":out", std::move(out_shape), inputs[0]->dtype());
+  }
+  flops_ = derive_flops();
+  bytes_ = Op::bytes_accessed();
+}
+
+sym::Expr FusedPointwiseOp::derive_flops() const {
+  const Expr out_elems = output(0)->num_elements();
+  Expr total(0.0);
+  for (const FusedInstr& instr : program_)
+    total = total +
+            Expr(pointwise_fn_flops_per_element(instr.fn, instr.args.size())) * out_elems;
+  return total;
+}
+
+std::vector<Tensor*> FusedPointwiseOp::build_backward(const std::vector<Tensor*>&) {
+  throw std::logic_error(name() + ": fusion runs after gradient construction; fused "
+                                  "ops are not differentiable");
 }
 
 // --- Embedding ---------------------------------------------------------------

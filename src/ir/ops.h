@@ -17,6 +17,33 @@
 namespace gf::ir {
 
 // ---------------------------------------------------------------------------
+// Pointwise function vocabulary (shared by PointwiseOp, FusedPointwiseOp,
+// and the MatMul epilogue; defined ahead of MatMul for that reason)
+// ---------------------------------------------------------------------------
+
+enum class PointwiseFn : std::uint8_t {
+  kAdd,         // 2 inputs
+  kSub,         // 2 inputs
+  kMul,         // 2 inputs
+  kAddN,        // n inputs (n >= 2)
+  kSigmoid,     // 1 input
+  kTanh,        // 1 input
+  kRelu,        // 1 input
+  kOneMinus,    // 1 input: 1 - x (RHN carry gate)
+  kScale,       // 1 input: alpha * x (alpha possibly symbolic)
+  kIdentity,    // 1 input
+  kSigmoidGrad, // 2 inputs (y, dy) -> dy * y * (1-y)
+  kTanhGrad,    // 2 inputs (y, dy) -> dy * (1 - y^2)
+  kReluGrad,    // 2 inputs (y, dy) -> dy * [y > 0]
+};
+
+const char* pointwise_fn_name(PointwiseFn fn);
+/// Algorithmic FLOPs per output element for the function applied at the
+/// given arity. Throws std::invalid_argument if the arity is wrong for the
+/// function (kAddN needs >= 2, binary fns exactly 2, unary fns exactly 1).
+double pointwise_fn_flops_per_element(PointwiseFn fn, std::size_t arity);
+
+// ---------------------------------------------------------------------------
 // MatMul
 // ---------------------------------------------------------------------------
 
@@ -39,9 +66,32 @@ class MatMulOp final : public Op {
   const sym::Expr& n() const { return n_; }
   const sym::Expr& k() const { return k_; }
 
+  /// Folds a bias add and/or a unary activation into the GEMM's per-tile
+  /// output pass (rewrite-pass hook; see src/ir/fusion.h). `bias` may be
+  /// null for an activation-only epilogue and otherwise becomes input 2
+  /// (rank-1 of length N); `activation` is kIdentity, kSigmoid, kTanh, or
+  /// kRelu. The op adopts `adopted_output` — the final tensor of the
+  /// folded chain — in place of its own ":out" tensor, which the caller
+  /// must remove from the graph along with the folded ops.
+  void fuse_epilogue(Tensor* bias, PointwiseFn activation, Tensor* adopted_output);
+
+  /// Deserialization-side variant of fuse_epilogue(): restores the
+  /// epilogue state on a freshly constructed op, keeping the op's own
+  /// output tensor (the loader has no folded chain to adopt from).
+  void restore_epilogue(Tensor* bias, PointwiseFn activation);
+
+  bool has_epilogue() const {
+    return epilogue_bias_ || epilogue_activation_ != PointwiseFn::kIdentity;
+  }
+  /// Whether input 2 is a fused epilogue bias.
+  bool epilogue_bias() const { return epilogue_bias_; }
+  PointwiseFn epilogue_activation() const { return epilogue_activation_; }
+
  private:
   bool trans_a_;
   bool trans_b_;
+  bool epilogue_bias_ = false;
+  PointwiseFn epilogue_activation_ = PointwiseFn::kIdentity;
   sym::Expr batch_, m_, n_, k_;
 };
 
@@ -94,26 +144,6 @@ class Conv2DGradFilterOp final : public Op {
 // Pointwise
 // ---------------------------------------------------------------------------
 
-enum class PointwiseFn : std::uint8_t {
-  kAdd,         // 2 inputs
-  kSub,         // 2 inputs
-  kMul,         // 2 inputs
-  kAddN,        // n inputs
-  kSigmoid,     // 1 input
-  kTanh,        // 1 input
-  kRelu,        // 1 input
-  kOneMinus,    // 1 input: 1 - x (RHN carry gate)
-  kScale,       // 1 input: alpha * x (alpha possibly symbolic)
-  kIdentity,    // 1 input
-  kSigmoidGrad, // 2 inputs (y, dy) -> dy * y * (1-y)
-  kTanhGrad,    // 2 inputs (y, dy) -> dy * (1 - y^2)
-  kReluGrad,    // 2 inputs (y, dy) -> dy * [y > 0]
-};
-
-const char* pointwise_fn_name(PointwiseFn fn);
-/// Algorithmic FLOPs per output element for the function.
-double pointwise_fn_flops_per_element(PointwiseFn fn, std::size_t arity);
-
 class PointwiseOp final : public Op {
  public:
   PointwiseOp(Graph* g, std::string name, PointwiseFn fn, std::vector<Tensor*> inputs,
@@ -136,6 +166,64 @@ class BiasAddOp final : public Op {
   BiasAddOp(Graph* g, std::string name, Tensor* input, Tensor* bias);
   sym::Expr flops() const override;
   std::vector<Tensor*> build_backward(const std::vector<Tensor*>& grad_outputs) override;
+};
+
+// ---------------------------------------------------------------------------
+// Fused pointwise program (created by ir::fuse_graph, never by models)
+// ---------------------------------------------------------------------------
+
+/// One step of a FusedPointwiseOp program. `args` index the op's operand
+/// space: values < num_inputs name external input tensors; values >=
+/// num_inputs name results of earlier instructions (arg - num_inputs).
+struct FusedInstr {
+  PointwiseFn fn;
+  std::vector<int> args;
+  sym::Expr alpha = sym::Expr(1.0);  // kScale multiplier; ignored otherwise
+};
+
+/// A single-consumer chain/tree of PointwiseOp/BiasAddOp members (plus
+/// absorbed Broadcasts) collapsed into one per-element interpreter
+/// program: each eliminated intermediate lives in a register for the
+/// current element instead of round-tripping through a slab tensor, which
+/// is the paper's §4 intensity fix. External inputs are addressed modulo
+/// their element count, implementing rank-1 biases and trailing-dims
+/// broadcasts without materializing them. The last instruction's value is
+/// the output element.
+///
+/// FLOP and byte formulas are derived from the program once at
+/// construction and cached, so the "fusion" verify pass can detect a
+/// program edited out from under its formulas (negative tests do exactly
+/// that via mutable_program()).
+class FusedPointwiseOp final : public Op {
+ public:
+  /// Upper bound on program length: the kernel interprets programs with a
+  /// fixed-size per-element register file on the stack.
+  static constexpr std::size_t kMaxInstrs = 64;
+
+  /// `adopt`, when non-null, is an existing tensor (the fused root's
+  /// output) taken over as this op's output so downstream consumers keep
+  /// their pointers; otherwise a fresh ":out" tensor is created.
+  FusedPointwiseOp(Graph* g, std::string name, std::vector<Tensor*> inputs,
+                   std::vector<FusedInstr> program, TensorShape out_shape,
+                   Tensor* adopt = nullptr);
+
+  const std::vector<FusedInstr>& program() const { return program_; }
+  /// Test escape hatch for hand-breaking a fused group; run verify_graph()
+  /// after any such edit.
+  std::vector<FusedInstr>& mutable_program() { return program_; }
+
+  /// Re-derives the FLOP formula from the current program (the cached
+  /// flops() must agree; the "fusion" verify pass checks exactly that).
+  sym::Expr derive_flops() const;
+
+  sym::Expr flops() const override { return flops_; }
+  sym::Expr bytes_accessed() const override { return bytes_; }
+  std::vector<Tensor*> build_backward(const std::vector<Tensor*>&) override;
+
+ private:
+  std::vector<FusedInstr> program_;
+  sym::Expr flops_{0.0};
+  sym::Expr bytes_{0.0};
 };
 
 // ---------------------------------------------------------------------------

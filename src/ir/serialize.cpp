@@ -1,9 +1,11 @@
 #include <cctype>
 #include "src/ir/serialize.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "src/ir/ops.h"
 #include "src/symbolic/sexpr.h"
@@ -112,6 +114,9 @@ void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
     case OpType::kMatMul: {
       const auto& mm = static_cast<const MatMulOp&>(op);
       os << "attr trans " << mm.trans_a() << ' ' << mm.trans_b() << '\n';
+      if (mm.has_epilogue())
+        os << "attr epi " << mm.epilogue_bias() << ' '
+           << pointwise_fn_name(mm.epilogue_activation()) << '\n';
       break;
     }
     case OpType::kConv2D:
@@ -181,6 +186,23 @@ void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
                         : a.optimizer() == Optimizer::kMomentum ? "momentum"
                                                                 : "adam";
       os << "attr optimizer " << opt << '\n';
+      break;
+    }
+    case OpType::kFusedPointwise: {
+      // Attr keys must be unique per op (the reader keeps a map), so the
+      // program is written one instruction per key: i<j> = fn + args,
+      // a<j> = alpha sexpr (kScale only).
+      const auto& f = static_cast<const FusedPointwiseOp&>(op);
+      os << "attr prog " << f.program().size() << '\n';
+      for (std::size_t j = 0; j < f.program().size(); ++j) {
+        const FusedInstr& instr = f.program()[j];
+        os << "attr i" << j << ' ' << pointwise_fn_name(instr.fn);
+        for (int a : instr.args) os << ' ' << a;
+        os << '\n';
+        if (instr.fn == PointwiseFn::kScale)
+          os << "attr a" << j << ' ' << sym::to_sexpr(instr.alpha) << '\n';
+      }
+      os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
       break;
     }
     default:
@@ -294,6 +316,13 @@ class Reader {
     by_id_.emplace(id, t);
   }
 
+  PointwiseFn pointwise_fn(const std::string& fn_name) {
+    for (int i = 0; i <= static_cast<int>(PointwiseFn::kReluGrad); ++i)
+      if (fn_name == pointwise_fn_name(static_cast<PointwiseFn>(i)))
+        return static_cast<PointwiseFn>(i);
+    fail("unknown pointwise fn '" + fn_name + "'");
+  }
+
   TensorShape attr_shape(const OpRecord& r) {
     auto it = r.attrs.find("shape");
     if (it == r.attrs.end()) fail("op '" + r.name + "' missing shape attr");
@@ -323,7 +352,15 @@ class Reader {
       std::istringstream ss(attr(r, "trans"));
       bool ta, tb;
       ss >> ta >> tb;
-      return g.add_op<MatMulOp>(r.name, in(0), in(1), ta, tb);
+      auto* mm = g.add_op<MatMulOp>(r.name, in(0), in(1), ta, tb);
+      if (auto it = r.attrs.find("epi"); it != r.attrs.end()) {
+        std::istringstream es(it->second);
+        bool has_bias = false;
+        std::string act;
+        if (!(es >> has_bias >> act)) fail("op '" + r.name + "' malformed epi attr");
+        mm->restore_epilogue(has_bias ? in(2) : nullptr, pointwise_fn(act));
+      }
+      return mm;
     }
     if (t == "Conv2D")
       return g.add_op<Conv2DOp>(r.name, in(0), in(1), std::stoi(attr(r, "stride")));
@@ -334,17 +371,7 @@ class Reader {
       return g.add_op<Conv2DGradFilterOp>(r.name, in(0), in(1), attr_shape(r),
                                           std::stoi(attr(r, "stride")));
     if (t == "Pointwise") {
-      const std::string fn_name = attr(r, "fn");
-      PointwiseFn fn = PointwiseFn::kAdd;
-      bool found = false;
-      for (int i = 0; i <= static_cast<int>(PointwiseFn::kReluGrad); ++i) {
-        if (fn_name == pointwise_fn_name(static_cast<PointwiseFn>(i))) {
-          fn = static_cast<PointwiseFn>(i);
-          found = true;
-          break;
-        }
-      }
-      if (!found) fail("unknown pointwise fn '" + fn_name + "'");
+      const PointwiseFn fn = pointwise_fn(attr(r, "fn"));
       std::vector<Tensor*> inputs;
       for (int id : r.inputs) inputs.push_back(tensor(id));
       sym::Expr alpha(1.0);
@@ -353,6 +380,28 @@ class Reader {
       return g.add_op<PointwiseOp>(r.name, fn, std::move(inputs), std::move(alpha));
     }
     if (t == "BiasAdd") return g.add_op<BiasAddOp>(r.name, in(0), in(1));
+    if (t == "FusedPointwise") {
+      std::vector<Tensor*> inputs;
+      for (int id : r.inputs) inputs.push_back(tensor(id));
+      const std::size_t count = std::stoul(attr(r, "prog"));
+      std::vector<FusedInstr> program;
+      program.reserve(count);
+      for (std::size_t j = 0; j < count; ++j) {
+        std::istringstream ss(attr(r, "i" + std::to_string(j)));
+        std::string fn_name;
+        if (!(ss >> fn_name)) fail("op '" + r.name + "' malformed instruction " +
+                                   std::to_string(j));
+        FusedInstr instr;
+        instr.fn = pointwise_fn(fn_name);
+        int a;
+        while (ss >> a) instr.args.push_back(a);
+        if (auto it = r.attrs.find("a" + std::to_string(j)); it != r.attrs.end())
+          instr.alpha = sym::parse_sexpr(it->second);
+        program.push_back(std::move(instr));
+      }
+      return g.add_op<FusedPointwiseOp>(r.name, std::move(inputs),
+                                       std::move(program), attr_shape(r));
+    }
     if (t == "EmbeddingLookup") return g.add_op<EmbeddingLookupOp>(r.name, in(0), in(1));
     if (t == "EmbeddingGrad")
       return g.add_op<EmbeddingGradOp>(r.name, in(0), in(1), attr_shape(r));
@@ -454,6 +503,42 @@ std::string serialize(const Graph& graph) {
 
 std::unique_ptr<Graph> deserialize(std::istream& is, bool validate) {
   return Reader(is).read(validate);
+}
+
+std::unique_ptr<Graph> clone_graph(const Graph& graph,
+                                   std::unordered_map<const Tensor*, Tensor*>* mapping) {
+  std::unique_ptr<Graph> clone = deserialize(serialize(graph), /*validate=*/false);
+
+  // Serialization is a fixed point of the canonical numbering, so ranking
+  // both graphs pairs each original tensor with its clone regardless of
+  // the constructors' internal creation order.
+  const IdMap orig_ids = canonical_ids(graph);
+  const IdMap clone_ids = canonical_ids(*clone);
+  if (orig_ids.size() != graph.tensors().size() ||
+      clone_ids.size() != clone->tensors().size() ||
+      orig_ids.size() != clone_ids.size())
+    throw std::logic_error("clone_graph: canonical numbering does not cover '" +
+                           graph.name() + "'");
+
+  std::vector<Tensor*> clone_by_rank(clone_ids.size(), nullptr);
+  for (const auto& [t, rank] : clone_ids)
+    clone_by_rank[static_cast<std::size_t>(rank)] = const_cast<Tensor*>(t);
+
+  // Restore the original tensor ids: the executor keys its per-tensor RNG
+  // streams on Tensor::id(), so a clone must carry the original ids for
+  // bitwise-identical initialization and step numerics.
+  int max_id = 0;
+  for (const auto& [orig, rank] : orig_ids) {
+    Tensor* copied = clone_by_rank[static_cast<std::size_t>(rank)];
+    if (!copied->shape().equals(orig->shape()) || copied->dtype() != orig->dtype())
+      throw std::logic_error("clone_graph: tensor mismatch at canonical rank " +
+                             std::to_string(rank) + " of '" + graph.name() + "'");
+    copied->set_id(orig->id());
+    max_id = std::max(max_id, orig->id());
+    if (mapping != nullptr) mapping->emplace(orig, copied);
+  }
+  clone->set_next_tensor_id(std::max(graph.next_tensor_id(), max_id + 1));
+  return clone;
 }
 
 std::unique_ptr<Graph> deserialize(const std::string& text, bool validate) {

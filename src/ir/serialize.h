@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "src/ir/graph.h"
 
@@ -38,6 +39,17 @@ void serialize(const Graph& graph, std::ostream& os);
 /// yields structured diagnostics instead of one thrown error).
 std::unique_ptr<Graph> deserialize(const std::string& text, bool validate = true);
 std::unique_ptr<Graph> deserialize(std::istream& is, bool validate = true);
+
+/// Deep-copies a graph via a serialize/deserialize round trip, then
+/// restores the ORIGINAL tensor ids on the copy (the executor keys its
+/// deterministic per-tensor RNG streams on Tensor::id(), so a rewritten
+/// clone must keep the ids for bitwise-identical numerics). If `mapping`
+/// is non-null it is filled with original-tensor -> clone-tensor pairs.
+/// The clone is independently owned; rewrite passes (ir::fuse_graph) may
+/// mutate it without touching the original.
+std::unique_ptr<Graph> clone_graph(
+    const Graph& graph,
+    std::unordered_map<const Tensor*, Tensor*>* mapping = nullptr);
 
 /// GraphViz DOT rendering (ops as boxes, tensors as edges), for
 /// inspection of small graphs.

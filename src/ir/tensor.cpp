@@ -85,4 +85,14 @@ void Tensor::set_producer(const Op* op) {
   producer_ = op;
 }
 
+void Tensor::remove_consumer(const Op* op) {
+  for (auto it = consumers_.begin(); it != consumers_.end(); ++it) {
+    if (*it == op) {
+      consumers_.erase(it);
+      return;
+    }
+  }
+  throw std::logic_error("tensor '" + name_ + "': remove_consumer of a non-consumer");
+}
+
 }  // namespace gf::ir

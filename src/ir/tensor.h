@@ -88,6 +88,21 @@ class Tensor {
   void set_producer(const Op* op);
   void add_consumer(const Op* op) { consumers_.push_back(op); }
 
+  /// Detaches one consumer edge (first occurrence). Graph-surgery escape
+  /// hatch for rewrite passes (ir::fuse_graph) that splice ops out of the
+  /// graph; run verify_graph() after any such edit.
+  void remove_consumer(const Op* op);
+
+  /// Reassigns the producer unconditionally, unlike set_producer() which
+  /// throws if one is already set. Used when a rewrite pass transfers an
+  /// existing tensor onto a newly created op (output adoption).
+  void reset_producer(const Op* op) { producer_ = op; }
+
+  /// Overwrites the graph-assigned id. Only ir::clone_graph uses this, to
+  /// give clone tensors the same ids as their originals so id-keyed
+  /// consumers (the executor's per-tensor RNG streams) see identical ids.
+  void set_id(int id) { id_ = id; }
+
   /// Reclassifies a tensor; used by the gradient builder to mark final
   /// weight gradients persistent once accumulation is complete.
   void set_role(TensorRole role) { role_ = role; }

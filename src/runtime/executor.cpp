@@ -11,6 +11,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "src/ir/serialize.h"
 #include "src/runtime/kernels.h"
 #include "src/verify/pass.h"
 
@@ -51,18 +52,38 @@ bool memory_plan_env_default() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+bool fuse_env_default() {
+  const char* env = std::getenv("GF_FUSE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options)
     : graph_(&graph), bindings_(std::move(bindings)), options_(options),
-      pool_(options.pool ? options.pool : &conc::ThreadPool::global()),
-      dag_(ir::build_op_dag(graph)) {
+      pool_(options.pool ? options.pool : &conc::ThreadPool::global()) {
   // Opt-in pre-dispatch verification: a graph that fails here would make
   // the wavefront schedule racy or the kernels read out of bounds.
   if (options_.verify) verify::validate_or_throw(graph);
-  for (const auto& t : graph.tensors()) {
+  if (options_.fuse) {
+    // Rewrite a clone, never the caller's graph. clone_graph keeps the
+    // original tensor ids, so the per-tensor RNG streams — and with them
+    // every step result — are bitwise-identical to the unfused run.
+    std::unordered_map<const ir::Tensor*, ir::Tensor*> clones;
+    fused_graph_ = ir::clone_graph(graph, &clones);
+    fusion_ = ir::fuse_graph(*fused_graph_);
+    std::unordered_set<const ir::Tensor*> surviving;
+    surviving.reserve(fused_graph_->tensors().size());
+    for (const auto& t : fused_graph_->tensors()) surviving.insert(t.get());
+    for (const auto& [orig, copy] : clones)
+      if (surviving.contains(copy)) remap_.emplace(orig, copy);
+    graph_ = fused_graph_.get();
+    if (options_.verify) verify::validate_or_throw(*graph_);
+  }
+  dag_ = ir::build_op_dag(*graph_);
+  for (const auto& t : graph_->tensors()) {
     shapes_.emplace(t.get(), t->shape().eval(bindings_));
   }
   // Persistent state: weights (random), optimizer slots (zero).
-  for (const auto& t : graph.tensors()) {
+  for (const auto& t : graph_->tensors()) {
     if (t->role() == ir::TensorRole::kWeight ||
         t->role() == ir::TensorRole::kOptimizerState) {
       DenseTensor value(shapes_.at(t.get()), t->dtype());
@@ -93,7 +114,23 @@ void Executor::random_fill(const ir::Tensor* tensor, DenseTensor& value) {
   }
 }
 
+const ir::Tensor* Executor::map_tensor(const ir::Tensor* tensor) const {
+  if (!options_.fuse) return tensor;
+  auto it = remap_.find(tensor);
+  if (it == remap_.end())
+    throw std::invalid_argument(
+        "tensor '" + tensor->name() +
+        "' was eliminated by fusion (ExecutorOptions::fuse / GF_FUSE); only "
+        "surviving tensors are addressable");
+  return it->second;
+}
+
+void Executor::retain(const ir::Tensor* tensor) {
+  if (retained_.insert(map_tensor(tensor)).second) plan_dirty_ = true;
+}
+
 void Executor::set_input(const ir::Tensor* tensor, DenseTensor value) {
+  tensor = map_tensor(tensor);
   if (tensor->role() != ir::TensorRole::kInput)
     throw std::invalid_argument("set_input: not an input tensor");
   const auto& expected = shapes_.at(tensor);
@@ -106,13 +143,14 @@ void Executor::set_input(const ir::Tensor* tensor, DenseTensor value) {
 }
 
 DenseTensor& Executor::weight_value(const ir::Tensor* tensor) {
-  auto it = persistent_.find(tensor);
+  auto it = persistent_.find(map_tensor(tensor));
   if (it == persistent_.end())
     throw std::invalid_argument("weight_value: not persistent: " + tensor->name());
   return it->second;
 }
 
 const DenseTensor& Executor::value(const ir::Tensor* tensor) const {
+  tensor = map_tensor(tensor);
   if (auto it = persistent_.find(tensor); it != persistent_.end()) return it->second;
   if (auto it = transient_.find(tensor); it != transient_.end()) return it->second;
   if (auto it = pinned_inputs_.find(tensor); it != pinned_inputs_.end())
@@ -481,7 +519,8 @@ void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
   switch (op.type()) {
     case OpType::kMatMul: {
       const auto& mm = static_cast<const ir::MatMulOp&>(op);
-      matmul(*in[0], *in[1], *out[0], mm.trans_a(), mm.trans_b(), *pool_, stats);
+      matmul(*in[0], *in[1], *out[0], mm.trans_a(), mm.trans_b(), *pool_, stats,
+             mm.epilogue_bias() ? in[2] : nullptr, mm.epilogue_activation());
       break;
     }
     case OpType::kConv2D: {
@@ -508,6 +547,15 @@ void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
     case OpType::kBiasAdd:
       bias_add(*in[0], *in[1], *out[0], *pool_, stats);
       break;
+    case OpType::kFusedPointwise: {
+      const auto& f = static_cast<const ir::FusedPointwiseOp&>(op);
+      std::vector<double> alphas;
+      alphas.reserve(f.program().size());
+      for (const ir::FusedInstr& instr : f.program())
+        alphas.push_back(instr.alpha.eval(bindings_));
+      fused_pointwise(f.program(), const_inputs(), alphas, *out[0], *pool_, stats);
+      break;
+    }
     case OpType::kEmbeddingLookup:
       embedding_lookup(*in[0], *in[1], *out[0], *pool_, stats);
       break;

@@ -24,10 +24,12 @@
 // adds), and profile totals are folded in topological order after the step.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/concurrency/thread_pool.h"
+#include "src/ir/fusion.h"
 #include "src/ir/graph.h"
 #include "src/runtime/arena.h"
 #include "src/runtime/dense_tensor.h"
@@ -41,6 +43,11 @@ namespace gf::rt {
 /// environment variable is set to a non-empty, non-"0" value. Lets CI run
 /// the full test suite with planning on without touching call sites.
 bool memory_plan_env_default();
+
+/// Default for ExecutorOptions::fuse, from GF_FUSE (same convention as
+/// GF_MEMORY_PLAN): CI runs the full suite fused without touching call
+/// sites.
+bool fuse_env_default();
 
 /// Inter-op scheduling policy for run_step().
 enum class Schedule : std::uint8_t {
@@ -69,6 +76,13 @@ struct ExecutorOptions {
   /// heap allocation stays the default so sanitizer CI keeps byte-accurate
   /// bounds checking on every tensor.
   bool memory_plan = memory_plan_env_default();
+  /// Graph-level op fusion (src/ir/fusion.h): the executor clones the
+  /// graph (original tensor ids preserved, so RNG streams — and therefore
+  /// all results — stay bitwise-identical), rewrites the clone, and runs
+  /// that. Public APIs keep accepting original-graph tensors; asking for a
+  /// fused-away intermediate throws std::invalid_argument. Default follows
+  /// GF_FUSE (off otherwise), mirroring memory_plan.
+  bool fuse = fuse_env_default();
 };
 
 class Executor {
@@ -79,10 +93,10 @@ class Executor {
   /// each step from the deterministic per-tensor stream).
   void set_input(const ir::Tensor* tensor, DenseTensor value);
 
-  /// Keeps the named activation's value available after run_step().
-  void retain(const ir::Tensor* tensor) {
-    if (retained_.insert(tensor).second) plan_dirty_ = true;
-  }
+  /// Keeps the named activation's value available after run_step(). Under
+  /// fusion the tensor must have survived the rewrite (fused-away
+  /// intermediates throw std::invalid_argument).
+  void retain(const ir::Tensor* tensor);
 
   /// The active memory plan, or nullptr when planning is off. Built lazily
   /// on the first run_step() after construction / retain() / new pins.
@@ -98,6 +112,22 @@ class Executor {
   /// Rethrows the first kernel error (the step is abandoned; in-flight
   /// ops are drained first).
   ProfileReport run_step();
+
+  /// The graph the executor actually runs: the fused clone when
+  /// options.fuse is set, the caller's graph otherwise. Lets benchmarks
+  /// evaluate the rewritten graph's symbolic FLOP/byte formulas.
+  const ir::Graph& executing_graph() const { return *graph_; }
+
+  /// Rewrite statistics, or nullptr when fusion is off.
+  const ir::FusionResult* fusion_result() const {
+    return options_.fuse ? &fusion_ : nullptr;
+  }
+
+  /// Translates a caller's (original-graph) tensor into the executing
+  /// graph's — identity when fusion is off. Use it to key lookups into
+  /// memory_plan() or executing_graph(). Throws std::invalid_argument for
+  /// tensors the rewrite eliminated.
+  const ir::Tensor* resolve(const ir::Tensor* tensor) const { return map_tensor(tensor); }
 
  private:
   /// Kernel I/O resolved to stable buffer pointers at dispatch time, so
@@ -125,6 +155,10 @@ class Executor {
     int worker = -1;
   };
 
+  /// Translates a caller-facing (original-graph) tensor to the executing
+  /// graph's. Identity when fusion is off; throws std::invalid_argument
+  /// for tensors the rewrite eliminated.
+  const ir::Tensor* map_tensor(const ir::Tensor* tensor) const;
   DenseTensor& materialize(const ir::Tensor* tensor);
   void random_fill(const ir::Tensor* tensor, DenseTensor& value);
   DenseTensor& storage(const ir::Tensor* tensor);
@@ -154,6 +188,12 @@ class Executor {
   sym::Bindings bindings_;
   ExecutorOptions options_;
   conc::ThreadPool* pool_;
+  /// Fusion state (set only when options_.fuse): the rewritten clone the
+  /// executor runs, its rewrite stats, and original -> clone translation
+  /// for every surviving tensor.
+  std::unique_ptr<ir::Graph> fused_graph_;
+  ir::FusionResult fusion_;
+  std::unordered_map<const ir::Tensor*, const ir::Tensor*> remap_;
   ir::OpDag dag_;
 
   std::unordered_map<const ir::Tensor*, std::vector<std::int64_t>> shapes_;

@@ -106,6 +106,20 @@ void micro_kernel(const float* a_strip, const float* b_strip, std::int64_t kc_ef
   }
 }
 
+/// Epilogue for one C element in global column `col`. The float expressions
+/// mirror the standalone bias_add / pointwise kernels token for token
+/// (src/runtime/kernels.cpp), which is what makes fused == unfused bitwise.
+inline float apply_epilogue(float v, const GemmEpilogue& epi, std::int64_t col) {
+  if (epi.bias != nullptr) v = v + epi.bias[col];
+  switch (epi.act) {
+    case GemmEpilogue::Act::kNone: break;
+    case GemmEpilogue::Act::kSigmoid: v = 1.0f / (1.0f + std::exp(-v)); break;
+    case GemmEpilogue::Act::kTanh: v = std::tanh(v); break;
+    case GemmEpilogue::Act::kRelu: v = std::max(0.0f, v); break;
+  }
+  return v;
+}
+
 }  // namespace
 
 GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes) {
@@ -143,7 +157,8 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                   std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
                   bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
                   std::int64_t c_stride, const GemmTiling& tiling,
-                  conc::ThreadPool& pool, GemmTraffic* traffic) {
+                  conc::ThreadPool& pool, GemmTraffic* traffic,
+                  const GemmEpilogue& epilogue) {
   const std::int64_t mt = ceil_div(m, tiling.mc);
   const std::int64_t nt = ceil_div(n, tiling.nc);
   const std::int64_t tiles = batch * mt * nt;
@@ -205,7 +220,8 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
         for (std::int64_t i = 0; i < rows; ++i) {
           float* crow = c_mat + (i0 + ib * kGemmMr + i) * n + j0 + jb * kGemmNr;
           for (std::int64_t j = 0; j < cols; ++j)
-            crow[j] = static_cast<float>(acc[i * kGemmNr + j]);
+            crow[j] = apply_epilogue(static_cast<float>(acc[i * kGemmNr + j]),
+                                     epilogue, j0 + jb * kGemmNr + j);
         }
       }
     }
@@ -224,7 +240,8 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
 void reference_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                     std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
                     bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
-                    std::int64_t c_stride, conc::ThreadPool& pool) {
+                    std::int64_t c_stride, conc::ThreadPool& pool,
+                    const GemmEpilogue& epilogue) {
   auto at = [&](std::int64_t bi, std::int64_t r, std::int64_t col) {
     return a[bi * a_stride + (trans_a ? col * m + r : r * k + col)];
   };
@@ -237,7 +254,8 @@ void reference_gemm(const float* a, const float* b, float* c, std::int64_t batch
     for (std::int64_t col = 0; col < n; ++col) {
       double acc = 0;
       for (std::int64_t x = 0; x < k; ++x) acc += at(bi, r, x) * bt(bi, x, col);
-      c[bi * c_stride + r * n + col] = static_cast<float>(acc);
+      c[bi * c_stride + r * n + col] =
+          apply_epilogue(static_cast<float>(acc), epilogue, col);
     }
   });
 }

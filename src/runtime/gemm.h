@@ -68,6 +68,17 @@ struct GemmTraffic {
   double total() const { return a_packed_bytes + b_packed_bytes + c_bytes; }
 };
 
+/// Per-element epilogue fused into the C write pass (src/ir/fusion.h folds
+/// MatMul -> BiasAdd -> activation chains down to this). Applied to each
+/// element exactly once, after the double accumulator is cast to float and
+/// in unfused op order — float bias add first, then float activation — so
+/// the result is bitwise identical to running the separate kernels.
+struct GemmEpilogue {
+  enum class Act : std::uint8_t { kNone, kSigmoid, kTanh, kRelu };
+  const float* bias = nullptr;  ///< length-n column bias, or null
+  Act act = Act::kNone;
+};
+
 /// C = op(A) . op(B) over `batch` independent row-major matrices.
 /// op(A) is (m x k) (stored k x m when trans_a), op(B) is (k x n) (stored
 /// n x k when trans_b). Strides are in elements between consecutive batch
@@ -78,7 +89,8 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                   std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
                   bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
                   std::int64_t c_stride, const GemmTiling& tiling,
-                  conc::ThreadPool& pool, GemmTraffic* traffic = nullptr);
+                  conc::ThreadPool& pool, GemmTraffic* traffic = nullptr,
+                  const GemmEpilogue& epilogue = {});
 
 /// The retained reference kernel: naive row-parallel triple loop with
 /// per-element transpose lambdas and a double accumulator. The blocked path
@@ -86,7 +98,8 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
 void reference_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                     std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
                     bool trans_b, std::int64_t a_stride, std::int64_t b_stride,
-                    std::int64_t c_stride, conc::ThreadPool& pool);
+                    std::int64_t c_stride, conc::ThreadPool& pool,
+                    const GemmEpilogue& epilogue = {});
 
 /// Which implementation the op-level kernels (matmul/conv2d/...) dispatch
 /// to. Defaults to kBlocked; the GF_REFERENCE_KERNELS=1 environment

@@ -64,7 +64,8 @@ Im2ColShape conv_shape(const DenseTensor& in, std::int64_t kh, std::int64_t kw,
 }  // namespace
 
 void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool trans_a,
-            bool trans_b, conc::ThreadPool& pool, KernelStats& stats) {
+            bool trans_b, conc::ThreadPool& pool, KernelStats& stats,
+            const DenseTensor* epi_bias, ir::PointwiseFn epi_act) {
   const bool a3 = a.rank() == 3, b3 = b.rank() == 3;
   expect(a.rank() >= 2 && b.rank() >= 2, "matmul rank");
   const std::int64_t batch = a3 ? a.dim(0) : 1;
@@ -78,15 +79,37 @@ void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool t
   const std::int64_t b_stride = b3 ? k * n : 0;  // 0: broadcast shared B
   const std::int64_t o_stride = m * n;
 
+  GemmEpilogue epi;
+  if (epi_bias != nullptr) {
+    expect(epi_bias->numel() == n, "matmul epilogue bias length");
+    epi.bias = epi_bias->fdata();
+  }
+  switch (epi_act) {
+    case ir::PointwiseFn::kIdentity: break;
+    case ir::PointwiseFn::kSigmoid: epi.act = GemmEpilogue::Act::kSigmoid; break;
+    case ir::PointwiseFn::kTanh: epi.act = GemmEpilogue::Act::kTanh; break;
+    case ir::PointwiseFn::kRelu: epi.act = GemmEpilogue::Act::kRelu; break;
+    default: expect(false, "unsupported matmul epilogue activation");
+  }
+
   if (kernel_backend() == KernelBackend::kBlocked) {
     blocked_gemm(a.fdata(), b.fdata(), out.fdata(), batch, m, n, k, trans_a, trans_b,
-                 a_stride, b_stride, o_stride, default_gemm_tiling(), pool);
+                 a_stride, b_stride, o_stride, default_gemm_tiling(), pool, nullptr,
+                 epi);
   } else {
     reference_gemm(a.fdata(), b.fdata(), out.fdata(), batch, m, n, k, trans_a, trans_b,
-                   a_stride, b_stride, o_stride, pool);
+                   a_stride, b_stride, o_stride, pool, epi);
   }
 
   stats.flops += 2.0 * static_cast<double>(batch) * m * n * k;
+  // Epilogue work, mirroring MatMulOp::flops()/bytes_accessed() exactly.
+  if (epi_bias != nullptr) {
+    stats.flops += static_cast<double>(out.numel());
+    stats.bytes += tensor_bytes(*epi_bias);
+  }
+  if (epi_act != ir::PointwiseFn::kIdentity)
+    stats.flops += ir::pointwise_fn_flops_per_element(epi_act, 1) *
+                   static_cast<double>(out.numel());
   // Algorithmic bytes, matching MatMulOp::bytes_accessed(): each operand
   // tensor charged exactly once. With a rank-2 B broadcast across a
   // rank-3 batch, B is one tensor of k*n elements — charged once, however
@@ -306,6 +329,78 @@ void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
       kRowChunk);
   stats.flops += static_cast<double>(in.numel());
   stats.bytes += tensor_bytes(in) + tensor_bytes(bias) + tensor_bytes(out);
+}
+
+void fused_pointwise(const std::vector<ir::FusedInstr>& program,
+                     const std::vector<const DenseTensor*>& inputs,
+                     const std::vector<double>& alphas, DenseTensor& out,
+                     conc::ThreadPool& pool, KernelStats& stats) {
+  expect(!program.empty() && !inputs.empty(), "fused_pointwise arity");
+  expect(program.size() <= ir::FusedPointwiseOp::kMaxInstrs,
+         "fused_pointwise program too long");
+  expect(alphas.size() == program.size(), "fused_pointwise alpha count");
+  const int nin = static_cast<int>(inputs.size());
+  const std::int64_t n = out.numel();
+  float* o = out.fdata();
+  std::vector<const float*> src(inputs.size());
+  std::vector<std::int64_t> extent(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    src[j] = inputs[j]->fdata();
+    extent[j] = inputs[j]->numel();
+  }
+  using Fn = ir::PointwiseFn;
+  conc::parallel_for(
+      pool, 0, static_cast<std::size_t>(n),
+      [&](std::size_t idx) {
+        const auto i = static_cast<std::int64_t>(idx);
+        float regs[ir::FusedPointwiseOp::kMaxInstrs];
+        // args < nin read an external operand (modulo addressing; exact for
+        // the shape classes FusedPointwiseOp admits), the rest read the
+        // register file. Each case repeats its standalone kernel's float
+        // expression so the fused bits equal the unfused chain's.
+        auto val = [&](int a) {
+          return a < nin ? src[a][i % extent[a]] : regs[a - nin];
+        };
+        for (std::size_t j = 0; j < program.size(); ++j) {
+          const ir::FusedInstr& instr = program[j];
+          const std::vector<int>& arg = instr.args;
+          float r = 0.0f;
+          switch (instr.fn) {
+            case Fn::kAdd: r = val(arg[0]) + val(arg[1]); break;
+            case Fn::kSub: r = val(arg[0]) - val(arg[1]); break;
+            case Fn::kMul: r = val(arg[0]) * val(arg[1]); break;
+            case Fn::kAddN: {
+              double acc = 0;
+              for (int a : arg) acc += val(a);
+              r = static_cast<float>(acc);
+              break;
+            }
+            case Fn::kSigmoid: r = 1.0f / (1.0f + std::exp(-val(arg[0]))); break;
+            case Fn::kTanh: r = std::tanh(val(arg[0])); break;
+            case Fn::kRelu: r = std::max(0.0f, val(arg[0])); break;
+            case Fn::kOneMinus: r = 1.0f - val(arg[0]); break;
+            case Fn::kScale: r = static_cast<float>(alphas[j]) * val(arg[0]); break;
+            case Fn::kIdentity: r = val(arg[0]); break;
+            case Fn::kSigmoidGrad:
+              r = val(arg[1]) * val(arg[0]) * (1.0f - val(arg[0]));
+              break;
+            case Fn::kTanhGrad:
+              r = val(arg[1]) * (1.0f - val(arg[0]) * val(arg[0]));
+              break;
+            case Fn::kReluGrad: r = val(arg[0]) > 0 ? val(arg[1]) : 0.0f; break;
+          }
+          regs[j] = r;
+        }
+        o[i] = regs[program.size() - 1];
+      },
+      kElementChunk);
+  double flops_per_element = 0;
+  for (const ir::FusedInstr& instr : program)
+    flops_per_element +=
+        ir::pointwise_fn_flops_per_element(instr.fn, instr.args.size());
+  stats.flops += flops_per_element * static_cast<double>(n);
+  for (const DenseTensor* t : inputs) stats.bytes += tensor_bytes(*t);
+  stats.bytes += tensor_bytes(out);
 }
 
 void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,

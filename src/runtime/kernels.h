@@ -35,8 +35,13 @@ struct KernelStats {
 // each operand tensor once — in particular a rank-2 B broadcast under a
 // rank-3 A is charged once, not once per batch (shared weights are read
 // once algorithmically; cache re-streaming is the hw model's concern).
+// `epi_bias` / `epi_act` carry a fused MatMul epilogue (src/ir/fusion.h)
+// into the GEMM's per-tile output pass; results stay bitwise equal to the
+// separate matmul -> bias_add -> pointwise kernel sequence.
 void matmul(const DenseTensor& a, const DenseTensor& b, DenseTensor& out, bool trans_a,
-            bool trans_b, conc::ThreadPool& pool, KernelStats& stats);
+            bool trans_b, conc::ThreadPool& pool, KernelStats& stats,
+            const DenseTensor* epi_bias = nullptr,
+            ir::PointwiseFn epi_act = ir::PointwiseFn::kIdentity);
 
 // NHWC convolution, "same" padding (odd kernel), square stride. Executed
 // as im2col + blocked GEMM (kernel_backend() == kBlocked) or the retained
@@ -62,6 +67,19 @@ void pointwise(ir::PointwiseFn fn, const std::vector<const DenseTensor*>& inputs
 
 void bias_add(const DenseTensor& in, const DenseTensor& bias, DenseTensor& out,
               conc::ThreadPool& pool, KernelStats& stats);
+
+/// Interprets a FusedPointwiseOp program once per output element: inputs
+/// are read with modulo addressing (exact for same-shape operands, rank-1
+/// biases, and broadcast sources — FusedPointwiseOp's shape contract),
+/// intermediate results live in a register file and never touch memory.
+/// Each instruction replicates its standalone kernel's float expression
+/// (kAddN keeps the double accumulator), so fused output bits equal the
+/// unfused op chain's. `alphas` holds the pre-evaluated kScale multiplier
+/// per instruction (ignored for other fns; size must match the program).
+void fused_pointwise(const std::vector<ir::FusedInstr>& program,
+                     const std::vector<const DenseTensor*>& inputs,
+                     const std::vector<double>& alphas, DenseTensor& out,
+                     conc::ThreadPool& pool, KernelStats& stats);
 
 void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
                       conc::ThreadPool& pool, KernelStats& stats);

@@ -37,9 +37,15 @@ bool float_storage(ir::DataType d) {
 /// Strictly elementwise ops: out[i] is a function of in[k][i] only, so
 /// writing the output over input 0's storage can never read a clobbered
 /// element. (Softmax/reduce/concat read across elements — never aliased.)
+/// Fused programs are elementwise in the same sense, but only a
+/// same-shape first input is read exactly at element i — smaller inputs
+/// are modulo-addressed and re-read across the output loop.
 bool elementwise_alias_candidate(const ir::Op& op) {
-  return (op.type() == ir::OpType::kPointwise || op.type() == ir::OpType::kBiasAdd) &&
-         op.outputs().size() == 1 && !op.inputs().empty();
+  if (op.outputs().size() != 1 || op.inputs().empty()) return false;
+  if (op.type() == ir::OpType::kPointwise || op.type() == ir::OpType::kBiasAdd)
+    return true;
+  return op.type() == ir::OpType::kFusedPointwise &&
+         op.input(0)->shape().equals(op.output(0)->shape());
 }
 
 /// One slab region: an alias chain of tensors sharing the same storage.

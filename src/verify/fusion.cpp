@@ -1,0 +1,176 @@
+// Static checker for the fusion rewrite (src/ir/fusion.h).
+//
+// Fusion promises that a rewritten graph is cost-transparent: every fused
+// op does exactly the work of its folded constituents (FLOPs conserved)
+// while its traffic formula counts only the tensors that survived the
+// rewrite. The analysis tables, the roofline, and the benchmarks all read
+// those formulas, so a rewrite bug would silently skew every downstream
+// number. This pass re-derives both formulas from the op as found in the
+// graph — not from the rewriter's bookkeeping — and additionally proves
+// each fused program is connected and internally single-consumer (the
+// only edges the rewriter is allowed to contract).
+#include <string>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::Graph;
+using ir::Op;
+using ir::OpType;
+using ir::Tensor;
+using sym::Expr;
+
+class FusionPass final : public Pass {
+ public:
+  const char* name() const override { return "fusion"; }
+  const char* description() const override {
+    return "fused ops are cost-transparent: programs connected and internally "
+           "single-consumer, FLOPs conserved vs constituents, byte formulas "
+           "counting only surviving inputs + outputs";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    for (const auto& op : g.ops()) {
+      if (op->type() == OpType::kFusedPointwise)
+        check_fused_pointwise(static_cast<const ir::FusedPointwiseOp&>(*op), out);
+      else if (op->type() == OpType::kMatMul)
+        check_matmul_epilogue(static_cast<const ir::MatMulOp&>(*op), out);
+    }
+  }
+
+ private:
+  static void emit(std::vector<Diagnostic>& out, const Op& op,
+                   const std::string& message, std::string hint = {}) {
+    out.push_back({Severity::kError, "fusion", "op '" + op.name() + "'", message,
+                   std::move(hint)});
+  }
+
+  static void check_fused_pointwise(const ir::FusedPointwiseOp& f,
+                                    std::vector<Diagnostic>& out) {
+    const auto& prog = f.program();
+    if (prog.empty() || f.inputs().empty() || f.outputs().size() != 1) {
+      emit(out, f, "fused program is empty or op arity is malformed",
+           "the shapes pass diagnoses the structural details");
+      return;
+    }
+    const int nin = static_cast<int>(f.inputs().size());
+    const int n_instr = static_cast<int>(prog.size());
+
+    // Use counts over the program's operand space: externals must each be
+    // read (a never-read input would still be charged in the byte
+    // formula), and every non-final result must be read exactly once —
+    // the rewriter only contracts single-consumer edges, so a result read
+    // twice means the group folded a tensor some other op still needed.
+    std::vector<int> ext_uses(static_cast<std::size_t>(nin), 0);
+    std::vector<int> result_uses(static_cast<std::size_t>(n_instr), 0);
+    for (int j = 0; j < n_instr; ++j)
+      for (const int a : prog[static_cast<std::size_t>(j)].args) {
+        if (a < 0 || a >= nin + j) {
+          emit(out, f,
+               "instruction " + std::to_string(j) + " references operand " +
+                   std::to_string(a) + " out of range",
+               "the shapes pass diagnoses operand ranges; connectivity not checked");
+          return;
+        }
+        if (a < nin)
+          ++ext_uses[static_cast<std::size_t>(a)];
+        else
+          ++result_uses[static_cast<std::size_t>(a - nin)];
+      }
+    for (int i = 0; i < nin; ++i)
+      if (ext_uses[static_cast<std::size_t>(i)] == 0)
+        emit(out, f,
+             "input " + std::to_string(i) + " ('" + f.input(i)->name() +
+                 "') is never read by the program",
+             "the byte formula charges every input; an unread one inflates traffic");
+    for (int j = 0; j < n_instr - 1; ++j)
+      if (result_uses[static_cast<std::size_t>(j)] != 1)
+        emit(out, f,
+             "instruction " + std::to_string(j) + " result is read " +
+                 std::to_string(result_uses[static_cast<std::size_t>(j)]) +
+                 " time(s); interior results must be read exactly once",
+             "unread results mean unconserved FLOPs; multiple reads mean the "
+             "group folded a tensor another consumer needed");
+    if (result_uses[static_cast<std::size_t>(n_instr - 1)] != 0)
+      emit(out, f, "the final instruction's result is also read as an operand",
+           "the last instruction writes the op output; reading it back would "
+           "be a forward reference in the original chain");
+
+    // FLOP conservation: the cached formula must equal a fresh derivation
+    // from the program (each instruction at the standalone op's
+    // per-element cost over the root shape).
+    if (!f.flops().equals(f.derive_flops()))
+      emit(out, f,
+           "FLOP formula " + f.flops().str() +
+               " does not match the program-derived count " + f.derive_flops().str(),
+           "fused groups must conserve their constituents' FLOPs exactly");
+
+    // Traffic: the cached formula must count exactly the surviving
+    // inputs and the output, nothing else.
+    Expr want(0.0);
+    for (const Tensor* t : f.inputs()) want = want + t->bytes();
+    for (const Tensor* t : f.outputs()) want = want + t->bytes();
+    if (!f.bytes_accessed().equals(want))
+      emit(out, f,
+           "byte formula " + f.bytes_accessed().str() +
+               " does not equal surviving inputs + outputs (" + want.str() + ")",
+           "eliminated intermediates must not be charged; surviving tensors must");
+  }
+
+  static void check_matmul_epilogue(const ir::MatMulOp& mm,
+                                    std::vector<Diagnostic>& out) {
+    if (!mm.has_epilogue()) return;
+    if (mm.epilogue_activation() != ir::PointwiseFn::kIdentity &&
+        mm.epilogue_activation() != ir::PointwiseFn::kSigmoid &&
+        mm.epilogue_activation() != ir::PointwiseFn::kTanh &&
+        mm.epilogue_activation() != ir::PointwiseFn::kRelu) {
+      emit(out, mm,
+           std::string("unsupported epilogue activation '") +
+               ir::pointwise_fn_name(mm.epilogue_activation()) + "'",
+           "the GEMM output pass folds only identity/sigmoid/tanh/relu");
+      return;
+    }
+    const std::size_t want_in = mm.epilogue_bias() ? 3 : 2;
+    if (mm.inputs().size() != want_in || mm.outputs().size() != 1) {
+      emit(out, mm, "epilogue arity is malformed",
+           "the shapes pass diagnoses the structural details");
+      return;
+    }
+
+    // FLOP conservation vs the folded chain: rebuild the formula the same
+    // way MatMulOp::flops() does, from the operand shapes as found —
+    // base 2*b*m*n*k, plus one add per output element for the bias, plus
+    // the activation's per-element cost.
+    const ir::TensorShape& sa = mm.input(0)->shape();
+    const ir::TensorShape& sb = mm.input(1)->shape();
+    const std::size_t ra = sa.rank(), rb = sb.rank();
+    if ((ra != 2 && ra != 3) || (rb != 2 && rb != 3)) return;  // shapes pass
+    const std::size_t oa = ra - 2, ob = rb - 2;
+    const Expr m = mm.trans_a() ? sa.dim(oa + 1) : sa.dim(oa);
+    const Expr k = mm.trans_a() ? sa.dim(oa) : sa.dim(oa + 1);
+    const Expr n = mm.trans_b() ? sb.dim(ob) : sb.dim(ob + 1);
+    const Expr batch = ra == 3 ? sa.dim(0) : Expr(1.0);
+    Expr want = Expr(2.0) * batch * m * n * k;
+    const Expr out_elems = batch * m * n;
+    if (mm.epilogue_bias()) want = want + out_elems;
+    if (mm.epilogue_activation() != ir::PointwiseFn::kIdentity)
+      want = want +
+             Expr(ir::pointwise_fn_flops_per_element(mm.epilogue_activation(), 1)) *
+                 out_elems;
+    if (!mm.flops().equals(want))
+      emit(out, mm,
+           "FLOP formula " + mm.flops().str() +
+               " does not match the epilogue-inclusive derivation " + want.str(),
+           "folding an epilogue must conserve the folded ops' FLOPs exactly");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_fusion_pass() { return std::make_unique<FusionPass>(); }
+
+}  // namespace gf::verify

@@ -32,7 +32,13 @@ using rt::MemoryPlan;
 using rt::PlannedTensor;
 
 bool elementwise(const Op& op) {
-  return op.type() == OpType::kPointwise || op.type() == OpType::kBiasAdd;
+  if (op.type() == OpType::kPointwise || op.type() == OpType::kBiasAdd) return true;
+  // Mirrors the planner's criterion: a fused program may overwrite its
+  // first input in place only when that input is output-shaped (smaller
+  // inputs are modulo-addressed and re-read across the output loop).
+  return op.type() == OpType::kFusedPointwise && !op.inputs().empty() &&
+         op.outputs().size() == 1 &&
+         op.input(0)->shape().equals(op.output(0)->shape());
 }
 
 /// Region view of a plan: one entry per alias root, the unit address

@@ -18,6 +18,9 @@
 //   memplan    — the static memory plan is sound: disjoint slab
 //                intervals, race-checker-justified in-place aliases,
 //                forward reuse edges
+//   fusion     — fused ops are cost-transparent: programs connected and
+//                internally single-consumer, FLOPs conserved, byte
+//                formulas counting only surviving tensors
 //
 // Entry points: verify_graph() for structured diagnostics (gfctl lint,
 // the executor's debug hook), validate_or_throw() as the compat shim

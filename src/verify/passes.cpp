@@ -301,8 +301,8 @@ class ShapePass final : public Pass {
     using ir::DataType;
     switch (op.type()) {
       case OpType::kMatMul: {
-        if (!check_arity(op, 2, 1, emit)) return;
         const auto& mm = static_cast<const ir::MatMulOp&>(op);
+        if (!check_arity(op, mm.epilogue_bias() ? 3 : 2, 1, emit)) return;
         const TensorShape& sa = op.input(0)->shape();
         const TensorShape& sb = op.input(1)->shape();
         const std::size_t ra = sa.rank(), rb = sb.rank();
@@ -320,6 +320,22 @@ class ShapePass final : public Pass {
         expect_dim(op, k, kb, "inner (contraction) dimensions disagree", emit);
         if (ra == 3 && rb == 3)
           expect_dim(op, sa.dim(0), sb.dim(0), "batch dimensions disagree", emit);
+        if (mm.epilogue_bias()) {
+          const TensorShape& bias = op.input(2)->shape();
+          if (bias.rank() != 1) {
+            emit.error(op_loc(op), "epilogue bias must be rank 1");
+            return;
+          }
+          expect_dim(op, bias.dim(0), n, "epilogue bias length vs output columns", emit);
+        }
+        if (mm.has_epilogue() &&
+            mm.epilogue_activation() != ir::PointwiseFn::kIdentity &&
+            mm.epilogue_activation() != ir::PointwiseFn::kSigmoid &&
+            mm.epilogue_activation() != ir::PointwiseFn::kTanh &&
+            mm.epilogue_activation() != ir::PointwiseFn::kRelu)
+          emit.error(op_loc(op),
+                     std::string("unsupported epilogue activation '") +
+                         ir::pointwise_fn_name(mm.epilogue_activation()) + "'");
         const TensorShape want = ra == 3 ? TensorShape{sa.dim(0), m, n} : TensorShape{m, n};
         expect_shape(op, *op.output(0), want, "output", emit);
         break;
@@ -625,6 +641,56 @@ class ShapePass final : public Pass {
         }
         break;
       }
+      case OpType::kFusedPointwise: {
+        const auto& f = static_cast<const ir::FusedPointwiseOp&>(op);
+        const auto& prog = f.program();
+        if (op.inputs().empty() || op.outputs().size() != 1 || prog.empty() ||
+            prog.size() > ir::FusedPointwiseOp::kMaxInstrs) {
+          emit.error(op_loc(op),
+                     "fused program must be non-empty (<= " +
+                         std::to_string(ir::FusedPointwiseOp::kMaxInstrs) +
+                         " instructions) with >= 1 input and exactly one output");
+          return;
+        }
+        const int nin = static_cast<int>(op.inputs().size());
+        for (std::size_t j = 0; j < prog.size(); ++j) {
+          const std::size_t expected = pointwise_expected_arity(prog[j].fn);
+          const std::size_t got = prog[j].args.size();
+          if ((expected != 0 && got != expected) || (expected == 0 && got < 2))
+            emit.error(op_loc(op),
+                       "instruction " + std::to_string(j) + " ('" +
+                           ir::pointwise_fn_name(prog[j].fn) + "') has wrong arity " +
+                           std::to_string(got));
+          for (int a : prog[j].args)
+            if (a < 0 || a >= nin + static_cast<int>(j))
+              emit.error(op_loc(op),
+                         "instruction " + std::to_string(j) + " references operand " +
+                             std::to_string(a) + " out of range",
+                         "operands are externals (< num_inputs) or earlier "
+                         "instruction results; forward references are illegal");
+        }
+        // The kernel reads inputs with modulo addressing, exact only when
+        // every input's dims equal the trailing output dims.
+        const TensorShape& out_shape = op.output(0)->shape();
+        for (const Tensor* in : op.inputs()) {
+          const TensorShape& s = in->shape();
+          if (s.rank() > out_shape.rank()) {
+            emit.error(op_loc(op), "input " + tensor_loc(*in) +
+                                       " outranks the fused output");
+            continue;
+          }
+          for (std::size_t d = 0; d < s.rank(); ++d)
+            expect_dim(op, s.dim(d), out_shape.dim(out_shape.rank() - s.rank() + d),
+                       "input dim " + std::to_string(d) + " of " + tensor_loc(*in) +
+                           " vs trailing output dim",
+                       emit);
+          if (is_integral_dtype(in->dtype()))
+            emit.error(op_loc(op), "input " + tensor_loc(*in) +
+                                       " has an integral dtype; fused programs are "
+                                       "float-register interpreters");
+        }
+        break;
+      }
     }
   }
 };
@@ -752,6 +818,7 @@ class GradientPass final : public Pass {
 
 std::unique_ptr<Pass> make_race_pass();     // race.cpp
 std::unique_ptr<Pass> make_memplan_pass();  // memplan.cpp
+std::unique_ptr<Pass> make_fusion_pass();   // fusion.cpp
 
 std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   std::vector<std::unique_ptr<Pass>> passes;
@@ -761,6 +828,7 @@ std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   passes.push_back(std::make_unique<GradientPass>());
   passes.push_back(make_race_pass());
   passes.push_back(make_memplan_pass());
+  passes.push_back(make_fusion_pass());
   return passes;
 }
 

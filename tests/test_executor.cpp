@@ -39,12 +39,16 @@ struct TinyMlp {
   }
 };
 
+// Symbolic expectations come from the graph the executor actually runs
+// (executing_graph()): identical to the built graph normally, the fused
+// rewrite under GF_FUSE=1 — either way measured counters must match the
+// executed graph's formulas exactly.
 TEST(Executor, FlopsMatchSymbolicExactly) {
   TinyMlp m;
   const Bindings bind{{"batch", 16}};
   Executor ex(m.g, bind);
   const ProfileReport report = ex.run_step();
-  const double symbolic = m.g.total_flops().eval(bind);
+  const double symbolic = ex.executing_graph().total_flops().eval(bind);
   EXPECT_NEAR(report.total_flops, symbolic, 1e-6 * symbolic);
 }
 
@@ -53,15 +57,15 @@ TEST(Executor, BytesMatchSymbolicExactly) {
   const Bindings bind{{"batch", 16}};
   Executor ex(m.g, bind);
   const ProfileReport report = ex.run_step();
-  const double symbolic = m.g.total_bytes_accessed().eval(bind);
+  const double symbolic = ex.executing_graph().total_bytes_accessed().eval(bind);
   EXPECT_NEAR(report.total_bytes, symbolic, 1e-6 * symbolic);
 }
 
 TEST(Executor, ArenaPeakMatchesTopologicalFootprint) {
   TinyMlp m;
   const Bindings bind{{"batch", 16}};
-  const auto predicted = ir::minimal_footprint(m.g, bind);
   Executor ex(m.g, bind);
+  const auto predicted = ir::minimal_footprint(ex.executing_graph(), bind);
   // Weight-gradient buffers reach steady state after the first step; the
   // topological estimator models that steady state.
   ex.run_step();
@@ -222,12 +226,14 @@ TEST_P(ToyModelExecution, RunsAndMatchesSymbolicCounts) {
   ex.run_step();  // reach weight-gradient steady state
   const ProfileReport report = ex.run_step();
 
-  const double sym_flops = c.spec.graph->total_flops().eval(bind);
-  const double sym_bytes = c.spec.graph->total_bytes_accessed().eval(bind);
+  // Against the executed graph's formulas: the built graph normally, the
+  // fused rewrite under GF_FUSE=1.
+  const double sym_flops = ex.executing_graph().total_flops().eval(bind);
+  const double sym_bytes = ex.executing_graph().total_bytes_accessed().eval(bind);
   EXPECT_NEAR(report.total_flops, sym_flops, 1e-6 * sym_flops) << c.name;
   EXPECT_NEAR(report.total_bytes, sym_bytes, 1e-6 * sym_bytes) << c.name;
 
-  const auto fp = ir::minimal_footprint(*c.spec.graph, bind);
+  const auto fp = ir::minimal_footprint(ex.executing_graph(), bind);
   if (const MemoryPlan* plan = ex.memory_plan()) {
     // Planned mode (GF_MEMORY_PLAN=1): the measured peak IS the plan, and
     // the slab stays within per-tensor alignment padding of the analytic

@@ -236,22 +236,25 @@ TEST(MemPlan, MeasuredPeakEqualsPlannedPeakEqualsFootprintOnAllModels) {
   for (ModelCase& c : builtin_models()) {
     for (const double batch : {2.0, 4.0}) {
       const Bindings bind = c.spec.bind(c.hidden, batch);
-      const ir::OpDag dag = ir::build_op_dag(*c.spec.graph);
-      const MemoryPlan plan = plan_memory(*c.spec.graph, dag, bind);
-      EXPECT_EQ(error_count(verify::check_memory_plan(*c.spec.graph, dag, plan)), 0u)
+      ExecutorOptions opt;
+      opt.memory_plan = true;
+      Executor ex(*c.spec.graph, bind, opt);
+      // Plan the graph the executor actually runs (the fused clone under
+      // GF_FUSE=1) so all three peaks below are comparable.
+      const ir::Graph& xg = ex.executing_graph();
+      const ir::OpDag dag = ir::build_op_dag(xg);
+      const MemoryPlan plan = plan_memory(xg, dag, bind);
+      EXPECT_EQ(error_count(verify::check_memory_plan(xg, dag, plan)), 0u)
           << c.name << " b=" << batch;
 
       // Planned slab within alignment padding of the analytic sequential
       // footprint: reuse may not cost memory over per-op liveness freeing.
-      const auto fp = ir::minimal_footprint(*c.spec.graph, bind);
+      const auto fp = ir::minimal_footprint(xg, bind);
       EXPECT_LE(static_cast<double>(plan.planned_peak_bytes()),
                 fp.total_bytes +
                     static_cast<double>(kTensorAlignment * plan.tensors.size()))
           << c.name << " b=" << batch;
 
-      ExecutorOptions opt;
-      opt.memory_plan = true;
-      Executor ex(*c.spec.graph, bind, opt);
       ex.run_step();  // weight-gradient steady state
       const ProfileReport report = ex.run_step();
       ASSERT_NE(ex.memory_plan(), nullptr) << c.name;
@@ -323,8 +326,10 @@ TEST(MemPlan, PinnedInputsStayOutOfSlabAndRetainedValuesSurvive) {
   ex.run_step();
   ASSERT_NE(ex.memory_plan(), nullptr);
   // The user owns pinned storage; the plan must leave it out of the slab.
-  EXPECT_EQ(ex.memory_plan()->find(x), nullptr);
-  EXPECT_NE(ex.memory_plan()->find(m.loss), nullptr);
+  // Plan entries key the executing graph's tensors (the fused clone's
+  // under GF_FUSE=1), so caller-facing tensors go through resolve().
+  EXPECT_EQ(ex.memory_plan()->find(ex.resolve(x)), nullptr);
+  EXPECT_NE(ex.memory_plan()->find(ex.resolve(m.loss)), nullptr);
 
   // A retained tensor's storage must survive the whole step even though
   // later ops could otherwise reuse its slab range.

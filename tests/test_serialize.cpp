@@ -5,6 +5,8 @@
 #include <random>
 
 #include "src/ir/footprint.h"
+#include "src/ir/fusion.h"
+#include "src/ir/ops.h"
 #include "src/ir/serialize.h"
 #include "src/models/models.h"
 #include "src/symbolic/sexpr.h"
@@ -114,6 +116,26 @@ TEST_P(GraphRoundTrip, PreservesAllAnalyticQuantities) {
   EXPECT_EQ(ir::serialize(*loaded), text);
 }
 
+// Fused graphs must survive save/load too (gfctl lint --file on a fused
+// export): the rewrite adds FusedPointwiseOp programs and MatMul epilogue
+// attrs, and both must round trip to the same canonical text.
+TEST_P(GraphRoundTrip, PreservesAnalyticQuantitiesAfterFusion) {
+  const auto spec = build();
+  const ir::FusionResult r = ir::fuse_graph(*spec.graph);
+  ASSERT_GT(r.pointwise_groups + r.gemm_epilogues, 0u);
+
+  const std::string text = ir::serialize(*spec.graph);
+  const auto loaded = ir::deserialize(text);
+  EXPECT_EQ(loaded->num_ops(), spec.graph->num_ops());
+  EXPECT_TRUE(loaded->total_flops().equals(spec.graph->total_flops()));
+  EXPECT_TRUE(loaded->total_bytes_accessed().equals(spec.graph->total_bytes_accessed()));
+
+  const auto bind = spec.bind(8, 2);
+  EXPECT_DOUBLE_EQ(ir::minimal_footprint(*loaded, bind).total_bytes,
+                   ir::minimal_footprint(*spec.graph, bind).total_bytes);
+  EXPECT_EQ(ir::serialize(*loaded), text);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFamilies, GraphRoundTrip, ::testing::Range(0, 6));
 
 TEST(GraphSerialize, MomentumSlotsSurviveRoundTrip) {
@@ -133,6 +155,37 @@ TEST(GraphSerialize, HalfPrecisionDtypeSurvives) {
   const auto loaded = ir::deserialize(ir::serialize(*spec.graph));
   EXPECT_TRUE(
       loaded->total_bytes_accessed().equals(spec.graph->total_bytes_accessed()));
+}
+
+// Targeted check of the fused-op attr grammar itself: the GEMM epilogue
+// serializes as one `attr epi <has_bias> <fn>` line and the interpreter
+// program as `attr prog <n>` + one `attr i<j>` line per instruction, and a
+// truncated program line is rejected rather than silently shortened.
+TEST(GraphSerialize, FusedOpAttrsSurviveTextually) {
+  ir::Graph g("fused_attrs");
+  const Expr b = Expr::symbol("batch");
+  auto* x = g.add_input("x", ir::TensorShape{b, Expr(8)});
+  auto* u = g.add_input("u", ir::TensorShape{b, Expr(8)});
+  auto* w = g.add_weight("w", ir::TensorShape{Expr(8), Expr(8)});
+  auto* bias = g.add_weight("bias", ir::TensorShape{Expr(8)});
+  auto* h = ir::tanh(g, "act", ir::bias_add(g, "badd", ir::matmul(g, "mm", x, w), bias));
+  ir::relu(g, "r", ir::mul(g, "m", ir::tanh(g, "t", h), u));
+
+  const ir::FusionResult r = ir::fuse_graph(g);
+  EXPECT_EQ(r.gemm_epilogues, 1u);
+  EXPECT_EQ(r.pointwise_groups, 1u);
+
+  const std::string text = ir::serialize(g);
+  EXPECT_NE(text.find("attr epi 1 tanh"), std::string::npos);
+  EXPECT_NE(text.find("attr prog 3"), std::string::npos);
+  EXPECT_NE(text.find("attr i0 tanh"), std::string::npos);
+
+  const auto loaded = ir::deserialize(text);
+  EXPECT_EQ(ir::serialize(*loaded), text);
+
+  std::string corrupt = text;
+  corrupt.replace(corrupt.find("attr i0 tanh"), 12, "attr i0     ");
+  EXPECT_THROW(ir::deserialize(corrupt), std::invalid_argument);
 }
 
 TEST(GraphSerialize, RejectsCorruptedInput) {

@@ -237,8 +237,10 @@ TEST_P(RandomDagProperty, WavefrontMatchesSymbolicCountsAndFootprintBound) {
   ex.run_step();  // weight-gradient steady state
   const ProfileReport report = ex.run_step();
 
-  const double sym_flops = spec.graph->total_flops().eval(bind);
-  const double sym_bytes = spec.graph->total_bytes_accessed().eval(bind);
+  // Formulas come from the graph the executor actually ran (the fused
+  // clone under GF_FUSE=1, the built graph otherwise).
+  const double sym_flops = ex.executing_graph().total_flops().eval(bind);
+  const double sym_bytes = ex.executing_graph().total_bytes_accessed().eval(bind);
   EXPECT_NEAR(report.total_flops, sym_flops, 1e-6 * sym_flops) << "seed " << seed;
   EXPECT_NEAR(report.total_bytes, sym_bytes, 1e-6 * sym_bytes) << "seed " << seed;
 
@@ -246,7 +248,7 @@ TEST_P(RandomDagProperty, WavefrontMatchesSymbolicCountsAndFootprintBound) {
   // arena than the sequential schedule's analytic footprint. Under an
   // active memory plan the slab replaces backpressure; at these toy sizes
   // 64-byte padding dominates, so allow per-tensor alignment slack.
-  const auto fp = ir::minimal_footprint(*spec.graph, bind);
+  const auto fp = ir::minimal_footprint(ex.executing_graph(), bind);
   const MemoryPlan* plan = ex.memory_plan();
   const double slack =
       plan != nullptr ? static_cast<double>(kTensorAlignment * plan->tensors.size()) : 0.0;
@@ -324,7 +326,7 @@ TEST(WavefrontTimeline, CoversEveryOpInTopologicalOrder) {
   Executor ex(*spec.graph, spec.bind(8, 2), opt);
   const ProfileReport report = ex.run_step();
 
-  ASSERT_EQ(report.timeline.size(), spec.graph->num_ops());
+  ASSERT_EQ(report.timeline.size(), ex.executing_graph().num_ops());
   double flops = 0;
   for (std::size_t i = 0; i < report.timeline.size(); ++i) {
     const TimelineEvent& e = report.timeline[i];
@@ -348,7 +350,7 @@ TEST(SequentialTimeline, RunsEverythingOnCallerThread) {
   opt.schedule = Schedule::kSequential;
   Executor ex(*spec.graph, spec.bind(8, 2), opt);
   const ProfileReport report = ex.run_step();
-  ASSERT_EQ(report.timeline.size(), spec.graph->num_ops());
+  ASSERT_EQ(report.timeline.size(), ex.executing_graph().num_ops());
   for (const TimelineEvent& e : report.timeline) EXPECT_EQ(e.worker, -1);
   // Disjoint op intervals within the step: busy time cannot exceed wall.
   EXPECT_GE(report.wall_seconds, report.total_seconds);

@@ -14,9 +14,20 @@
 //   gfctl lint         --file <graph.txt> [--json] [--passes a,b,...]
 //   gfctl memplan      <domain>|all [--hidden H] [--batch B] [--fuse]
 //   gfctl fuse         <domain>|all [--hidden H] [--batch B]
+//   gfctl whatif       <trace.json> [--scale TYPE --speedup K] [--bf16]
+//                      [--fuse --model <domain> [--hidden H] [--batch B]
+//                       [--memory-weight W]] [--workers N]
+//                      [--overhead SECONDS] [--json]
 //   gfctl domains
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
+//
+// whatif re-simulates a profiled trace (written by `gfctl trace`) under a
+// hypothetical optimization — Daydream-style: transform the measured
+// dependency graph and replay the schedule, instead of implementing the
+// optimization. With no transform flags it reports the identity
+// re-simulation (the calibration check). Transforms compose in the order
+// scale, bf16, fuse; --workers re-places the result onto N greedy lanes.
 //
 // --fuse runs the graph-level fusion rewrite (src/ir/fusion.h) on the
 // built graph first: export writes the fused graph (so `lint --file`
@@ -27,6 +38,7 @@
 // lint exit codes: 0 = no error-severity findings, 1 = error findings,
 // 2 = input file unreadable or not reconstructable.
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -57,7 +69,7 @@ Args parse(int argc, char** argv) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (key == "json" || key == "fuse") {  // boolean flags, consume no value
+      if (key == "json" || key == "fuse" || key == "bf16") {  // boolean flags
         args.flags[key] = "1";
         continue;
       }
@@ -343,6 +355,131 @@ int cmd_fuse(const Args& args) {
   return 0;
 }
 
+// Daydream-style what-if estimator over a profiled trace: load the
+// dependency-annotated Chrome trace, calibrate the per-op scheduling
+// surcharge against the measured span, apply the requested transforms, and
+// re-simulate. Nothing is executed; the prediction is pure arithmetic over
+// the measured durations.
+int cmd_whatif(const Args& args) {
+  const whatif::Trace trace = whatif::load_trace_file(args.positional.at(1));
+  const bool json = args.flags.count("json") != 0;
+
+  whatif::ResimOptions opt;
+  if (auto it = args.flags.find("overhead"); it != args.flags.end())
+    opt.overhead_seconds_per_op = args.number("overhead", 0);
+  else
+    opt.overhead_seconds_per_op = whatif::calibrate_overhead(trace);
+  const whatif::ResimResult baseline = whatif::resimulate(trace, opt);
+
+  // Transforms compose in a fixed order: kernel-class scaling, dtype
+  // traffic, fusion. Each maps trace -> trace, so the order only matters
+  // for readability of the transform description.
+  whatif::Trace t = trace;
+  std::vector<std::string> transforms;
+  if (auto it = args.flags.find("scale"); it != args.flags.end()) {
+    whatif::ScaleClass scale;
+    scale.op_type = it->second;
+    scale.speedup = args.number("speedup", 2.0);
+    t = whatif::scale_kernel_class(t, scale);
+    transforms.push_back("scale " + scale.op_type + " by " +
+                         util::format_sig(scale.speedup, 3) + "x");
+  }
+  if (args.flags.count("bf16") != 0) {
+    t = whatif::switch_dtype_traffic(t);
+    transforms.push_back("bf16 traffic");
+  }
+  if (args.flags.count("fuse") != 0) {
+    const auto model_it = args.flags.find("model");
+    if (model_it == args.flags.end())
+      throw std::invalid_argument(
+          "whatif --fuse needs --model <domain> (plus the --hidden/--batch "
+          "the trace was profiled with) to plan the fusion groups");
+    const auto spec = build_named(model_it->second);
+    const auto bind =
+        spec.bind(args.number("hidden", 32), args.number("batch", 4));
+    const auto groups = whatif::plan_fusion_groups(*spec.graph, bind, t);
+    whatif::FuseModelOptions fuse_opt;
+    fuse_opt.memory_weight = args.number("memory-weight", fuse_opt.memory_weight);
+    t = whatif::fuse_groups(t, groups, fuse_opt);
+    transforms.push_back("fuse " + std::to_string(groups.size()) + " groups (" +
+                         model_it->second + ")");
+  }
+  const int workers = static_cast<int>(args.number("workers", 0));
+  if (workers > 0) {
+    opt.placement = whatif::Placement::kGreedy;
+    opt.workers = workers;
+    transforms.push_back("replace onto " + std::to_string(workers) + " workers");
+  }
+  const whatif::ResimResult predicted = whatif::resimulate(t, opt);
+
+  std::string transform_desc;
+  for (const std::string& s : transforms)
+    transform_desc += (transform_desc.empty() ? "" : ", ") + s;
+  if (transform_desc.empty()) transform_desc = "identity";
+  const double identity_error =
+      trace.span_seconds() > 0
+          ? std::abs(baseline.makespan_seconds - trace.span_seconds()) /
+                trace.span_seconds()
+          : 0;
+  const double speedup = predicted.makespan_seconds > 0
+                             ? baseline.makespan_seconds / predicted.makespan_seconds
+                             : 0;
+
+  auto path_names = [&](const whatif::ResimResult& r, const whatif::Trace& src) {
+    std::vector<std::string> names;
+    names.reserve(r.critical_path.size());
+    for (std::size_t i : r.critical_path) names.push_back(src.ops[i].name);
+    return names;
+  };
+
+  if (json) {
+    std::cout << "{\"trace\": {\"ops\": " << trace.ops.size()
+              << ", \"workers\": " << trace.num_workers()
+              << ", \"spanSeconds\": " << trace.span_seconds()
+              << ", \"busySeconds\": " << trace.busy_seconds() << "},\n";
+    std::cout << " \"calibration\": {\"overheadSecondsPerOp\": "
+              << opt.overhead_seconds_per_op
+              << ", \"identityMakespanSeconds\": " << baseline.makespan_seconds
+              << ", \"identityRelativeError\": " << identity_error << "},\n";
+    std::cout << " \"whatif\": {\"transform\": \"" << transform_desc
+              << "\", \"ops\": " << t.ops.size()
+              << ", \"predictedMakespanSeconds\": " << predicted.makespan_seconds
+              << ", \"predictedSpeedup\": " << speedup
+              << ", \"criticalPathSeconds\": " << predicted.critical_path_seconds
+              << ", \"criticalPath\": [";
+    const auto names = path_names(predicted, t);
+    for (std::size_t i = 0; i < names.size(); ++i)
+      std::cout << (i ? ", " : "") << '"' << names[i] << '"';
+    std::cout << "]}}\n";
+    return 0;
+  }
+
+  util::Table table({"quantity", "value"});
+  table.add_row({"trace ops", std::to_string(trace.ops.size())});
+  table.add_row({"trace workers", std::to_string(trace.num_workers())});
+  table.add_row({"measured span", util::format_duration(trace.span_seconds(), 3)});
+  table.add_row({"measured busy", util::format_duration(trace.busy_seconds(), 3)});
+  table.add_row({"calibrated overhead/op",
+                 util::format_duration(opt.overhead_seconds_per_op, 3)});
+  table.add_row({"identity re-sim", util::format_duration(baseline.makespan_seconds, 3) +
+                                        " (err " +
+                                        util::format_percent(identity_error) + ")"});
+  table.add_row({"transform", transform_desc});
+  table.add_row({"predicted ops", std::to_string(t.ops.size())});
+  table.add_row({"predicted step", util::format_duration(predicted.makespan_seconds, 3)});
+  table.add_row({"predicted speedup", util::format_sig(speedup, 4) + "x"});
+  table.add_row(
+      {"predicted critical path", util::format_duration(predicted.critical_path_seconds, 3)});
+  table.print(std::cout);
+  const auto names = path_names(predicted, t);
+  std::cout << "critical path (" << names.size() << " ops):";
+  const std::size_t shown = std::min<std::size_t>(names.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) std::cout << ' ' << names[i];
+  if (shown < names.size()) std::cout << " ... " << names.back();
+  std::cout << "\n";
+  return 0;
+}
+
 // Static analysis over built-in models or a serialized graph file.
 // Exit codes: 0 clean (warnings/notes allowed), 1 error-severity findings,
 // 2 file unreadable or not reconstructable.
@@ -417,7 +554,7 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
                    "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint|"
-                   "memplan|fuse> ...\n";
+                   "memplan|fuse|whatif> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -432,6 +569,7 @@ int main(int argc, char** argv) {
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "memplan") return cmd_memplan(args);
     if (cmd == "fuse") return cmd_fuse(args);
+    if (cmd == "whatif") return cmd_whatif(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

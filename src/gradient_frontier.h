@@ -18,6 +18,7 @@
 //   gf::plan      allreduce, data/layer parallelism, Table-5 case study
 //   gf::verify    static-analysis passes (lint) over the graph IR
 //   gf::rt        numeric executor + TFprof-style profiler
+//   gf::whatif    Daydream-style what-if trace re-simulation
 #pragma once
 
 #include "src/analysis/first_order.h"
@@ -45,3 +46,6 @@
 #include "src/util/format.h"
 #include "src/util/table.h"
 #include "src/verify/pass.h"
+#include "src/whatif/resim.h"
+#include "src/whatif/trace.h"
+#include "src/whatif/transform.h"

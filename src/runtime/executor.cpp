@@ -477,6 +477,14 @@ ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
   // is bitwise-identical no matter which workers retired which ops when.
   ProfileReport report;
   report.timeline.reserve(slots.size());
+  // Invert the scheduling DAG actually in force (the plan's reuse edges
+  // included when planning is active) so every event records the ops it
+  // waited on; with them the trace is replayable offline (src/whatif/).
+  const std::vector<std::vector<std::size_t>>& successors =
+      plan_active_ ? planned_successors_ : dag_.successors;
+  std::vector<std::vector<std::size_t>> predecessors(slots.size());
+  for (std::size_t i = 0; i < successors.size(); ++i)
+    for (std::size_t s : successors[i]) predecessors[s].push_back(i);
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const OpSlot& s = slots[i];
     const ir::Op* op = dag_.order[i];
@@ -484,6 +492,7 @@ ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
                s.end_seconds - s.start_seconds);
     TimelineEvent event{op->name(), op->type(), i, s.worker, s.start_seconds,
                         s.end_seconds, s.stats.flops, s.stats.bytes};
+    event.deps = std::move(predecessors[i]);  // ascending: i filled in order
     if (plan_active_) {
       // Surface where the op's first planned output landed in the slab.
       for (const ir::Tensor* out : op->outputs()) {

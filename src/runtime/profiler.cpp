@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <vector>
 
@@ -75,7 +76,13 @@ void ProfileReport::print(std::ostream& os) const {
 }
 
 void ProfileReport::write_chrome_trace(std::ostream& os) const {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Timestamps and byte/FLOP counts must survive a write -> load round trip
+  // (whatif::load_trace re-simulates from them), so print doubles at full
+  // precision for the duration of this call.
+  const std::streamsize saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"displayTimeUnit\":\"ms\",\"gfTraceVersion\":" << kGfTraceVersion
+     << ",\"wallSeconds\":" << wall_seconds << ",\"traceEvents\":[";
   bool first = true;
   for (const TimelineEvent& e : timeline) {
     if (!first) os << ",";
@@ -87,12 +94,17 @@ void ProfileReport::write_chrome_trace(std::ostream& os) const {
        << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6
        << ",\"args\":{\"op_index\":" << e.op_index << ",\"flops\":" << e.flops
        << ",\"bytes\":" << e.bytes << ",\"gflops\":" << e.achieved_gflops();
+    os << ",\"deps\":[";
+    for (std::size_t i = 0; i < e.deps.size(); ++i)
+      os << (i ? "," : "") << e.deps[i];
+    os << "]";
     if (e.slab_offset >= 0)
       os << ",\"slab_offset\":" << e.slab_offset
          << ",\"reuse_generation\":" << e.reuse_generation;
     os << "}}";
   }
   os << "]}\n";
+  os.precision(saved_precision);
 }
 
 }  // namespace gf::rt

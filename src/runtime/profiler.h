@@ -14,6 +14,12 @@
 
 namespace gf::rt {
 
+/// Version stamp of the Chrome-trace JSON written by
+/// ProfileReport::write_chrome_trace (top-level "gfTraceVersion" key).
+/// whatif::load_trace refuses traces whose version it does not know, so
+/// format drift breaks loudly instead of silently mis-simulating.
+inline constexpr int kGfTraceVersion = 1;
+
 struct OpTypeProfile {
   std::size_t count = 0;
   double flops = 0;
@@ -40,6 +46,13 @@ struct TimelineEvent {
   /// decisions visible in `gfctl trace`.
   std::int64_t slab_offset = -1;
   std::int64_t reuse_generation = -1;
+  /// Scheduling predecessors: op_index values of the ops this one waited
+  /// on (the executor's DAG edges, including the memory plan's reuse edges
+  /// when a plan is active). Sorted ascending; every entry < op_index.
+  /// Exported into the trace args so a profile is replayable — the what-if
+  /// simulator reconstructs the dependency graph without re-running the
+  /// model.
+  std::vector<std::size_t> deps;
 
   /// Achieved compute rate of this op, the metric the paper's Fig. 9 frames
   /// utilization in. Zero-duration or zero-flop events report 0.

@@ -373,7 +373,12 @@ TEST(ChromeTrace, EmitsOneDurationEventPerOp) {
   std::ostringstream os;
   report.write_chrome_trace(os);
   const std::string json = os.str();
-  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  // Header carries the trace-format version so whatif::load_trace can
+  // reject drifted exports.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"gfTraceVersion\":" +
+                           std::to_string(kGfTraceVersion) + ",\"wallSeconds\":",
+                       0),
+            0u);
 
   std::size_t events = 0;
   for (std::size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;

@@ -1,11 +1,14 @@
 #include "src/ir/fusion.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/ir/ops.h"
+#include "src/ir/semantics.h"
 
 namespace gf::ir {
 namespace {
@@ -349,9 +352,19 @@ void fuse_pointwise_chains(Graph& g, FusionResult& result) {
     }
 
     Tensor* root_out = group.root->output(0);
-    Op* fused = g.add_op<FusedPointwiseOp>(group.root->name() + ":fused", ext_inputs,
-                                           std::move(program), root_out->shape(),
-                                           root_out);
+    // Mint the translation-validation certificate while the source
+    // subgraph is still wired: the canonical per-element semantics of the
+    // chain being replaced, rendered over the external inputs. The equiv
+    // pass later re-derives the *program's* semantics and demands the two
+    // agree, so a rewriter bug that conserves FLOPs but changes the math
+    // is still caught.
+    std::string cert;
+    if (const auto sem = pointwise_subgraph_semantics(root_out, ext_inputs))
+      cert = sem->str();
+    auto* fused = g.add_op<FusedPointwiseOp>(group.root->name() + ":fused", ext_inputs,
+                                             std::move(program), root_out->shape(),
+                                             root_out);
+    if (!cert.empty()) fused->set_certificate(std::move(cert));
     // The fused op takes the EARLIEST member's schedule slot (the tiebreak
     // in topological_order is list position; dependencies still gate it).
     // Running as soon as the externals exist frees all of them at one

@@ -32,6 +32,11 @@ TrainingStepResult build_training_step(Graph& graph, Tensor* loss,
 
   const std::size_t ops_before = graph.num_ops();
 
+  // The loss is the result the training loop reads back each step; mark
+  // it so the deadcode lint knows it is a sink even though nothing in the
+  // graph consumes it.
+  graph.mark_output(loss);
+
   // Snapshot the forward schedule before appending anything.
   const std::vector<const Op*> forward_order = graph.topological_order();
 
@@ -93,6 +98,31 @@ TrainingStepResult build_training_step(Graph& graph, Tensor* loss,
     gw->set_role(TensorRole::kWeightGradient);
     graph.add_op<ApplyGradientOp>("update_" + w->name(), w, gw, options.optimizer);
     result.weight_gradients.emplace(w, gw);
+  }
+
+  // Backward builders emit every input gradient an op can produce, but a
+  // gradient that only flows into a non-trainable producerless tensor —
+  // the batch input, an initial recurrent state — has no consumer: dead
+  // compute that would inflate every FLOP/byte table (and trip the
+  // deadcode lint). Peel those chains off the ops this builder added.
+  // Consumers are always appended after their producers, so one reverse
+  // sweep removes a whole chain; the outer loop catches stragglers.
+  for (bool removed = true; removed;) {
+    removed = false;
+    for (std::size_t i = graph.num_ops(); i-- > ops_before;) {
+      Op* op = graph.ops()[i].get();
+      if (op->type() == OpType::kApplyGradient || op->outputs().empty()) continue;
+      const bool used =
+          std::any_of(op->outputs().begin(), op->outputs().end(), [&](Tensor* o) {
+            return !o->consumers().empty() || graph.is_output(o) ||
+                   o->role() == TensorRole::kWeightGradient;
+          });
+      if (used) continue;
+      for (Tensor* in : op->inputs()) in->remove_consumer(op);
+      for (Tensor* o : op->outputs()) graph.remove_tensor(o);
+      graph.remove_op(op);
+      removed = true;
+    }
   }
 
   result.ops_added = graph.num_ops() - ops_before;

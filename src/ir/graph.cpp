@@ -56,12 +56,29 @@ void Graph::move_op_before(const Op* op, const Op* anchor) {
 void Graph::remove_tensor(const Tensor* tensor) {
   for (auto it = tensors_.begin(); it != tensors_.end(); ++it) {
     if (it->get() == tensor) {
+      outputs_.erase(std::remove(outputs_.begin(), outputs_.end(), tensor),
+                     outputs_.end());
       tensors_.erase(it);
       return;
     }
   }
   throw std::logic_error("graph '" + name_ +
                          "': remove_tensor of a tensor it does not own");
+}
+
+void Graph::mark_output(const Tensor* tensor) {
+  if (tensor == nullptr)
+    throw std::invalid_argument("graph '" + name_ + "': mark_output of null tensor");
+  const bool owned = std::any_of(tensors_.begin(), tensors_.end(),
+                                 [tensor](const auto& t) { return t.get() == tensor; });
+  if (!owned)
+    throw std::invalid_argument("graph '" + name_ +
+                                "': mark_output of a tensor it does not own");
+  if (!is_output(tensor)) outputs_.push_back(tensor);
+}
+
+bool Graph::is_output(const Tensor* tensor) const {
+  return std::find(outputs_.begin(), outputs_.end(), tensor) != outputs_.end();
 }
 
 std::vector<Tensor*> Graph::weights() const {

@@ -60,6 +60,16 @@ class Graph {
   /// footprint — silently degrades.
   void move_op_before(const Op* op, const Op* anchor);
 
+  /// Marks a tensor as a retained graph output: a result the caller reads
+  /// after the step (the training loss, an inference logit tensor). The
+  /// deadcode lint treats marked outputs as sinks — anything that cannot
+  /// reach one (or a weight update) is provably wasted compute — and the
+  /// serializer records them. Idempotent; throws std::invalid_argument if
+  /// the tensor is null or not owned by this graph.
+  void mark_output(const Tensor* tensor);
+  const std::vector<const Tensor*>& outputs() const { return outputs_; }
+  bool is_output(const Tensor* tensor) const;
+
   /// Tensor-id counter control, used by ir::clone_graph after it rewrites
   /// clone tensor ids to match the originals.
   int next_tensor_id() const { return next_tensor_id_; }
@@ -108,6 +118,7 @@ class Graph {
   std::string name_;
   std::vector<std::unique_ptr<Tensor>> tensors_;
   std::vector<std::unique_ptr<Op>> ops_;
+  std::vector<const Tensor*> outputs_;
   int next_tensor_id_ = 0;
   DataType default_float_dtype_ = DataType::kFloat32;
 };

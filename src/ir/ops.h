@@ -216,12 +216,24 @@ class FusedPointwiseOp final : public Op {
   /// flops() must agree; the "fusion" verify pass checks exactly that).
   sym::Expr derive_flops() const;
 
+  /// Translation-validation certificate: the canonical per-element
+  /// semantics (src/ir/semantics.h) of the *source subgraph* this op
+  /// replaced, minted by ir::fuse_graph before the members were unwired
+  /// and carried verbatim through serialization. The "equiv" verify pass
+  /// re-derives the program's semantics and diffs it against this string,
+  /// so a program edited out from under its certificate — or a tampered
+  /// serialized file — is caught without re-running the fuser. Empty for
+  /// hand-built ops (nothing was replaced, nothing to certify).
+  const std::string& certificate() const { return certificate_; }
+  void set_certificate(std::string cert) { certificate_ = std::move(cert); }
+
   sym::Expr flops() const override { return flops_; }
   sym::Expr bytes_accessed() const override { return bytes_; }
   std::vector<Tensor*> build_backward(const std::vector<Tensor*>&) override;
 
  private:
   std::vector<FusedInstr> program_;
+  std::string certificate_;
   sym::Expr flops_{0.0};
   sym::Expr bytes_{0.0};
 };

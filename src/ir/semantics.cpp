@@ -1,0 +1,140 @@
+#include "src/ir/semantics.h"
+
+#include <stdexcept>
+
+namespace gf::ir {
+namespace {
+
+using sym::Expr;
+
+/// Uninterpreted nonlinear term: a symbol whose name is the canonical
+/// rendering of the application, so structurally equal arguments produce
+/// the same symbol.
+Expr opaque(const char* fn, const std::vector<Expr>& args) {
+  std::string name(fn);
+  name += "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += args[i].str();
+  }
+  name += ")";
+  return Expr::symbol(std::move(name));
+}
+
+void require_arity(PointwiseFn fn, std::size_t got, std::size_t want) {
+  if (got != want)
+    throw std::invalid_argument(std::string("pointwise_fn_semantics: ") +
+                                pointwise_fn_name(fn) + " expects " +
+                                std::to_string(want) + " args, got " +
+                                std::to_string(got));
+}
+
+}  // namespace
+
+Expr pointwise_fn_semantics(PointwiseFn fn, const std::vector<Expr>& args,
+                            const Expr& alpha) {
+  switch (fn) {
+    case PointwiseFn::kAdd:
+      require_arity(fn, args.size(), 2);
+      return args[0] + args[1];
+    case PointwiseFn::kSub:
+      require_arity(fn, args.size(), 2);
+      return args[0] - args[1];
+    case PointwiseFn::kMul:
+      require_arity(fn, args.size(), 2);
+      return args[0] * args[1];
+    case PointwiseFn::kAddN: {
+      if (args.size() < 2)
+        throw std::invalid_argument("pointwise_fn_semantics: add_n expects >= 2 args");
+      return sym::make_add(args);
+    }
+    case PointwiseFn::kOneMinus:
+      require_arity(fn, args.size(), 1);
+      return Expr(1.0) - args[0];
+    case PointwiseFn::kScale:
+      require_arity(fn, args.size(), 1);
+      return alpha * args[0];
+    case PointwiseFn::kIdentity:
+      require_arity(fn, args.size(), 1);
+      return args[0];
+    case PointwiseFn::kRelu:
+      require_arity(fn, args.size(), 1);
+      return sym::max(args[0], Expr(0.0));
+    case PointwiseFn::kSigmoid:
+      require_arity(fn, args.size(), 1);
+      return opaque("sigmoid", args);
+    case PointwiseFn::kTanh:
+      require_arity(fn, args.size(), 1);
+      return opaque("tanh", args);
+    case PointwiseFn::kSigmoidGrad:
+      require_arity(fn, args.size(), 2);
+      return opaque("sigmoid_grad", args);
+    case PointwiseFn::kTanhGrad:
+      require_arity(fn, args.size(), 2);
+      return opaque("tanh_grad", args);
+    case PointwiseFn::kReluGrad:
+      require_arity(fn, args.size(), 2);
+      return opaque("relu_grad", args);
+  }
+  throw std::logic_error("pointwise_fn_semantics: unknown pointwise fn");
+}
+
+Expr fused_program_semantics(const std::vector<FusedInstr>& program,
+                             std::size_t num_inputs) {
+  if (program.empty())
+    throw std::invalid_argument("fused_program_semantics: empty program");
+  std::vector<Expr> vals;
+  vals.reserve(num_inputs + program.size());
+  for (std::size_t i = 0; i < num_inputs; ++i)
+    vals.push_back(Expr::symbol("x" + std::to_string(i)));
+  for (const FusedInstr& instr : program) {
+    std::vector<Expr> args;
+    args.reserve(instr.args.size());
+    for (const int a : instr.args) {
+      if (a < 0 || static_cast<std::size_t>(a) >= vals.size())
+        throw std::invalid_argument(
+            "fused_program_semantics: operand index out of range");
+      args.push_back(vals[static_cast<std::size_t>(a)]);
+    }
+    vals.push_back(pointwise_fn_semantics(instr.fn, args, instr.alpha));
+  }
+  return vals.back();
+}
+
+std::optional<Expr> pointwise_subgraph_semantics(
+    const Tensor* out, const std::vector<Tensor*>& externals) {
+  // Recursive descent; the subgraphs fuse_graph forms are bounded by
+  // kMaxInstrs members, so no memoization is needed.
+  struct Walker {
+    const std::vector<Tensor*>& externals;
+
+    std::optional<Expr> go(const Tensor* t) const {
+      for (std::size_t i = 0; i < externals.size(); ++i)
+        if (externals[i] == t) return Expr::symbol("x" + std::to_string(i));
+      const Op* p = t->producer();
+      if (p == nullptr) return std::nullopt;
+      if (p->type() == OpType::kBroadcast) return go(p->input(0));
+      if (p->type() == OpType::kBiasAdd) {
+        const auto a = go(p->input(0));
+        const auto b = go(p->input(1));
+        if (!a || !b) return std::nullopt;
+        return *a + *b;
+      }
+      if (p->type() == OpType::kPointwise) {
+        const auto* pw = static_cast<const PointwiseOp*>(p);
+        std::vector<Expr> args;
+        args.reserve(p->inputs().size());
+        for (const Tensor* in : p->inputs()) {
+          const auto v = go(in);
+          if (!v) return std::nullopt;
+          args.push_back(*v);
+        }
+        return pointwise_fn_semantics(pw->fn(), args, pw->scale_alpha());
+      }
+      return std::nullopt;
+    }
+  };
+  return Walker{externals}.go(out);
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,56 @@
+// Canonical per-element semantics of pointwise computations, the
+// foundation of translation validation for ir::fuse_graph (the "equiv"
+// verify pass).
+//
+// A pointwise subgraph and the FusedPointwiseOp program that replaces it
+// both denote a scalar function of their external inputs. Both sides are
+// interpreted into a sym::Expr over placeholder symbols x0..x{n-1} (one
+// per external input, in operand order): polynomial structure (add, sub,
+// mul, add_n, scale, one_minus) maps onto the canonicalizing Expr
+// constructors, relu maps onto max(x, 0), and the remaining nonlinear
+// functions become uninterpreted terms — symbols whose names embed the
+// canonical rendering of their arguments, so sigmoid(a+b) and
+// sigmoid(b+a) unify while sigmoid(a) and tanh(a) stay distinct. Because
+// Expr construction canonicalizes, two programs are accepted as
+// equivalent exactly when their denotations agree up to the algebra the
+// symbolic layer already proves (commutativity, associativity, constant
+// folding, like-term collection).
+//
+// fuse_graph() mints a certificate — the rendered semantics of the
+// *source subgraph* — before unwiring it, and stores it on the fused op
+// (serialized verbatim as `attr cert`). The "equiv" pass later re-derives
+// the semantics of the *program* and compares strings: no trust in the
+// rewriter, no re-running it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/ops.h"
+
+namespace gf::ir {
+
+/// Denotation of one pointwise function application. `alpha` is the
+/// kScale multiplier (ignored for other functions). Throws
+/// std::invalid_argument on arity mismatch, like the ops themselves.
+sym::Expr pointwise_fn_semantics(PointwiseFn fn, const std::vector<sym::Expr>& args,
+                                 const sym::Expr& alpha);
+
+/// Denotation of a fused program over placeholders x0..x{num_inputs-1}.
+sym::Expr fused_program_semantics(const std::vector<FusedInstr>& program,
+                                  std::size_t num_inputs);
+inline sym::Expr fused_program_semantics(const FusedPointwiseOp& op) {
+  return fused_program_semantics(op.program(), op.inputs().size());
+}
+
+/// Denotation of the live pointwise subgraph computing `out` from the
+/// `externals` (which become x0..x{n-1} by position). Walks producers
+/// through PointwiseOp/BiasAddOp and absorbs BroadcastOp feeders, exactly
+/// the vocabulary fuse_graph collapses. Returns nullopt if the walk
+/// reaches a tensor that is neither external nor produced by that
+/// vocabulary — such a subgraph is not certifiable.
+std::optional<sym::Expr> pointwise_subgraph_semantics(
+    const Tensor* out, const std::vector<Tensor*>& externals);
+
+}  // namespace gf::ir

@@ -203,6 +203,11 @@ void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
           os << "attr a" << j << ' ' << sym::to_sexpr(instr.alpha) << '\n';
       }
       os << "attr shape " << shape_payload(op.output(0)->shape()) << '\n';
+      // The translation-validation certificate rides along verbatim (it
+      // is the rendered semantics of the replaced subgraph, minted by
+      // fuse_graph); the equiv pass re-derives the program's semantics on
+      // load and diffs, so tampering with either side is detectable.
+      if (!f.certificate().empty()) os << "attr cert " << f.certificate() << '\n';
       break;
     }
     default:
@@ -247,6 +252,15 @@ class Reader {
         std::string role;
         if (!(ss >> id >> role)) fail("malformed retag record");
         tensor(id)->set_role(role_from(role));
+      } else if (kind == "output") {
+        if (have_op) {
+          apply_op(*graph, pending);
+          have_op = false;
+        }
+        std::istringstream ss(payload);
+        int id;
+        if (!(ss >> id)) fail("malformed output record");
+        graph->mark_output(tensor(id));
       } else if (kind == "op") {
         if (have_op) apply_op(*graph, pending);
         pending = OpRecord{};
@@ -399,8 +413,11 @@ class Reader {
           instr.alpha = sym::parse_sexpr(it->second);
         program.push_back(std::move(instr));
       }
-      return g.add_op<FusedPointwiseOp>(r.name, std::move(inputs),
-                                       std::move(program), attr_shape(r));
+      auto* fp = g.add_op<FusedPointwiseOp>(r.name, std::move(inputs),
+                                            std::move(program), attr_shape(r));
+      if (auto it = r.attrs.find("cert"); it != r.attrs.end())
+        fp->set_certificate(it->second);
+      return fp;
     }
     if (t == "EmbeddingLookup") return g.add_op<EmbeddingLookupOp>(r.name, in(0), in(1));
     if (t == "EmbeddingGrad")
@@ -493,6 +510,8 @@ void serialize(const Graph& graph, std::ostream& os) {
   for (const auto& t : graph.tensors())
     if (t->producer() != nullptr && t->role() != TensorRole::kActivation)
       os << "retag " << ids.at(t.get()) << ' ' << role_name(t->role()) << '\n';
+  // Marked graph outputs (deadcode-lint sinks). Absent in older files.
+  for (const Tensor* t : graph.outputs()) os << "output " << ids.at(t) << '\n';
 }
 
 std::string serialize(const Graph& graph) {

@@ -1,0 +1,255 @@
+#include "src/ir/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gf::ir {
+namespace {
+
+using sym::Interval;
+
+double sigmoid(double v) {
+  if (v >= 0) return 1.0 / (1.0 + std::exp(-v));
+  const double e = std::exp(v);
+  return e / (1.0 + e);
+}
+
+/// Saturating monotone map: clamp the bounds through `f` into the image
+/// [img_lo, img_hi]. Both infinities land on finite image endpoints, so
+/// the Inf flags are consumed; NaN passes through.
+Interval saturate(const Interval& a, double (*f)(double), double img_lo, double img_hi) {
+  Interval r;
+  r.lo = a.may_be_neg_inf ? img_lo : std::clamp(f(a.lo), img_lo, img_hi);
+  r.hi = a.may_be_pos_inf ? img_hi : std::clamp(f(a.hi), img_lo, img_hi);
+  r.may_be_nan = a.may_be_nan;
+  return r;
+}
+
+Interval relu_interval(const Interval& a) {
+  Interval r;
+  r.lo = std::max(a.lo, 0.0);
+  r.hi = std::max(a.hi, 0.0);
+  r.may_be_nan = a.may_be_nan;
+  r.may_be_pos_inf = a.may_be_pos_inf;  // relu(-Inf) = 0: the flag is consumed
+  r.excludes_zero = a.strictly_positive();
+  return r;
+}
+
+/// Result of an inner-product-like contraction: any finite real is
+/// attainable, NaN/Inf inputs contaminate, and accumulating Infs of
+/// either sign can cancel into NaN.
+Interval contraction(const std::vector<Interval>& in) {
+  Interval r = Interval::top();
+  bool any_inf = false;
+  for (const Interval& i : in) {
+    r.may_be_nan = r.may_be_nan || i.may_be_nan;
+    any_inf = any_inf || i.may_be_pos_inf || i.may_be_neg_inf;
+  }
+  if (any_inf) {
+    r.may_be_pos_inf = r.may_be_neg_inf = true;
+    r.may_be_nan = true;
+  }
+  return r;
+}
+
+/// Softmax-family NaN rule: a +Inf (or NaN) logit yields NaN even with
+/// max-subtraction, since x - max(x) becomes Inf - Inf.
+bool softmax_nan(const Interval& logits) {
+  return logits.may_be_nan || logits.may_be_pos_inf;
+}
+
+void require_arity(std::size_t got, std::size_t want, const char* who) {
+  if (got != want)
+    throw std::invalid_argument(std::string(who) + ": wrong interval arity");
+}
+
+}  // namespace
+
+double dtype_finite_max(DataType dtype) {
+  switch (dtype) {
+    case DataType::kFloat32:
+      return 3.4028234663852886e38;
+    case DataType::kFloat16:
+      return 65504.0;
+    case DataType::kInt32:
+    case DataType::kInt64:
+      return HUGE_VAL;
+  }
+  return HUGE_VAL;
+}
+
+Interval pointwise_interval(PointwiseFn fn, const std::vector<Interval>& args,
+                            const sym::Expr& alpha) {
+  switch (fn) {
+    case PointwiseFn::kAdd:
+      require_arity(args.size(), 2, "add");
+      return args[0] + args[1];
+    case PointwiseFn::kSub:
+      require_arity(args.size(), 2, "sub");
+      return args[0] - args[1];
+    case PointwiseFn::kMul:
+      require_arity(args.size(), 2, "mul");
+      return args[0] * args[1];
+    case PointwiseFn::kAddN: {
+      Interval acc = Interval::constant(0.0);
+      for (const Interval& a : args) acc = acc + a;
+      return acc;
+    }
+    case PointwiseFn::kSigmoid:
+      require_arity(args.size(), 1, "sigmoid");
+      return saturate(args[0], sigmoid, 0.0, 1.0);
+    case PointwiseFn::kTanh:
+      require_arity(args.size(), 1, "tanh");
+      return saturate(args[0], std::tanh, -1.0, 1.0);
+    case PointwiseFn::kRelu:
+      require_arity(args.size(), 1, "relu");
+      return relu_interval(args[0]);
+    case PointwiseFn::kOneMinus:
+      require_arity(args.size(), 1, "one_minus");
+      return Interval::constant(1.0) - args[0];
+    case PointwiseFn::kScale:
+      require_arity(args.size(), 1, "scale");
+      return sym::interval_of(alpha) * args[0];
+    case PointwiseFn::kIdentity:
+      require_arity(args.size(), 1, "identity");
+      return args[0];
+    case PointwiseFn::kSigmoidGrad:
+      // dy * y * (1 - y), with y the cached sigmoid output.
+      require_arity(args.size(), 2, "sigmoid_grad");
+      return args[1] * args[0] * (Interval::constant(1.0) - args[0]);
+    case PointwiseFn::kTanhGrad:
+      require_arity(args.size(), 2, "tanh_grad");
+      return args[1] * (Interval::constant(1.0) - args[0] * args[0]);
+    case PointwiseFn::kReluGrad:
+      // dy * [y > 0]: the mask is in {0, 1}.
+      require_arity(args.size(), 2, "relu_grad");
+      return args[1] * Interval::bounded(0.0, 1.0);
+  }
+  throw std::logic_error("pointwise_interval: unknown pointwise fn");
+}
+
+std::vector<Interval> transfer_intervals(const Op& op,
+                                         const std::vector<Interval>& in) {
+  if (in.size() != op.inputs().size())
+    throw std::invalid_argument("transfer_intervals: input arity mismatch for op '" +
+                                op.name() + "'");
+  switch (op.type()) {
+    case OpType::kPointwise: {
+      const auto& pw = static_cast<const PointwiseOp&>(op);
+      return {pointwise_interval(pw.fn(), in, pw.scale_alpha())};
+    }
+    case OpType::kFusedPointwise: {
+      const auto& f = static_cast<const FusedPointwiseOp&>(op);
+      std::vector<Interval> vals = in;
+      for (const FusedInstr& instr : f.program()) {
+        std::vector<Interval> args;
+        args.reserve(instr.args.size());
+        for (const int a : instr.args) args.push_back(vals.at(static_cast<std::size_t>(a)));
+        vals.push_back(pointwise_interval(instr.fn, args, instr.alpha));
+      }
+      return {vals.back()};
+    }
+    case OpType::kBiasAdd:
+      return {in.at(0) + in.at(1)};
+    case OpType::kMatMul: {
+      Interval r = contraction(in);
+      const auto& mm = static_cast<const MatMulOp&>(op);
+      switch (mm.epilogue_activation()) {
+        case PointwiseFn::kSigmoid:
+          r = saturate(r, sigmoid, 0.0, 1.0);
+          break;
+        case PointwiseFn::kTanh:
+          r = saturate(r, std::tanh, -1.0, 1.0);
+          break;
+        case PointwiseFn::kRelu:
+          r = relu_interval(r);
+          break;
+        default:
+          break;
+      }
+      return {r};
+    }
+    case OpType::kSoftmax: {
+      Interval r = Interval::bounded(0.0, 1.0);
+      r.may_be_nan = softmax_nan(in.at(0));
+      return {r};
+    }
+    case OpType::kSoftmaxXent: {
+      Interval loss = Interval::bounded(0.0, HUGE_VAL);  // -log p >= 0
+      loss.may_be_nan = softmax_nan(in.at(0));
+      Interval probs = Interval::bounded(0.0, 1.0);
+      probs.may_be_nan = loss.may_be_nan;
+      return {loss, probs};
+    }
+    case OpType::kSoftmaxXentGrad:
+      // (probs - onehot) * dloss with probs in [0, 1].
+      return {(in.at(0) + Interval::bounded(-1.0, 0.0)) * in.at(2)};
+    case OpType::kReduce: {
+      const auto& red = static_cast<const ReduceOp&>(op);
+      const Interval& a = in.at(0);
+      Interval r = Interval::top();
+      if (red.reduce_kind() == ReduceKind::kMean) {
+        // The mean stays within the hull of the inputs.
+        r.lo = a.lo;
+        r.hi = a.hi;
+      } else {
+        // A sum of >= 1 terms keeps a one-sided sign bound only.
+        if (a.lo >= 0.0) r.lo = a.lo;
+        if (a.hi <= 0.0) r.hi = a.hi;
+      }
+      r.may_be_pos_inf = a.may_be_pos_inf;
+      r.may_be_neg_inf = a.may_be_neg_inf;
+      r.may_be_nan = a.may_be_nan || (a.may_be_pos_inf && a.may_be_neg_inf);
+      return {r};
+    }
+    case OpType::kEmbeddingGrad: {
+      // Scatter-add: rows no id touches stay 0; touched rows accumulate.
+      const Interval& g = in.at(1);
+      Interval r = Interval::top();
+      if (g.lo >= 0.0) r.lo = 0.0;
+      if (g.hi <= 0.0) r.hi = 0.0;
+      r.may_be_pos_inf = g.may_be_pos_inf;
+      r.may_be_neg_inf = g.may_be_neg_inf;
+      r.may_be_nan = g.may_be_nan || (g.may_be_pos_inf && g.may_be_neg_inf);
+      return {r};
+    }
+    case OpType::kEmbeddingLookup:
+      return {in.at(0)};
+    case OpType::kPool: {
+      // Max keeps the hull; avg too, but averaging mixed Infs makes NaN.
+      Interval r = in.at(0);
+      r.excludes_zero = false;  // a window may straddle values
+      if (static_cast<const PoolOp&>(op).pool_kind() == PoolKind::kAvg)
+        r.may_be_nan = r.may_be_nan || (r.may_be_pos_inf && r.may_be_neg_inf);
+      return {r};
+    }
+    case OpType::kPoolGrad:
+      return {contraction(in)};
+    case OpType::kBroadcast:
+    case OpType::kReshape:
+    case OpType::kSlice:
+      return {in.at(0)};
+    case OpType::kSplit:
+      return std::vector<Interval>(op.outputs().size(), in.at(0));
+    case OpType::kConcat: {
+      Interval r = in.at(0);
+      for (std::size_t i = 1; i < in.size(); ++i) r = sym::join(r, in[i]);
+      return {r};
+    }
+    case OpType::kConv2D:
+    case OpType::kConv2DGradInput:
+    case OpType::kConv2DGradFilter:
+    case OpType::kSoftmaxGrad:
+    case OpType::kBatchNorm:
+      return {contraction(in)};
+    case OpType::kBatchNormGrad:
+      return std::vector<Interval>(op.outputs().size(), contraction(in));
+    case OpType::kApplyGradient:
+      return {};
+  }
+  // Unknown op type: conservative, one top-with-flags per output.
+  return std::vector<Interval>(op.outputs().size(), contraction(in));
+}
+
+}  // namespace gf::ir

@@ -1,0 +1,40 @@
+// Per-op transfer functions for the interval value-range domain: given
+// intervals (src/symbolic/interval.h) for an op's input tensors, the
+// intervals of its output tensors. This is the abstract-interpretation
+// counterpart of the kernels in src/runtime/ and lives in ir so both the
+// verify-side dataflow engine (src/verify/dataflow.h) and any future
+// codegen can consume the same facts.
+//
+// Transfer functions are deliberately conservative about magnitude
+// (contractions are "unbounded but finite") and precise about structure:
+// saturating functions clamp to their images (sigmoid to [0, 1], relu
+// drops -Inf), IEEE special values propagate by the real rules (Inf - Inf
+// and 0 * Inf make NaN, softmax of a +Inf logit makes NaN through
+// max-subtraction), and fused programs are interpreted instruction by
+// instruction over intervals.
+#pragma once
+
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/symbolic/interval.h"
+
+namespace gf::ir {
+
+/// Largest finite value of the element type; HUGE_VAL for integral types
+/// (which never round to Inf in this IR). The range lint compares derived
+/// finite bounds against this to prove overflow.
+double dtype_finite_max(DataType dtype);
+
+/// Interval transfer of one pointwise function application. `alpha` is
+/// the kScale multiplier. Arity must match the function.
+sym::Interval pointwise_interval(PointwiseFn fn, const std::vector<sym::Interval>& args,
+                                 const sym::Expr& alpha);
+
+/// Forward transfer for `op`: `in[i]` is the interval of input tensor i;
+/// returns one interval per output tensor (empty for sink ops). `in`
+/// must match the op's input count.
+std::vector<sym::Interval> transfer_intervals(const Op& op,
+                                              const std::vector<sym::Interval>& in);
+
+}  // namespace gf::ir

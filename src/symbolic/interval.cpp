@@ -1,0 +1,236 @@
+#include "src/symbolic/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gf::sym {
+namespace {
+
+bool unbounded(double v) { return std::isinf(v); }
+
+/// Bound addition: an unbounded bound absorbs (and -HUGE + HUGE cannot
+/// occur between two lower or two upper bounds of well-formed intervals).
+double add_bound(double a, double b) {
+  if (unbounded(a)) return a;
+  if (unbounded(b)) return b;
+  return a + b;
+}
+
+/// Bound product with the convention 0 * unbounded = 0: the bounds track
+/// attainable finite values, so the absorbing element is real zero, not
+/// the IEEE NaN that 0 * inf would produce.
+double mul_bound(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+Interval Interval::constant(double v) {
+  Interval r;
+  if (std::isnan(v)) {
+    r.lo = 0.0;
+    r.hi = 0.0;
+    r.may_be_nan = true;
+    return r;
+  }
+  if (std::isinf(v)) {
+    r.lo = 0.0;
+    r.hi = 0.0;
+    (v > 0 ? r.may_be_pos_inf : r.may_be_neg_inf) = true;
+    return r;
+  }
+  r.lo = v;
+  r.hi = v;
+  r.excludes_zero = v != 0.0;
+  return r;
+}
+
+std::string Interval::str() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  if (excludes_zero && lo <= 0.0 && hi >= 0.0) os << " \\ {0}";
+  if (may_be_nan) os << " | NaN";
+  if (may_be_pos_inf) os << " | +Inf";
+  if (may_be_neg_inf) os << " | -Inf";
+  return os.str();
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  Interval r;
+  r.lo = std::min(a.lo, b.lo);
+  r.hi = std::max(a.hi, b.hi);
+  r.may_be_nan = a.may_be_nan || b.may_be_nan;
+  r.may_be_pos_inf = a.may_be_pos_inf || b.may_be_pos_inf;
+  r.may_be_neg_inf = a.may_be_neg_inf || b.may_be_neg_inf;
+  r.excludes_zero = a.excludes_zero && b.excludes_zero;
+  return r;
+}
+
+Interval operator+(const Interval& a, const Interval& b) {
+  Interval r;
+  r.lo = add_bound(a.lo, b.lo);
+  r.hi = add_bound(a.hi, b.hi);
+  r.may_be_pos_inf = a.may_be_pos_inf || b.may_be_pos_inf;
+  r.may_be_neg_inf = a.may_be_neg_inf || b.may_be_neg_inf;
+  // inf + (-inf) is the IEEE source of NaN in sums.
+  r.may_be_nan = a.may_be_nan || b.may_be_nan ||
+                 (a.may_be_pos_inf && b.may_be_neg_inf) ||
+                 (a.may_be_neg_inf && b.may_be_pos_inf);
+  // A sum of nonnegatives with one strictly positive addend stays nonzero.
+  if (a.lo >= 0.0 && b.lo >= 0.0 && (a.strictly_positive() || b.strictly_positive()))
+    r.excludes_zero = true;
+  if (a.hi <= 0.0 && b.hi <= 0.0 && (a.strictly_negative() || b.strictly_negative()))
+    r.excludes_zero = true;
+  return r;
+}
+
+Interval operator-(const Interval& a) {
+  Interval r;
+  r.lo = -a.hi;
+  r.hi = -a.lo;
+  r.may_be_nan = a.may_be_nan;
+  r.may_be_pos_inf = a.may_be_neg_inf;
+  r.may_be_neg_inf = a.may_be_pos_inf;
+  r.excludes_zero = a.excludes_zero;
+  return r;
+}
+
+Interval operator-(const Interval& a, const Interval& b) { return a + (-b); }
+
+Interval operator*(const Interval& a, const Interval& b) {
+  Interval r;
+  const double c[4] = {mul_bound(a.lo, b.lo), mul_bound(a.lo, b.hi),
+                       mul_bound(a.hi, b.lo), mul_bound(a.hi, b.hi)};
+  r.lo = *std::min_element(c, c + 4);
+  r.hi = *std::max_element(c, c + 4);
+  const bool a_inf = a.may_be_pos_inf || a.may_be_neg_inf;
+  const bool b_inf = b.may_be_pos_inf || b.may_be_neg_inf;
+  // Sign information across an Inf product is not tracked; both
+  // directions become reachable (sound, imprecise).
+  if (a_inf || b_inf) r.may_be_pos_inf = r.may_be_neg_inf = true;
+  r.may_be_nan = a.may_be_nan || b.may_be_nan ||
+                 (a_inf && b.may_contain_zero()) || (b_inf && a.may_contain_zero());
+  r.excludes_zero = a.excludes_zero && b.excludes_zero;
+  return r;
+}
+
+namespace {
+
+/// base_iv ^ q for a rational exponent, mirroring sign.cpp's power() in
+/// the richer domain.
+Interval pow_interval(const Interval& base, const Rational& q) {
+  if (q.num == 0) return Interval::constant(1.0);
+  const double qd = q.to_double();
+
+  auto pw = [&](double v) -> double {
+    if (v == 0.0) return qd > 0 ? 0.0 : HUGE_VAL;
+    return std::pow(v, qd);
+  };
+
+  Interval r;
+  r.may_be_nan = base.may_be_nan;
+
+  if (base.strictly_positive()) {
+    // Monotone on (0, inf): increasing for q > 0, decreasing for q < 0.
+    // A zero infimum is never attained, so 1/x is unbounded, not Inf.
+    const double at_lo = base.lo == 0.0 ? (qd > 0 ? 0.0 : HUGE_VAL) : pw(base.lo);
+    const double at_hi = pw(base.hi);
+    r.lo = std::min(at_lo, at_hi);
+    r.hi = std::max(at_lo, at_hi);
+    r.excludes_zero = true;
+    r.may_be_pos_inf = base.may_be_pos_inf && qd > 0;
+    return r;
+  }
+
+  if (q.is_integer() && q.num > 0) {
+    const bool even = q.num % 2 == 0;
+    const double m = std::max(std::fabs(base.lo), std::fabs(base.hi));
+    if (even) {
+      r.lo = base.may_contain_zero()
+                 ? 0.0
+                 : std::min(pw(std::fabs(base.lo)), pw(std::fabs(base.hi)));
+      r.hi = pw(m);
+    } else {
+      r.lo = pw(base.lo);
+      r.hi = pw(base.hi);
+    }
+    r.excludes_zero = base.excludes_zero;
+    r.may_be_pos_inf = base.may_be_pos_inf || (even && base.may_be_neg_inf);
+    r.may_be_neg_inf = !even && base.may_be_neg_inf;
+    return r;
+  }
+
+  // Negative or fractional exponent of a base admitting <= 0: division by
+  // a possible zero and/or a complex branch. Report the hazard, give up
+  // on bounds.
+  r.lo = -HUGE_VAL;
+  r.hi = HUGE_VAL;
+  if (q.num < 0 && base.may_contain_zero()) {
+    r.may_be_pos_inf = true;
+    r.may_be_neg_inf = base.admits_negative();
+  }
+  if (!q.is_integer() && base.admits_negative()) r.may_be_nan = true;
+  r.may_be_pos_inf = r.may_be_pos_inf || base.may_be_pos_inf ||
+                     (q.num < 0 && base.may_be_pos_inf);
+  return r;
+}
+
+Interval log_interval(const Interval& arg) {
+  Interval r;
+  r.lo = -HUGE_VAL;
+  r.hi = HUGE_VAL;
+  r.may_be_nan = arg.may_be_nan || arg.admits_negative();
+  r.may_be_neg_inf = arg.may_contain_zero();
+  if (arg.lo > 0.0 && !unbounded(arg.lo)) r.lo = std::log(arg.lo);
+  if (arg.hi > 0.0 && !unbounded(arg.hi)) r.hi = std::log(arg.hi);
+  if (arg.hi <= 0.0) r.hi = 0.0;  // no positive value: log never returns
+  return r;
+}
+
+}  // namespace
+
+Interval interval_of(const Expr& e) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case Kind::kConstant:
+      return Interval::constant(n.value);
+    case Kind::kSymbol:
+      return Interval::positive();  // declared assumption: dims are counts
+    case Kind::kAdd: {
+      Interval acc = Interval::constant(0.0);
+      for (const Expr& c : n.children) acc = acc + interval_of(c);
+      return acc;
+    }
+    case Kind::kMul: {
+      Interval acc = Interval::constant(1.0);
+      for (const Expr& c : n.children) acc = acc * interval_of(c);
+      return acc;
+    }
+    case Kind::kPow:
+      return pow_interval(interval_of(n.children.at(0)), n.exponent);
+    case Kind::kMax: {
+      Interval acc = interval_of(n.children.at(0));
+      for (std::size_t i = 1; i < n.children.size(); ++i) {
+        const Interval c = interval_of(n.children[i]);
+        Interval r;
+        r.lo = std::max(acc.lo, c.lo);
+        r.hi = std::max(acc.hi, c.hi);
+        r.may_be_nan = acc.may_be_nan || c.may_be_nan;
+        r.may_be_pos_inf = acc.may_be_pos_inf || c.may_be_pos_inf;
+        r.may_be_neg_inf = acc.may_be_neg_inf && c.may_be_neg_inf;
+        r.excludes_zero = acc.strictly_positive() || c.strictly_positive() ||
+                          (acc.excludes_zero && c.excludes_zero && acc.hi < 0.0 &&
+                           c.hi < 0.0);
+        acc = r;
+      }
+      return acc;
+    }
+    case Kind::kLog:
+      return log_interval(interval_of(n.children.at(0)));
+  }
+  return Interval::top();
+}
+
+}  // namespace gf::sym

@@ -1,0 +1,90 @@
+// Interval abstract domain: finite value bounds plus explicit NaN/Inf
+// reachability, generalizing the sign lattice (src/symbolic/sign.h) from
+// {<0, 0, >0} to ranges with special-value tracking.
+//
+// The bounds [lo, hi] describe the *mathematically attainable finite*
+// values; ±HUGE_VAL means "unbounded but finite" (e.g. a dot product of
+// real data), NOT that an IEEE infinity is reachable — that is what the
+// three flags assert. The split is what lets the range lint stay free of
+// false positives: a matmul output is unbounded yet never flagged, while
+// a scale by 4e38 has a concrete finite witness above the f32 range and
+// is.
+//
+// interval_of() evaluates a sym::Expr to an interval under the standing
+// assumption that free symbols are positive reals (dimensions are
+// counts), so it is the interval-domain counterpart of sign_of() and is
+// strictly stronger on constants: sign_of(Expr(4e38)) is just
+// "positive", interval_of knows the magnitude.
+#pragma once
+
+#include <cmath>
+
+#include "src/symbolic/expr.h"
+
+namespace gf::sym {
+
+struct Interval {
+  /// Closed bounds on attainable finite values; ±HUGE_VAL = unbounded.
+  double lo = -HUGE_VAL;
+  double hi = HUGE_VAL;
+  /// Special-value reachability (IEEE semantics, not real arithmetic).
+  bool may_be_nan = false;
+  bool may_be_pos_inf = false;
+  bool may_be_neg_inf = false;
+  /// Provably nonzero even when [lo, hi] touches 0: a positive symbol
+  /// has infimum 0 without attaining it, so lo == 0 with this flag set
+  /// still excludes division-by-zero.
+  bool excludes_zero = false;
+
+  static Interval top() { return {}; }
+  static Interval constant(double v);
+  static Interval bounded(double lo, double hi) {
+    Interval r;
+    r.lo = lo;
+    r.hi = hi;
+    return r;
+  }
+  /// (0, +unbounded): the domain of a dimension symbol.
+  static Interval positive() {
+    Interval r;
+    r.lo = 0.0;
+    r.excludes_zero = true;
+    return r;
+  }
+
+  bool has_special() const { return may_be_nan || may_be_pos_inf || may_be_neg_inf; }
+  bool may_contain_zero() const { return lo <= 0.0 && hi >= 0.0 && !excludes_zero; }
+  /// Could the value be <= 0 (including -inf)? The query behind every
+  /// "log/div of a nonpositive" lint.
+  bool admits_nonpositive() const {
+    return may_be_neg_inf || lo < 0.0 || (lo == 0.0 && !excludes_zero);
+  }
+  bool admits_negative() const { return may_be_neg_inf || lo < 0.0; }
+  /// Provably > 0 (and finite unless flagged).
+  bool strictly_positive() const {
+    return !may_be_nan && !may_be_neg_inf && (lo > 0.0 || (lo == 0.0 && excludes_zero));
+  }
+  bool strictly_negative() const {
+    return !may_be_nan && !may_be_pos_inf && hi < 0.0;
+  }
+
+  bool operator==(const Interval& o) const = default;
+
+  std::string str() const;
+};
+
+/// Least upper bound (union) of the two intervals.
+Interval join(const Interval& a, const Interval& b);
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator*(const Interval& a, const Interval& b);
+
+/// Interval of a symbolic expression under the symbols-are-positive
+/// assumption. Division by a subexpression that admits zero sets the Inf
+/// flags; fractional powers / logs of subexpressions that admit negatives
+/// set the NaN flag — exactly the facts the range lint reports.
+Interval interval_of(const Expr& e);
+
+}  // namespace gf::sym

@@ -116,6 +116,13 @@ Sign maximum(const std::vector<Expr>& args) {
     all_nonpos = all_nonpos && is_nonpos(s);
     all_neg = all_neg && s == Sign::kNegative;
   }
+  // |a| pattern: a pair of mutually-negated arguments bounds the max
+  // below by 0 (max(a, -a) = |a|) even when each argument alone has
+  // unknown sign — the min-of-mixed-signs case, since min(a, b) enters
+  // canonical form as -max(-a, -b).
+  for (std::size_t i = 0; !any_nonneg && i < args.size(); ++i)
+    for (std::size_t j = i + 1; !any_nonneg && j < args.size(); ++j)
+      if ((args[i] + args[j]).equals(Expr(0.0))) any_nonneg = true;
   if (any_pos) return Sign::kPositive;
   if (all_nonpos) {
     if (any_nonneg) return Sign::kZero;  // nonpositive but also >= some zero
@@ -141,11 +148,10 @@ Sign sign_of(const Expr& e) {
     case Kind::kAdd:
       return sum(n.children);
     case Kind::kMul: {
+      // No early exit on kUnknown: a later provably-zero factor (e.g. a
+      // max of nonpositives touching 0) still annihilates the product.
       Sign acc = Sign::kPositive;  // empty product is 1
-      for (const Expr& c : n.children) {
-        acc = times(acc, sign_of(c));
-        if (acc == Sign::kUnknown) return Sign::kUnknown;
-      }
+      for (const Expr& c : n.children) acc = times(acc, sign_of(c));
       return acc;
     }
     case Kind::kPow:

@@ -1,0 +1,391 @@
+// The three abstract domains behind the dataflow lint passes: interval
+// value ranges, definite initialization / liveness, and abstract
+// shape/cost. The cost table at the bottom is a deliberate from-scratch
+// copy of the op cost model in src/ir/ops.cpp — the whole point of the
+// cost-audit pass is that two independent derivations must agree, so
+// this file must NOT call Op::flops()/bytes_accessed().
+#include "src/verify/dataflow.h"
+
+#include <cstddef>
+#include <exception>
+
+#include "src/ir/ops.h"
+#include "src/ir/transfer.h"
+
+namespace gf::verify {
+
+std::map<const ir::Tensor*, sym::Interval> compute_value_ranges(const ir::Graph& graph) {
+  Dataflow<sym::Interval>::Config config;
+  config.direction = Direction::kForward;
+  // Inputs, weights, optimizer state, and gradient seeds hold arbitrary
+  // *finite* data: the runtime fills them from files or zero-init, never
+  // with NaN/Inf. Produced tensors start at the same top and are
+  // overwritten by their producer's transfer on the first sweep.
+  config.boundary = [](const ir::Tensor&) { return sym::Interval::top(); };
+  config.transfer = [](const ir::Op& op, const std::vector<sym::Interval>& in) {
+    return ir::transfer_intervals(op, in);
+  };
+  config.equal = [](const sym::Interval& a, const sym::Interval& b) { return a == b; };
+  return Dataflow<sym::Interval>(std::move(config)).run(graph);
+}
+
+std::map<const ir::Tensor*, bool> compute_initialized(const ir::Graph& graph) {
+  Dataflow<bool>::Config config;
+  config.direction = Direction::kForward;
+  config.boundary = [](const ir::Tensor& t) {
+    if (t.producer() != nullptr) return false;
+    const ir::TensorRole role = t.role();
+    return role == ir::TensorRole::kInput || role == ir::TensorRole::kWeight ||
+           role == ir::TensorRole::kOptimizerState || role == ir::TensorRole::kGradient;
+  };
+  config.transfer = [](const ir::Op& op, const std::vector<bool>& in) {
+    bool all = true;
+    for (const bool b : in) all = all && b;
+    return std::vector<bool>(op.outputs().size(), all);
+  };
+  config.equal = [](bool a, bool b) { return a == b; };
+  return Dataflow<bool>(std::move(config)).run(graph);
+}
+
+std::map<const ir::Tensor*, bool> compute_liveness(const ir::Graph& graph) {
+  Dataflow<bool>::Config config;
+  config.direction = Direction::kBackward;
+  config.boundary = [&graph](const ir::Tensor& t) { return graph.is_output(&t); };
+  config.transfer = [](const ir::Op& op, const std::vector<bool>& out_live) {
+    bool live = op.type() == ir::OpType::kApplyGradient;
+    for (const bool b : out_live) live = live || b;
+    return std::vector<bool>(op.inputs().size(), live);
+  };
+  config.join = [](bool a, bool b) { return a || b; };
+  config.equal = [](bool a, bool b) { return a == b; };
+  return Dataflow<bool>(std::move(config)).run(graph);
+}
+
+namespace {
+
+using sym::Expr;
+
+/// Recorded output shapes, the fallback when an op's output shape is a
+/// free attribute (or its operands violate the contract a derivation
+/// needs — the shapes pass reports those).
+std::vector<AbstractShape> recorded_outputs(const ir::Op& op) {
+  std::vector<AbstractShape> out;
+  out.reserve(op.outputs().size());
+  for (const ir::Tensor* t : op.outputs()) out.push_back({t->shape(), false});
+  return out;
+}
+
+/// Forward shape transfer: derive from the (abstract) input shapes where
+/// the op contract determines the output.
+std::vector<AbstractShape> transfer_shapes(const ir::Op& op,
+                                           const std::vector<AbstractShape>& in) {
+  const auto derived = [](ir::TensorShape s) {
+    return AbstractShape{std::move(s), true};
+  };
+  switch (op.type()) {
+    case ir::OpType::kMatMul: {
+      const auto& mm = static_cast<const ir::MatMulOp&>(op);
+      if (in.size() < 2) break;
+      const ir::TensorShape& a = in[0].shape;
+      const ir::TensorShape& b = in[1].shape;
+      if (a.rank() == 2 && b.rank() == 2)
+        return {derived(ir::TensorShape{a.dim(mm.trans_a() ? 1 : 0),
+                                        b.dim(mm.trans_b() ? 0 : 1)})};
+      if (a.rank() == 3 && b.rank() == 3)
+        return {derived(ir::TensorShape{a.dim(0), a.dim(mm.trans_a() ? 2 : 1),
+                                        b.dim(mm.trans_b() ? 1 : 2)})};
+      if (a.rank() == 3 && b.rank() == 2 && !mm.trans_a())
+        return {derived(
+            ir::TensorShape{a.dim(0), a.dim(1), b.dim(mm.trans_b() ? 0 : 1)})};
+      break;
+    }
+    case ir::OpType::kConv2D: {
+      const auto& conv = static_cast<const ir::Conv2DOp&>(op);
+      if (in.size() < 2 || in[0].shape.rank() != 4 || in[1].shape.rank() != 4) break;
+      const Expr s(static_cast<double>(conv.stride()));
+      return {derived(ir::TensorShape{in[0].shape.dim(0), in[0].shape.dim(1) / s,
+                                      in[0].shape.dim(2) / s, in[1].shape.dim(3)})};
+    }
+    case ir::OpType::kConv2DGradInput: {
+      // dInput of conv: upsample dy spatially, channels from the filter.
+      const auto& conv = static_cast<const ir::Conv2DGradInputOp&>(op);
+      if (in.size() < 2 || in[0].shape.rank() != 4 || in[1].shape.rank() != 4) break;
+      const Expr s(static_cast<double>(conv.stride()));
+      return {derived(ir::TensorShape{in[0].shape.dim(0), in[0].shape.dim(1) * s,
+                                      in[0].shape.dim(2) * s, in[1].shape.dim(2)})};
+    }
+    case ir::OpType::kPointwise:
+    case ir::OpType::kBiasAdd:
+    case ir::OpType::kSoftmax:
+    case ir::OpType::kSoftmaxGrad:
+    case ir::OpType::kSoftmaxXentGrad:
+    case ir::OpType::kBatchNorm:
+      if (in.empty()) break;
+      return {derived(in[0].shape)};
+    case ir::OpType::kBatchNormGrad:
+      if (in.size() < 2) break;
+      return {derived(in[0].shape), derived(in[1].shape), derived(in[1].shape)};
+    case ir::OpType::kSoftmaxXent:
+      if (in.size() < 2) break;
+      return {derived(in[1].shape), derived(in[0].shape)};  // loss, probs
+    case ir::OpType::kEmbeddingLookup: {
+      if (in.size() < 2 || in[0].shape.rank() != 2) break;
+      std::vector<Expr> dims = in[1].shape.dims();
+      dims.push_back(in[0].shape.dim(1));
+      return {derived(ir::TensorShape(std::move(dims)))};
+    }
+    case ir::OpType::kReduce: {
+      const auto& red = static_cast<const ir::ReduceOp&>(op);
+      if (in.empty() || red.keep_last_n() > in[0].shape.rank()) break;
+      const auto& dims = in[0].shape.dims();
+      return {derived(ir::TensorShape(std::vector<Expr>(
+          dims.end() - static_cast<std::ptrdiff_t>(red.keep_last_n()), dims.end())))};
+    }
+    case ir::OpType::kConcat: {
+      const auto& cat = static_cast<const ir::ConcatOp&>(op);
+      if (in.empty() || cat.axis() >= in[0].shape.rank()) break;
+      bool ok = true;
+      Expr along = in[0].shape.dim(cat.axis());
+      for (std::size_t i = 1; i < in.size(); ++i) {
+        if (in[i].shape.rank() != in[0].shape.rank()) {
+          ok = false;
+          break;
+        }
+        along = along + in[i].shape.dim(cat.axis());
+      }
+      if (!ok) break;
+      std::vector<Expr> dims = in[0].shape.dims();
+      dims[cat.axis()] = along;
+      return {derived(ir::TensorShape(std::move(dims)))};
+    }
+    case ir::OpType::kSplit: {
+      const auto& split = static_cast<const ir::SplitOp&>(op);
+      if (in.empty() || split.axis() >= in[0].shape.rank() || split.parts() == 0) break;
+      std::vector<Expr> dims = in[0].shape.dims();
+      dims[split.axis()] =
+          dims[split.axis()] / Expr(static_cast<double>(split.parts()));
+      return std::vector<AbstractShape>(op.outputs().size(),
+                                        derived(ir::TensorShape(std::move(dims))));
+    }
+    case ir::OpType::kPool: {
+      const auto& pool = static_cast<const ir::PoolOp&>(op);
+      if (in.empty() || in[0].shape.rank() != 4) break;
+      return {derived(ir::TensorShape{
+          in[0].shape.dim(0), in[0].shape.dim(1) / Expr(static_cast<double>(pool.window_h())),
+          in[0].shape.dim(2) / Expr(static_cast<double>(pool.window_w())),
+          in[0].shape.dim(3)})};
+    }
+    case ir::OpType::kPoolGrad:
+      if (in.empty()) break;
+      return {derived(in[0].shape)};
+    case ir::OpType::kFusedPointwise: {
+      // The fused output has the shape of any full-rank input (lower-rank
+      // inputs are modulo-indexed into the trailing dims).
+      if (op.outputs().empty()) break;
+      const std::size_t out_rank = op.output(0)->shape().rank();
+      for (const AbstractShape& s : in)
+        if (s.shape.rank() == out_rank) return {AbstractShape{s.shape, true}};
+      break;
+    }
+    case ir::OpType::kApplyGradient:
+      return {};
+    // Output shape is a free attribute of the op: nothing to re-derive.
+    case ir::OpType::kConv2DGradFilter:
+    case ir::OpType::kEmbeddingGrad:
+    case ir::OpType::kBroadcast:
+    case ir::OpType::kSlice:
+    case ir::OpType::kReshape:
+      break;
+  }
+  return recorded_outputs(op);
+}
+
+}  // namespace
+
+std::map<const ir::Tensor*, AbstractShape> compute_shapes(const ir::Graph& graph) {
+  Dataflow<AbstractShape>::Config config;
+  config.direction = Direction::kForward;
+  config.boundary = [](const ir::Tensor& t) { return AbstractShape{t.shape(), false}; };
+  config.transfer = transfer_shapes;
+  config.equal = [](const AbstractShape& a, const AbstractShape& b) {
+    return a.derived == b.derived && a.shape.equals(b.shape);
+  };
+  return Dataflow<AbstractShape>(std::move(config)).run(graph);
+}
+
+namespace {
+
+/// Per-element FLOP cost of one pointwise function application — the
+/// independent copy of the table in src/ir/ops.cpp.
+double pointwise_unit_cost(ir::PointwiseFn fn, std::size_t arity) {
+  switch (fn) {
+    case ir::PointwiseFn::kIdentity:
+      return 0.0;
+    case ir::PointwiseFn::kAdd:
+    case ir::PointwiseFn::kSub:
+    case ir::PointwiseFn::kMul:
+    case ir::PointwiseFn::kRelu:
+    case ir::PointwiseFn::kOneMinus:
+    case ir::PointwiseFn::kScale:
+    case ir::PointwiseFn::kReluGrad:
+      return 1.0;
+    case ir::PointwiseFn::kAddN:
+      return arity == 0 ? 0.0 : static_cast<double>(arity - 1);
+    case ir::PointwiseFn::kSigmoid:
+      return 4.0;
+    case ir::PointwiseFn::kTanh:
+      return 6.0;
+    case ir::PointwiseFn::kSigmoidGrad:
+    case ir::PointwiseFn::kTanhGrad:
+      return 3.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::optional<DerivedCost> derive_op_cost(
+    const ir::Op& op, const std::map<const ir::Tensor*, AbstractShape>& shapes) {
+  const auto shp = [&shapes](const ir::Tensor* t) -> const ir::TensorShape& {
+    const auto it = shapes.find(t);
+    return it != shapes.end() ? it->second.shape : t->shape();
+  };
+  const auto elems = [&shp](const ir::Tensor* t) { return shp(t).num_elements(); };
+  const auto bytes_of = [&](const ir::Tensor* t) {
+    return elems(t) * Expr(static_cast<double>(ir::dtype_bytes(t->dtype())));
+  };
+  const auto default_bytes = [&]() {
+    Expr total(0.0);
+    for (const ir::Tensor* t : op.inputs()) total = total + bytes_of(t);
+    for (const ir::Tensor* t : op.outputs()) total = total + bytes_of(t);
+    return total;
+  };
+
+  try {
+    switch (op.type()) {
+      case ir::OpType::kMatMul: {
+        const auto& mm = static_cast<const ir::MatMulOp&>(op);
+        const ir::TensorShape& a = shp(op.input(0));
+        const ir::TensorShape& b = shp(op.input(1));
+        Expr batch(1.0), m(1.0), n(1.0), k(1.0);
+        if (a.rank() == 2 && b.rank() == 2) {
+          m = a.dim(mm.trans_a() ? 1 : 0);
+          k = a.dim(mm.trans_a() ? 0 : 1);
+          n = b.dim(mm.trans_b() ? 0 : 1);
+        } else if (a.rank() == 3 && b.rank() == 3) {
+          batch = a.dim(0);
+          m = a.dim(mm.trans_a() ? 2 : 1);
+          k = a.dim(mm.trans_a() ? 1 : 2);
+          n = b.dim(mm.trans_b() ? 1 : 2);
+        } else if (a.rank() == 3 && b.rank() == 2 && !mm.trans_a()) {
+          batch = a.dim(0);
+          m = a.dim(1);
+          k = a.dim(2);
+          n = b.dim(mm.trans_b() ? 0 : 1);
+        } else {
+          return std::nullopt;
+        }
+        const Expr out_elems = batch * m * n;
+        Expr flops = Expr(2.0) * batch * m * n * k;
+        if (mm.epilogue_bias()) flops = flops + out_elems;
+        if (mm.epilogue_activation() != ir::PointwiseFn::kIdentity)
+          flops = flops + Expr(pointwise_unit_cost(mm.epilogue_activation(), 1)) * out_elems;
+        return DerivedCost{flops, default_bytes()};
+      }
+      case ir::OpType::kConv2D:
+      case ir::OpType::kConv2DGradInput: {
+        // Both cost 2 * |dy or out| * Kh * Kw * Cin MACs.
+        const ir::TensorShape& f = shp(op.input(1));
+        if (f.rank() != 4) return std::nullopt;
+        const ir::Tensor* hot =
+            op.type() == ir::OpType::kConv2D ? op.output(0) : op.input(0);
+        return DerivedCost{
+            Expr(2.0) * elems(hot) * f.dim(0) * f.dim(1) * f.dim(2), default_bytes()};
+      }
+      case ir::OpType::kConv2DGradFilter: {
+        const ir::TensorShape& f = shp(op.output(0));
+        if (f.rank() != 4) return std::nullopt;
+        return DerivedCost{
+            Expr(2.0) * elems(op.input(1)) * f.dim(0) * f.dim(1) * f.dim(2),
+            default_bytes()};
+      }
+      case ir::OpType::kPointwise: {
+        const auto& pw = static_cast<const ir::PointwiseOp&>(op);
+        return DerivedCost{Expr(pointwise_unit_cost(pw.fn(), op.inputs().size())) *
+                               elems(op.output(0)),
+                           default_bytes()};
+      }
+      case ir::OpType::kBiasAdd:
+        return DerivedCost{elems(op.output(0)), default_bytes()};
+      case ir::OpType::kFusedPointwise: {
+        const auto& fused = static_cast<const ir::FusedPointwiseOp&>(op);
+        Expr unit(0.0);
+        for (const ir::FusedInstr& instr : fused.program())
+          unit = unit + Expr(pointwise_unit_cost(instr.fn, instr.args.size()));
+        return DerivedCost{unit * elems(op.output(0)), default_bytes()};
+      }
+      case ir::OpType::kEmbeddingLookup:
+        return DerivedCost{Expr(0.0),
+                           Expr(2.0) * bytes_of(op.output(0)) + bytes_of(op.input(1))};
+      case ir::OpType::kEmbeddingGrad: {
+        // One accumulate per gathered element: |ids| * E — derived from
+        // the ids and the table, NOT from the recorded dy shape.
+        const ir::TensorShape& table = shp(op.output(0));
+        if (table.rank() != 2) return std::nullopt;
+        const Expr gathered = elems(op.input(0)) * table.dim(1);
+        const Expr dy_bytes =
+            gathered * Expr(static_cast<double>(ir::dtype_bytes(op.input(1)->dtype())));
+        return DerivedCost{gathered,
+                           bytes_of(op.input(0)) + dy_bytes + bytes_of(op.output(0))};
+      }
+      case ir::OpType::kSoftmax:
+        return DerivedCost{Expr(5.0) * elems(op.output(0)), default_bytes()};
+      case ir::OpType::kSoftmaxGrad:
+        return DerivedCost{Expr(4.0) * elems(op.output(0)), default_bytes()};
+      case ir::OpType::kSoftmaxXent:
+        return DerivedCost{Expr(6.0) * elems(op.input(0)), default_bytes()};
+      case ir::OpType::kSoftmaxXentGrad:
+        return DerivedCost{Expr(2.0) * elems(op.output(0)), default_bytes()};
+      case ir::OpType::kReduce: {
+        const auto& red = static_cast<const ir::ReduceOp&>(op);
+        Expr flops = elems(op.input(0));
+        if (red.reduce_kind() == ir::ReduceKind::kMean)
+          flops = flops + elems(op.output(0));
+        return DerivedCost{flops, default_bytes()};
+      }
+      case ir::OpType::kBroadcast:
+      case ir::OpType::kConcat:
+      case ir::OpType::kSplit:
+        return DerivedCost{Expr(0.0), default_bytes()};
+      case ir::OpType::kSlice:
+        return DerivedCost{Expr(0.0), Expr(2.0) * bytes_of(op.output(0))};
+      case ir::OpType::kReshape:
+        return DerivedCost{Expr(0.0), Expr(0.0)};
+      case ir::OpType::kBatchNorm:
+        return DerivedCost{Expr(8.0) * elems(op.output(0)), default_bytes()};
+      case ir::OpType::kBatchNormGrad:
+        return DerivedCost{Expr(12.0) * elems(op.input(0)), default_bytes()};
+      case ir::OpType::kPool:
+        return DerivedCost{elems(op.input(0)), default_bytes()};
+      case ir::OpType::kPoolGrad:
+        return DerivedCost{elems(op.output(0)), default_bytes()};
+      case ir::OpType::kApplyGradient: {
+        const auto& apply = static_cast<const ir::ApplyGradientOp&>(op);
+        double unit = 2.0;
+        if (apply.optimizer() == ir::Optimizer::kMomentum) unit = 4.0;
+        if (apply.optimizer() == ir::Optimizer::kAdam) unit = 10.0;
+        const Expr w = elems(op.input(0));
+        const Expr wb = bytes_of(op.input(0));
+        return DerivedCost{
+            Expr(unit) * w,
+            Expr(2.0) * wb + bytes_of(op.input(1)) +
+                Expr(2.0 * static_cast<double>(apply.num_slots())) * wb};
+      }
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;  // operand arity/rank outside the contract
+  }
+  return std::nullopt;
+}
+
+}  // namespace gf::verify

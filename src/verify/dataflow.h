@@ -1,0 +1,176 @@
+// Generic dataflow analysis over ir::Graph, plus the three abstract
+// domains the lint passes consume.
+//
+// The engine is deliberately small: a tensor-indexed fact map, a
+// direction, a per-op transfer function, and round-based iteration to a
+// fixpoint. Facts live on *tensors* (the graph's edges), not on ops:
+// every tensor has exactly one producer in a well-formed graph, so a
+// forward analysis assigns each produced tensor the transfer of its
+// producer (replace semantics), while a backward analysis joins the
+// demands of all consumers (join semantics). Iteration is capped at
+// |ops| + 2 sweeps so arbitrarily malformed graphs — cycles, duplicate
+// producers — terminate instead of hanging a lint; well-formed graphs
+// converge in two sweeps because the op list is topologically ordered.
+//
+// Domains provided here (all pure graph analysis, no runtime deps):
+//   compute_value_ranges  — forward interval abstract interpretation via
+//                           ir::transfer_intervals: per-tensor bounds plus
+//                           NaN/Inf reachability (the "range" pass)
+//   compute_initialized   — forward definite-initialization: a tensor is
+//                           initialized iff it is a legitimate boundary
+//                           tensor or every producer input is
+//   compute_liveness      — backward demand: a tensor is live iff its
+//                           value can reach a weight update or a marked
+//                           graph output (the "deadcode" pass)
+//   compute_shapes        — forward abstract shape re-derivation from op
+//                           contracts, with recorded-shape fallback where
+//                           the shape is a free attribute
+//   derive_op_cost        — independent FLOP/byte re-derivation from
+//                           abstract shapes (the "cost-audit" pass)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/ir/graph.h"
+#include "src/symbolic/interval.h"
+
+namespace gf::verify {
+
+enum class Direction { kForward, kBackward };
+
+template <typename Value>
+class Dataflow {
+ public:
+  struct Config {
+    Direction direction = Direction::kForward;
+    /// Initial fact for every tensor. Forward: the value of boundary
+    /// (producerless) tensors; produced tensors get overwritten by their
+    /// producer's transfer. Backward: the demand a tensor has on its own
+    /// (marked outputs seed the analysis here).
+    std::function<Value(const ir::Tensor&)> boundary;
+    /// Forward: facts of op's inputs -> facts of its outputs.
+    /// Backward: facts of op's outputs -> facts of its inputs.
+    /// A transfer returning the wrong arity or throwing makes the engine
+    /// skip that op (no facts updated) — malformed ops stay at boundary.
+    std::function<std::vector<Value>(const ir::Op&, const std::vector<Value>&)> transfer;
+    /// Least upper bound; used on the backward direction to merge the
+    /// demands of multiple consumers. May be null for forward analyses.
+    std::function<Value(const Value&, const Value&)> join;
+    /// Fact equality, the fixpoint test.
+    std::function<bool(const Value&, const Value&)> equal;
+  };
+
+  using Facts = std::map<const ir::Tensor*, Value>;
+
+  explicit Dataflow(Config config) : config_(std::move(config)) {
+    if (!config_.boundary || !config_.transfer || !config_.equal)
+      throw std::invalid_argument("Dataflow: boundary, transfer, and equal are required");
+    if (config_.direction == Direction::kBackward && !config_.join)
+      throw std::invalid_argument("Dataflow: backward analyses require a join");
+  }
+
+  Facts run(const ir::Graph& graph) const {
+    Facts facts;
+    for (const auto& t : graph.tensors()) facts.emplace(t.get(), config_.boundary(*t));
+
+    const auto& ops = graph.ops();
+    const std::size_t max_sweeps = ops.size() + 2;
+    bool changed = true;
+    for (std::size_t sweep = 0; changed && sweep < max_sweeps; ++sweep) {
+      changed = false;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const ir::Op& op = config_.direction == Direction::kForward
+                               ? *ops[i]
+                               : *ops[ops.size() - 1 - i];
+        if (step(op, facts)) changed = true;
+      }
+    }
+    return facts;
+  }
+
+ private:
+  /// One transfer application; returns whether any fact changed.
+  bool step(const ir::Op& op, Facts& facts) const {
+    const bool forward = config_.direction == Direction::kForward;
+    const std::vector<ir::Tensor*>& sources = forward ? op.inputs() : op.outputs();
+    const std::vector<ir::Tensor*>& targets = forward ? op.outputs() : op.inputs();
+
+    std::vector<Value> in;
+    in.reserve(sources.size());
+    for (const ir::Tensor* s : sources) {
+      const auto it = facts.find(s);
+      if (it == facts.end()) return false;  // foreign tensor: malformed, skip
+      in.push_back(it->second);
+    }
+
+    std::vector<Value> out;
+    try {
+      out = config_.transfer(op, in);
+    } catch (const std::exception&) {
+      return false;  // transfer rejected the op (bad arity etc.): no facts
+    }
+    if (out.size() != targets.size()) return false;
+
+    bool changed = false;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto it = facts.find(targets[i]);
+      if (it == facts.end()) continue;
+      Value next = forward ? std::move(out[i]) : config_.join(it->second, out[i]);
+      if (!config_.equal(it->second, next)) {
+        it->second = std::move(next);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  Config config_;
+};
+
+/// Forward interval abstract interpretation (ir::transfer_intervals).
+/// Boundary tensors start at the finite-unbounded top: inputs, weights,
+/// and gradient seeds hold arbitrary finite data but never NaN/Inf.
+std::map<const ir::Tensor*, sym::Interval> compute_value_ranges(const ir::Graph& graph);
+
+/// Forward definite-initialization. Producerless tensors of the roles the
+/// runtime feeds before the first op (inputs, weights, optimizer state,
+/// gradient seeds) are initialized; every other tensor is initialized iff
+/// its producer's inputs all are.
+std::map<const ir::Tensor*, bool> compute_initialized(const ir::Graph& graph);
+
+/// Backward demand. A tensor is live iff its value can reach a sink: an
+/// ApplyGradient update or a tensor marked with Graph::mark_output().
+std::map<const ir::Tensor*, bool> compute_liveness(const ir::Graph& graph);
+
+/// One abstract shape: re-derived from the producer's input shapes where
+/// the op contract determines the output (matmul, pointwise, reductions,
+/// pooling, ...), or the recorded tensor shape where the output shape is
+/// a free attribute of the op (broadcast targets, gradient target shapes,
+/// slices, reshapes).
+struct AbstractShape {
+  ir::TensorShape shape;
+  bool derived = false;  ///< true iff re-derived rather than recorded
+};
+
+/// Forward abstract-shape analysis; the map covers every graph tensor.
+std::map<const ir::Tensor*, AbstractShape> compute_shapes(const ir::Graph& graph);
+
+/// Independent re-derivation of one op's algorithmic cost from abstract
+/// shapes: a from-scratch copy of the op cost model (deliberately NOT
+/// calling Op::flops()/bytes_accessed()) that the cost-audit pass diffs
+/// against the claimed values. nullopt when the op's operands do not
+/// satisfy the contract the formula needs (the shapes pass reports that).
+struct DerivedCost {
+  sym::Expr flops;
+  sym::Expr bytes;
+};
+std::optional<DerivedCost> derive_op_cost(
+    const ir::Op& op, const std::map<const ir::Tensor*, AbstractShape>& shapes);
+
+}  // namespace gf::verify

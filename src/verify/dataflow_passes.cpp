@@ -1,0 +1,390 @@
+// Dataflow-backed lint passes: range (numerical stability), deadcode
+// (wasted compute), cost-audit (independent FLOP/byte re-derivation),
+// and equiv (translation validation of fusion rewrites plus a liveness
+// cross-check of the memory plan). All four consume the abstract domains
+// in src/verify/dataflow.{h,cpp}; none of them trusts a cached op field
+// it can re-derive.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/ir/semantics.h"
+#include "src/ir/transfer.h"
+#include "src/runtime/memplan.h"
+#include "src/symbolic/sign.h"
+#include "src/verify/dataflow.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::Graph;
+using ir::Op;
+using ir::OpType;
+using ir::Tensor;
+using sym::Expr;
+using sym::Interval;
+
+std::string op_loc(const Op& op) {
+  return std::string("op '") + op.name() + "' (" + ir::op_type_name(op.type()) + ")";
+}
+
+std::string tensor_loc(const Tensor& t) { return "tensor '" + t.name() + "'"; }
+
+class Emitter {
+ public:
+  Emitter(const char* pass, std::vector<Diagnostic>& out) : pass_(pass), out_(&out) {}
+
+  void error(std::string location, std::string message, std::string hint = {}) const {
+    out_->push_back({Severity::kError, pass_, std::move(location), std::move(message),
+                     std::move(hint)});
+  }
+  void warning(std::string location, std::string message, std::string hint = {}) const {
+    out_->push_back({Severity::kWarning, pass_, std::move(location), std::move(message),
+                     std::move(hint)});
+  }
+
+ private:
+  const char* pass_;
+  std::vector<Diagnostic>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// range: interval abstract interpretation proves NaN/Inf reachability and
+// dtype overflow. Only *provable* defects are reported — an unbounded-
+// finite contraction is healthy, a concrete bound past the dtype's finite
+// range is not — so clean models stay clean.
+// ---------------------------------------------------------------------------
+
+class RangePass final : public Pass {
+ public:
+  const char* name() const override { return "range"; }
+  const char* description() const override {
+    return "numerical stability: NaN/Inf reachability and dtype overflow proven "
+           "by interval analysis";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    const auto ranges = compute_value_ranges(g);
+    const auto range_of = [&ranges](const Tensor* t) {
+      const auto it = ranges.find(t);
+      return it != ranges.end() ? it->second : Interval::top();
+    };
+    // A finite interval endpoint past the dtype's largest finite value is
+    // a proven overflow; unbounded endpoints (HUGE_VAL) only say "no
+    // bound known" and never trigger.
+    const auto overflows = [](const Interval& v, double cap) {
+      if (cap >= HUGE_VAL) return false;
+      const bool lo = v.lo > -HUGE_VAL && std::abs(v.lo) > cap;
+      const bool hi = v.hi < HUGE_VAL && std::abs(v.hi) > cap;
+      return lo || hi;
+    };
+
+    for (const auto& op : g.ops()) {
+      // Scale coefficients whose symbolic interval admits NaN or Inf:
+      // log/pow of a quantity that may be <= 0, division by a difference
+      // that may vanish.
+      const auto check_alpha = [&](const Expr& alpha) {
+        const Interval a = sym::interval_of(alpha);
+        if (a.has_special())
+          emit.error(op_loc(*op),
+                     "scale coefficient " + alpha.str() + " admits " + a.str() +
+                         " — it can evaluate to NaN or Inf",
+                     "rewrite the coefficient so it is provably finite (keep "
+                     "denominators and log arguments away from zero)");
+      };
+      if (op->type() == OpType::kPointwise) {
+        const auto& pw = static_cast<const ir::PointwiseOp&>(*op);
+        if (pw.fn() == ir::PointwiseFn::kScale) check_alpha(pw.scale_alpha());
+      } else if (op->type() == OpType::kFusedPointwise) {
+        const auto& fused = static_cast<const ir::FusedPointwiseOp&>(*op);
+        for (const ir::FusedInstr& instr : fused.program())
+          if (instr.fn == ir::PointwiseFn::kScale) check_alpha(instr.alpha);
+      }
+
+      // Overflow introduced *by this op*: an output bound past its
+      // dtype's finite range while every input bound was inside its own.
+      bool input_over = false;
+      for (const Tensor* in : op->inputs())
+        input_over = input_over ||
+                     overflows(range_of(in), ir::dtype_finite_max(in->dtype()));
+      if (!input_over) {
+        for (const Tensor* o : op->outputs()) {
+          const Interval v = range_of(o);
+          if (overflows(v, ir::dtype_finite_max(o->dtype())))
+            emit.error(tensor_loc(*o),
+                       "proven overflow: value range " + v.str() +
+                           " exceeds the finite range of " + ir::dtype_name(o->dtype()),
+                       "rescale the computation; the bound is attainable, not "
+                       "just unbounded");
+        }
+      }
+
+      // Softmax over logits that may be NaN or +Inf: max-subtraction
+      // cannot recover (x - max(x) becomes Inf - Inf).
+      if (op->type() == OpType::kSoftmax || op->type() == OpType::kSoftmaxXent) {
+        const Interval logits = range_of(op->input(0));
+        if (logits.may_be_nan || logits.may_be_pos_inf)
+          emit.error(op_loc(*op),
+                     "logits admit " + logits.str() +
+                         " — softmax max-subtraction cannot recover from NaN/+Inf",
+                     "clamp or renormalize the logits upstream");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// deadcode: backward demand analysis. An op none of whose outputs can
+// reach a weight update or a marked graph output is wasted compute that
+// still inflates every FLOP/byte/footprint table.
+// ---------------------------------------------------------------------------
+
+class DeadCodePass final : public Pass {
+ public:
+  const char* name() const override { return "deadcode"; }
+  const char* description() const override {
+    return "ops whose results can reach neither a weight update nor a marked "
+           "graph output";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    const bool has_update =
+        std::any_of(g.ops().begin(), g.ops().end(), [](const auto& op) {
+          return op->type() == OpType::kApplyGradient;
+        });
+    // A forward-only graph with no marked outputs has no sinks to anchor
+    // demand; every op would be trivially "dead". Nothing to prove.
+    if (!has_update && g.outputs().empty()) return;
+
+    const auto live = compute_liveness(g);
+    const auto is_live = [&live](const Tensor* t) {
+      const auto it = live.find(t);
+      return it != live.end() && it->second;
+    };
+    for (const auto& op : g.ops()) {
+      if (op->type() == OpType::kApplyGradient) continue;
+      if (op->outputs().empty()) continue;  // structure reports no-output ops
+      const bool any_live = std::any_of(op->outputs().begin(), op->outputs().end(),
+                                        [&is_live](const Tensor* t) { return is_live(t); });
+      if (!any_live)
+        emit.error(op_loc(*op),
+                   "computed but never reaches a loss, weight update, or marked "
+                   "output",
+                   "delete the op, or mark the result it feeds with "
+                   "Graph::mark_output() if it is a real result");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// cost-audit: every op's claimed FLOPs and bytes re-derived from abstract
+// shapes by an independent copy of the cost model, plus access-bounds
+// checks the shape contracts leave open.
+// ---------------------------------------------------------------------------
+
+class CostAuditPass final : public Pass {
+ public:
+  const char* name() const override { return "cost-audit"; }
+  const char* description() const override {
+    return "claimed per-op FLOPs and bytes match an independent re-derivation "
+           "from abstract shapes";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    const auto shapes = compute_shapes(g);
+    const auto shape_of = [&shapes](const Tensor* t) -> const ir::TensorShape& {
+      const auto it = shapes.find(t);
+      return it != shapes.end() ? it->second.shape : t->shape();
+    };
+
+    for (const auto& op : g.ops()) {
+      Expr claimed_flops(0.0), claimed_bytes(0.0);
+      try {
+        claimed_flops = op->flops();
+        claimed_bytes = op->bytes_accessed();
+      } catch (const std::exception& e) {
+        emit.error(op_loc(*op), std::string("cost formula is not evaluable: ") + e.what(),
+                   "the op's operands violate its contract; see the shapes pass");
+        continue;
+      }
+
+      const auto derived = derive_op_cost(*op, shapes);
+      if (!derived) continue;  // operands outside the contract: shapes reports
+
+      if (!claimed_flops.equals(derived->flops))
+        emit.error(op_loc(*op),
+                   "claimed FLOPs " + claimed_flops.str() +
+                       " != independently derived " + derived->flops.str(),
+                   "the op's cost formula and the audited cost model disagree");
+      if (!claimed_bytes.equals(derived->bytes))
+        emit.error(op_loc(*op),
+                   "claimed bytes " + claimed_bytes.str() +
+                       " != independently derived " + derived->bytes.str(),
+                   "the op's byte formula and the audited cost model disagree");
+
+      // Slice bounds: the shape contract fixes the output rank but not
+      // that offset + size stays inside the sliced axis.
+      if (op->type() == OpType::kSlice && !op->inputs().empty() &&
+          !op->outputs().empty()) {
+        const auto& slice = static_cast<const ir::SliceOp&>(*op);
+        const ir::TensorShape& in = shape_of(op->input(0));
+        const ir::TensorShape& o = shape_of(op->output(0));
+        if (slice.axis() < in.rank() && slice.axis() < o.rank()) {
+          const Expr overrun =
+              slice.offset() + o.dim(slice.axis()) - in.dim(slice.axis());
+          if (sym::sign_of(overrun) == sym::Sign::kPositive)
+            emit.error(op_loc(*op),
+                       "slice overruns its input: offset " + slice.offset().str() +
+                           " + size " + o.dim(slice.axis()).str() +
+                           " provably exceeds the axis extent " +
+                           in.dim(slice.axis()).str(),
+                       "shrink the slice or fix the offset");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// equiv: translation validation. Each fusion group carries a certificate
+// minted from the *replaced subgraph* before it was unwired; the pass
+// re-derives the per-element semantics of the *surviving program* and
+// demands the two canonical forms agree — catching any rewrite (or any
+// post-hoc tampering) that changed what the graph computes while
+// conserving its FLOPs. The memory plan's reuse decisions are then
+// cross-checked against liveness facts re-derived from raw consumer
+// edges, independent of the planner's own bookkeeping.
+// ---------------------------------------------------------------------------
+
+class EquivPass final : public Pass {
+ public:
+  const char* name() const override { return "equiv"; }
+  const char* description() const override {
+    return "translation validation: fused programs match their rewrite "
+           "certificates; memory-plan aliases respect re-derived liveness";
+  }
+
+  void run(const Graph& g, std::vector<Diagnostic>& out) const override {
+    const Emitter emit(name(), out);
+    check_certificates(g, emit);
+    check_memplan_liveness(g, emit);
+  }
+
+ private:
+  static void check_certificates(const Graph& g, const Emitter& emit) {
+    for (const auto& op : g.ops()) {
+      if (op->type() != OpType::kFusedPointwise) continue;
+      const auto& fused = static_cast<const ir::FusedPointwiseOp&>(*op);
+      if (fused.certificate().empty()) continue;  // hand-built op: nothing to validate
+      std::string program;
+      try {
+        program = ir::fused_program_semantics(fused).str();
+      } catch (const std::exception& e) {
+        emit.error(op_loc(*op),
+                   std::string("fused program semantics are underivable: ") + e.what(),
+                   "the program is malformed; see the fusion pass");
+        continue;
+      }
+      if (program != fused.certificate())
+        emit.error(op_loc(*op),
+                   "fused program computes " + program +
+                       " but the rewrite certificate records " + fused.certificate(),
+                   "the program no longer matches the subgraph fusion replaced; "
+                   "re-run ir::fuse_graph");
+    }
+  }
+
+  static void check_memplan_liveness(const Graph& g, const Emitter& emit) {
+    ir::OpDag dag;
+    try {
+      dag = ir::build_op_dag(g);
+    } catch (const std::exception&) {
+      return;  // structure/memplan already report unschedulable graphs
+    }
+    std::set<std::string> symbols;
+    for (const auto& t : g.tensors())
+      for (const auto& d : t->shape().dims()) symbols.merge(d.free_symbols());
+    rt::MemoryPlan plan;
+    bool planned = false;
+    for (const double value : {8.0, 64.0, 96.0}) {
+      sym::Bindings bindings;
+      for (const std::string& s : symbols) bindings.emplace(s, value);
+      try {
+        plan = rt::plan_memory(g, dag, bindings);
+        planned = true;
+        break;
+      } catch (const std::exception&) {
+      }
+    }
+    if (!planned) return;  // memplan already warns about unplannable shapes
+
+    std::unordered_map<const Op*, std::size_t> index;
+    for (std::size_t i = 0; i < dag.order.size(); ++i) index.emplace(dag.order[i], i);
+
+    // Group in-place alias chains by root and order members by def time;
+    // each member overwrites its predecessor's bytes, so every consumer
+    // of the predecessor must be ordered no later than the overwrite, and
+    // the reader *at* the overwrite must be the overwriting op itself.
+    std::map<const Tensor*, std::vector<const rt::PlannedTensor*>> chains;
+    for (const rt::PlannedTensor& p : plan.tensors) {
+      if (p.alias_root == nullptr) continue;
+      chains[p.alias_root].push_back(&p);
+      const rt::PlannedTensor* root = plan.find(p.alias_root);
+      if (root != nullptr) chains[p.alias_root].push_back(root);
+    }
+    for (auto& [root, members] : chains) {
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()), members.end());
+      std::sort(members.begin(), members.end(),
+                [](const rt::PlannedTensor* a, const rt::PlannedTensor* b) {
+                  return a->def < b->def;
+                });
+      for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+        const Tensor* prev = members[i]->tensor;
+        const rt::PlannedTensor* next = members[i + 1];
+        const Op* writer = next->tensor->producer();
+        for (const Op* reader : prev->consumers()) {
+          const auto it = index.find(reader);
+          if (it == index.end()) continue;
+          if (it->second > next->def ||
+              (it->second == next->def && reader != writer))
+            emit.error(tensor_loc(*prev),
+                       "in-place alias overwrites this tensor at step " +
+                           std::to_string(next->def) + " but op '" + reader->name() +
+                           "' still reads it at step " + std::to_string(it->second),
+                       "the plan's alias decision contradicts the graph's "
+                       "consumer edges; re-plan memory");
+        }
+      }
+    }
+
+    // Reuse edges must run forward in the independently derived order.
+    for (const auto& [from, to] : plan.reuse_edges)
+      if (from >= to || to >= dag.order.size())
+        emit.error("graph '" + g.name() + "'",
+                   "memory-plan reuse edge (" + std::to_string(from) + " -> " +
+                       std::to_string(to) + ") does not run forward in the schedule",
+                   "re-plan memory; a backwards reuse edge would deadlock the "
+                   "wavefront scheduler");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_range_pass() { return std::make_unique<RangePass>(); }
+std::unique_ptr<Pass> make_deadcode_pass() { return std::make_unique<DeadCodePass>(); }
+std::unique_ptr<Pass> make_cost_audit_pass() { return std::make_unique<CostAuditPass>(); }
+std::unique_ptr<Pass> make_equiv_pass() { return std::make_unique<EquivPass>(); }
+
+}  // namespace gf::verify

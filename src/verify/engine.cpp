@@ -1,7 +1,10 @@
 // Pass-framework engine: registry, collect-all driver, the throwing
 // compat shim, and the untrusted-file entry point.
+#include <algorithm>
 #include <istream>
 #include <stdexcept>
+#include <tuple>
+#include <unordered_map>
 
 #include "src/ir/serialize.h"
 #include "src/verify/pass.h"
@@ -59,6 +62,24 @@ VerifyResult verify_graph(const ir::Graph& graph, const VerifyOptions& options) 
                                     "verifier bug — passes must diagnose, not throw"});
     }
   }
+
+  // Deterministic report order: pass (in run order), then location, then
+  // severity, then message. Several passes iterate unordered containers
+  // internally, so without this the JSON report is not byte-stable across
+  // runs — and CI diffs lint artifacts.
+  std::unordered_map<std::string, std::size_t> pass_rank;
+  for (std::size_t i = 0; i < result.passes_run.size(); ++i)
+    pass_rank.emplace(result.passes_run[i], i);
+  const auto key = [&pass_rank](const Diagnostic& d) {
+    const auto it = pass_rank.find(d.pass);
+    const std::size_t rank = it == pass_rank.end() ? pass_rank.size() : it->second;
+    return std::make_tuple(rank, std::cref(d.location),
+                           static_cast<unsigned>(d.severity), std::cref(d.message));
+  };
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [&key](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
   return result;
 }
 

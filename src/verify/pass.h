@@ -21,6 +21,20 @@
 //   fusion     — fused ops are cost-transparent: programs connected and
 //                internally single-consumer, FLOPs conserved, byte
 //                formulas counting only surviving tensors
+//   range      — interval abstract interpretation proves numerical
+//                stability: no reachable NaN/Inf into softmax, no scale
+//                coefficient that can blow up, no proven dtype overflow
+//   deadcode   — backward demand: every op's results can reach a weight
+//                update or a marked graph output
+//   cost-audit — every op's claimed FLOPs/bytes re-derived from abstract
+//                shapes by an independent copy of the cost model
+//   equiv      — translation validation: each fused program is
+//                symbolically equivalent to its rewrite certificate, and
+//                memory-plan aliases respect re-derived liveness
+//
+// The last four are built on the generic dataflow engine in
+// src/verify/dataflow.h (lattice + per-op transfer functions iterated to
+// a fixpoint); see DESIGN.md for a guide to writing new passes.
 //
 // Entry points: verify_graph() for structured diagnostics (gfctl lint,
 // the executor's debug hook), validate_or_throw() as the compat shim

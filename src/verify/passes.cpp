@@ -188,8 +188,8 @@ class StructurePass final : public Pass {
         continue;
       }
       const bool all_unconsumed =
-          std::all_of(op->outputs().begin(), op->outputs().end(), [](const Tensor* t) {
-            return t->consumers().empty() && !t->is_persistent();
+          std::all_of(op->outputs().begin(), op->outputs().end(), [&g](const Tensor* t) {
+            return t->consumers().empty() && !t->is_persistent() && !g.is_output(t);
           });
       if (all_unconsumed)
         emit.note(op_loc(*op), "none of its outputs are consumed (graph result?)");
@@ -816,9 +816,13 @@ class GradientPass final : public Pass {
 
 }  // namespace
 
-std::unique_ptr<Pass> make_race_pass();     // race.cpp
-std::unique_ptr<Pass> make_memplan_pass();  // memplan.cpp
-std::unique_ptr<Pass> make_fusion_pass();   // fusion.cpp
+std::unique_ptr<Pass> make_race_pass();        // race.cpp
+std::unique_ptr<Pass> make_memplan_pass();     // memplan.cpp
+std::unique_ptr<Pass> make_fusion_pass();      // fusion.cpp
+std::unique_ptr<Pass> make_range_pass();       // dataflow_passes.cpp
+std::unique_ptr<Pass> make_deadcode_pass();    // dataflow_passes.cpp
+std::unique_ptr<Pass> make_cost_audit_pass();  // dataflow_passes.cpp
+std::unique_ptr<Pass> make_equiv_pass();       // dataflow_passes.cpp
 
 std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   std::vector<std::unique_ptr<Pass>> passes;
@@ -829,6 +833,10 @@ std::vector<std::unique_ptr<Pass>> make_builtin_passes() {
   passes.push_back(make_race_pass());
   passes.push_back(make_memplan_pass());
   passes.push_back(make_fusion_pass());
+  passes.push_back(make_range_pass());
+  passes.push_back(make_deadcode_pass());
+  passes.push_back(make_cost_audit_pass());
+  passes.push_back(make_equiv_pass());
   return passes;
 }
 

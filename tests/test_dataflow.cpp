@@ -1,0 +1,416 @@
+// Dataflow subsystem tests: the generic engine (both directions, fixpoint
+// termination, malformed-transfer tolerance), the three abstract domains
+// (value ranges, definite initialization, liveness), the abstract-shape /
+// independent-cost re-derivation — including the headline acceptance
+// check that the audited cost model agrees with every op of every model,
+// fused and unfused — and the negative paths of the four dataflow-backed
+// lint passes (range, deadcode, cost-audit, equiv).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/ir/fusion.h"
+#include "src/ir/gradients.h"
+#include "src/ir/graph.h"
+#include "src/ir/ops.h"
+#include "src/models/models.h"
+#include "src/verify/dataflow.h"
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+using ir::DataType;
+using ir::Graph;
+using ir::Op;
+using ir::OpType;
+using ir::Tensor;
+using ir::TensorRole;
+using sym::Expr;
+using sym::Interval;
+
+/// Small trainable MLP with concrete dims.
+struct Mlp {
+  Graph g{"mlp"};
+  Tensor* x = nullptr;
+  Tensor* w1 = nullptr;
+  Tensor* loss = nullptr;
+
+  Mlp() {
+    x = g.add_input("x", {Expr(4), Expr(8)});
+    Tensor* labels = g.add_input("labels", {Expr(4)}, DataType::kInt32);
+    w1 = g.add_weight("w1", {Expr(8), Expr(16)});
+    Tensor* w2 = g.add_weight("w2", {Expr(16), Expr(4)});
+    Tensor* h = ir::relu(g, "relu", ir::matmul(g, "fc1", x, w1));
+    Tensor* logits = ir::matmul(g, "fc2", h, w2);
+    auto [per_row, probs] = ir::softmax_xent(g, "xent", logits, labels);
+    (void)probs;
+    loss = ir::reduce_mean(g, "loss", per_row);
+  }
+};
+
+bool has_error(const std::vector<Diagnostic>& diags, const std::string& pass,
+               const std::string& needle) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.severity == Severity::kError && d.pass == pass &&
+           (d.message.find(needle) != std::string::npos ||
+            d.location.find(needle) != std::string::npos);
+  });
+}
+
+std::size_t error_count(const std::vector<Diagnostic>& diags) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+// --- engine ----------------------------------------------------------------
+
+TEST(DataflowEngine, RequiredConfigFieldsAreEnforced) {
+  Dataflow<bool>::Config cfg;
+  cfg.boundary = [](const Tensor&) { return false; };
+  cfg.equal = [](bool a, bool b) { return a == b; };
+  EXPECT_THROW(Dataflow<bool>{cfg}, std::invalid_argument);  // no transfer
+  cfg.transfer = [](const Op& op, const std::vector<bool>&) {
+    return std::vector<bool>(op.outputs().size(), true);
+  };
+  EXPECT_NO_THROW(Dataflow<bool>{cfg});  // forward needs no join
+  cfg.direction = Direction::kBackward;
+  EXPECT_THROW(Dataflow<bool>{cfg}, std::invalid_argument);  // backward needs join
+}
+
+TEST(DataflowEngine, ForwardTaintPropagatesThroughTheGraph) {
+  Mlp m;
+  Dataflow<bool>::Config cfg;
+  cfg.boundary = [&m](const Tensor& t) { return &t == m.x; };
+  cfg.transfer = [](const Op& op, const std::vector<bool>& in) {
+    const bool any = std::any_of(in.begin(), in.end(), [](bool b) { return b; });
+    return std::vector<bool>(op.outputs().size(), any);
+  };
+  cfg.equal = [](bool a, bool b) { return a == b; };
+  const auto facts = Dataflow<bool>(cfg).run(m.g);
+  EXPECT_TRUE(facts.at(m.loss));   // x reaches the loss
+  EXPECT_FALSE(facts.at(m.w1));    // boundary tensors keep their boundary fact
+}
+
+TEST(DataflowEngine, ThrowingTransferLeavesBoundaryFacts) {
+  Mlp m;
+  Dataflow<int>::Config cfg;
+  cfg.boundary = [](const Tensor&) { return 7; };
+  cfg.transfer = [](const Op&, const std::vector<int>&) -> std::vector<int> {
+    throw std::logic_error("reject every op");
+  };
+  cfg.equal = [](int a, int b) { return a == b; };
+  const auto facts = Dataflow<int>(cfg).run(m.g);
+  for (const auto& [t, v] : facts) EXPECT_EQ(v, 7);
+}
+
+// --- value ranges ----------------------------------------------------------
+
+TEST(ValueRanges, PointwiseBoundsAreTracked) {
+  Graph g{"ranges"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  Tensor* s = ir::sigmoid(g, "sig", x);
+  Tensor* r = ir::relu(g, "rel", x);
+  const auto ranges = compute_value_ranges(g);
+  EXPECT_EQ(ranges.at(s).lo, 0.0);
+  EXPECT_EQ(ranges.at(s).hi, 1.0);
+  EXPECT_FALSE(ranges.at(s).has_special());
+  EXPECT_EQ(ranges.at(r).lo, 0.0);
+  EXPECT_EQ(ranges.at(r).hi, HUGE_VAL);  // unbounded-finite, not +Inf
+  EXPECT_FALSE(ranges.at(r).may_be_pos_inf);
+}
+
+TEST(ValueRanges, ScaleMagnifiesConcreteBounds) {
+  Graph g{"ranges"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  Tensor* s = ir::sigmoid(g, "sig", x);
+  Tensor* big = ir::scale(g, "blow", s, Expr(4e38));
+  const auto ranges = compute_value_ranges(g);
+  EXPECT_EQ(ranges.at(big).lo, 0.0);
+  EXPECT_EQ(ranges.at(big).hi, 4e38);  // concrete witness beyond f32
+}
+
+// --- definite initialization ------------------------------------------------
+
+TEST(Initialized, TrainingGraphIsFullyInitialized) {
+  Mlp m;
+  ir::build_training_step(m.g, m.loss);
+  const auto init = compute_initialized(m.g);
+  for (const auto& [t, ok] : init) EXPECT_TRUE(ok) << t->name();
+}
+
+TEST(Initialized, OrphanActivationPoisonsItsConsumers) {
+  Mlp m;
+  Tensor* orphan =
+      m.g.make_tensor("orphan", {Expr(4), Expr(8)}, DataType::kFloat32,
+                      TensorRole::kActivation);
+  Tensor* y = ir::add(m.g, "poisoned", m.x, orphan);
+  const auto init = compute_initialized(m.g);
+  EXPECT_FALSE(init.at(orphan));
+  EXPECT_FALSE(init.at(y));
+  EXPECT_TRUE(init.at(m.x));
+}
+
+// --- liveness ---------------------------------------------------------------
+
+TEST(Liveness, DeadChainIsNotLiveButLossPathIs) {
+  Mlp m;
+  ir::build_training_step(m.g, m.loss);
+  Tensor* wasted = ir::tanh(m.g, "wasted", m.x);  // consumed by nothing
+  const auto live = compute_liveness(m.g);
+  EXPECT_FALSE(live.at(wasted));
+  EXPECT_TRUE(live.at(m.loss));
+  EXPECT_TRUE(live.at(m.x));
+}
+
+TEST(Liveness, MarkedOutputAnchorsDemand) {
+  Graph g{"fwd"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  Tensor* kept = ir::relu(g, "kept", x);
+  Tensor* dropped = ir::tanh(g, "dropped", x);
+  g.mark_output(kept);
+  const auto live = compute_liveness(g);
+  EXPECT_TRUE(live.at(kept));
+  EXPECT_FALSE(live.at(dropped));
+}
+
+// --- abstract shapes / independent cost -------------------------------------
+
+TEST(Shapes, MatMulOutputIsRederivedNotCopied) {
+  Mlp m;
+  const auto shapes = compute_shapes(m.g);
+  const Op* fc1 = nullptr;
+  for (const auto& op : m.g.ops())
+    if (std::string(op->name()) == "fc1") fc1 = op.get();
+  ASSERT_NE(fc1, nullptr);
+  const AbstractShape& out = shapes.at(fc1->output(0));
+  EXPECT_TRUE(out.derived);
+  EXPECT_TRUE(out.shape.equals(fc1->output(0)->shape()));
+}
+
+TEST(Shapes, ReshapeFallsBackToRecordedShape) {
+  Graph g{"shapes"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  Tensor* y = ir::reshape(g, "flat", x, ir::TensorShape{{Expr(32)}});
+  const auto shapes = compute_shapes(g);
+  EXPECT_FALSE(shapes.at(y).derived);
+  EXPECT_TRUE(shapes.at(y).shape.equals(y->shape()));
+}
+
+// The acceptance bar for the audit: the independent cost model re-derives
+// a cost for EVERY op of every model — fused and unfused — and agrees
+// with the claimed formulas exactly (Expr::equals after simplification).
+TEST(CostAudit, RederivesEveryOpOfEveryModelWithZeroMismatches) {
+  for (const bool fuse : {false, true}) {
+    auto specs = models::build_all_domains();
+    specs.push_back(models::build_transformer_lm());
+    for (const auto& spec : specs) {
+      if (fuse) ir::fuse_graph(*spec.graph);
+      const auto shapes = compute_shapes(*spec.graph);
+      for (const auto& op : spec.graph->ops()) {
+        const auto derived = derive_op_cost(*op, shapes);
+        ASSERT_TRUE(derived.has_value())
+            << spec.name << (fuse ? " (fused)" : "") << ": no derivation for op '"
+            << op->name() << "'";
+        EXPECT_TRUE(op->flops().equals(derived->flops))
+            << spec.name << (fuse ? " (fused)" : "") << ": op '" << op->name()
+            << "' claims FLOPs " << op->flops().str() << " but audit derived "
+            << derived->flops.str();
+        EXPECT_TRUE(op->bytes_accessed().equals(derived->bytes))
+            << spec.name << (fuse ? " (fused)" : "") << ": op '" << op->name()
+            << "' claims bytes " << op->bytes_accessed().str()
+            << " but audit derived " << derived->bytes.str();
+      }
+    }
+  }
+}
+
+// Zero false positives: the four dataflow-backed passes stay silent on
+// every model, fused and unfused.
+TEST(DataflowPasses, CleanOnEveryModelFusedAndUnfused) {
+  const VerifyOptions opts{.passes = {"range", "deadcode", "cost-audit", "equiv"}};
+  for (const bool fuse : {false, true}) {
+    auto specs = models::build_all_domains();
+    specs.push_back(models::build_transformer_lm());
+    for (const auto& spec : specs) {
+      if (fuse) ir::fuse_graph(*spec.graph);
+      const VerifyResult r = verify_graph(*spec.graph, opts);
+      EXPECT_EQ(r.count(Severity::kError), 0u)
+          << spec.name << (fuse ? " (fused)" : "");
+      EXPECT_EQ(r.count(Severity::kWarning), 0u)
+          << spec.name << (fuse ? " (fused)" : "");
+    }
+  }
+}
+
+// --- range pass -------------------------------------------------------------
+
+TEST(RangePass, FlagsProvenDtypeOverflow) {
+  Graph g{"overflow"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  Tensor* s = ir::sigmoid(g, "sig", x);
+  Tensor* big = ir::scale(g, "blow", s, Expr(4e38));
+  g.mark_output(big);
+  const VerifyResult r = verify_graph(g, {.passes = {"range"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "range", "proven overflow"));
+  // Exactly one finding: the op that introduces the overflow, not the
+  // whole downstream cascade.
+  EXPECT_EQ(error_count(r.diagnostics), 1u);
+}
+
+TEST(RangePass, FlagsScaleCoefficientThatCanBlowUp) {
+  Graph g{"alpha"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  // 1 / (h - b): both symbols are positive reals, so the denominator
+  // admits zero and the coefficient admits +/-Inf.
+  Tensor* y = ir::scale(g, "unstable", x,
+                        Expr(1.0) / (Expr::symbol("h") - Expr::symbol("b")));
+  g.mark_output(y);
+  const VerifyResult r = verify_graph(g, {.passes = {"range"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "range", "scale coefficient"));
+}
+
+TEST(RangePass, FlagsSoftmaxOverPoisonedLogits) {
+  Graph g{"poison"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  Tensor* bad = ir::scale(g, "div0", x,
+                          Expr(1.0) / (Expr::symbol("h") - Expr::symbol("b")));
+  Tensor* p = ir::softmax(g, "sm", bad);
+  g.mark_output(p);
+  const VerifyResult r = verify_graph(g, {.passes = {"range"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "range", "softmax max-subtraction"));
+}
+
+// --- deadcode pass ----------------------------------------------------------
+
+TEST(DeadCodePass, FlagsOpsThatReachNoSink) {
+  Mlp m;
+  ir::build_training_step(m.g, m.loss);
+  ir::tanh(m.g, "wasted", m.x);
+  const VerifyResult r = verify_graph(m.g, {.passes = {"deadcode"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "deadcode", "wasted"));
+  EXPECT_EQ(error_count(r.diagnostics), 1u);
+}
+
+TEST(DeadCodePass, SilentWhenGraphHasNoSinksAtAll) {
+  Graph g{"fwd"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  ir::relu(g, "r", x);  // forward-only graph, nothing marked
+  const VerifyResult r = verify_graph(g, {.passes = {"deadcode"}});
+  EXPECT_EQ(error_count(r.diagnostics), 0u);
+}
+
+TEST(DeadCodePass, MarkingTheResultSilencesTheFinding) {
+  Graph g{"fwd"};
+  Tensor* x = g.add_input("x", {Expr(4)});
+  Tensor* kept = ir::relu(g, "kept", x);
+  Tensor* inference = ir::tanh(g, "inference", kept);
+  g.mark_output(inference);
+  const VerifyResult r = verify_graph(g, {.passes = {"deadcode"}});
+  EXPECT_EQ(error_count(r.diagnostics), 0u);
+}
+
+// --- cost-audit pass --------------------------------------------------------
+
+TEST(CostAuditPass, FlagsTamperedOperandShape) {
+  // MatMul caches its GEMM dims at construction; retroactively growing an
+  // operand makes the cached claim disagree with the audit's re-derivation.
+  Mlp m;
+  m.x->set_shape({Expr(4), Expr(9)});
+  const VerifyResult r = verify_graph(m.g, {.passes = {"cost-audit"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "cost-audit", "claimed FLOPs"));
+}
+
+TEST(CostAuditPass, FlagsSliceOverrun) {
+  Graph g{"slice"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  auto* sl = g.add_op<ir::SliceOp>("overrun", x, 1, Expr(6.0), Expr(4.0));
+  g.mark_output(sl->output(0));
+  const VerifyResult r = verify_graph(g, {.passes = {"cost-audit"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "cost-audit", "slice overruns"));
+}
+
+TEST(CostAuditPass, InBoundsSliceIsClean) {
+  Graph g{"slice"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  auto* sl = g.add_op<ir::SliceOp>("ok", x, 1, Expr(4.0), Expr(4.0));
+  g.mark_output(sl->output(0));
+  const VerifyResult r = verify_graph(g, {.passes = {"cost-audit"}});
+  EXPECT_EQ(error_count(r.diagnostics), 0u);
+}
+
+// --- equiv pass -------------------------------------------------------------
+
+/// Pointwise chain that the fusion rewrite collapses into one
+/// FusedPointwiseOp (with a minted certificate).
+Graph make_fusible_graph() {
+  Graph g{"fusible"};
+  Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  Tensor* y = g.add_input("y", {Expr(4), Expr(8)});
+  Tensor* s = ir::sigmoid(g, "sig", x);
+  Tensor* t = ir::mul(g, "gate", s, y);
+  Tensor* u = ir::one_minus(g, "flip", t);
+  g.mark_output(u);
+  return g;
+}
+
+TEST(EquivPass, FusionCertificatesValidate) {
+  Graph g = make_fusible_graph();
+  const auto result = ir::fuse_graph(g);
+  ASSERT_GE(result.pointwise_groups, 1u);
+  const VerifyResult r = verify_graph(g, {.passes = {"equiv"}});
+  EXPECT_EQ(error_count(r.diagnostics), 0u);
+  bool saw_cert = false;
+  for (const auto& op : g.ops())
+    if (op->type() == OpType::kFusedPointwise)
+      saw_cert = saw_cert ||
+                 !static_cast<const ir::FusedPointwiseOp&>(*op).certificate().empty();
+  EXPECT_TRUE(saw_cert);
+}
+
+TEST(EquivPass, FlagsTamperedCertificate) {
+  Graph g = make_fusible_graph();
+  ir::fuse_graph(g);
+  ir::FusedPointwiseOp* fused = nullptr;
+  for (const auto& op : g.ops())
+    if (op->type() == OpType::kFusedPointwise)
+      fused = static_cast<ir::FusedPointwiseOp*>(op.get());
+  ASSERT_NE(fused, nullptr);
+  ASSERT_FALSE(fused->certificate().empty());
+  fused->set_certificate("(tampered)");
+  const VerifyResult r = verify_graph(g, {.passes = {"equiv"}});
+  EXPECT_TRUE(has_error(r.diagnostics, "equiv", "rewrite certificate"));
+}
+
+// --- deterministic report order (satellite) ---------------------------------
+
+TEST(VerifyEngine, DiagnosticsAreSortedDeterministically) {
+  Mlp m;
+  ir::build_training_step(m.g, m.loss);
+  ir::tanh(m.g, "wasted_b", m.x);
+  ir::tanh(m.g, "wasted_a", m.x);
+  const VerifyResult r = verify_graph(m.g);
+  // Grouped by pass in run order, then ordered by location within a pass.
+  std::vector<std::size_t> ranks;
+  for (const Diagnostic& d : r.diagnostics) {
+    const auto it = std::find(r.passes_run.begin(), r.passes_run.end(), d.pass);
+    ranks.push_back(static_cast<std::size_t>(it - r.passes_run.begin()));
+  }
+  EXPECT_TRUE(std::is_sorted(ranks.begin(), ranks.end()));
+  for (std::size_t i = 1; i < r.diagnostics.size(); ++i)
+    if (ranks[i] == ranks[i - 1])
+      EXPECT_LE(r.diagnostics[i - 1].location, r.diagnostics[i].location);
+  // And two runs agree byte-for-byte.
+  const VerifyResult r2 = verify_graph(m.g);
+  ASSERT_EQ(r.diagnostics.size(), r2.diagnostics.size());
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i)
+    EXPECT_EQ(r.diagnostics[i].str(), r2.diagnostics[i].str());
+}
+
+}  // namespace
+}  // namespace gf::verify

@@ -1,0 +1,79 @@
+// Seeded-defect corpus: every file under tests/data/lint/ is a serialized
+// graph carrying exactly one planted defect, named <pass>__<defect>.txt
+// after the lint pass that must catch it. Two contracts per file:
+//
+//   1. `gfctl lint --file <f>` exits 2 (error-severity findings) — the
+//      exit-code contract CI's lint gate relies on.
+//   2. In-process, every error-severity diagnostic comes from the
+//      intended pass and no other — each defect is caught by exactly the
+//      analysis built to catch it, not by collateral damage in another.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/verify/pass.h"
+
+namespace gf::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  const fs::path dir = fs::path(GF_TEST_DATA_DIR) / "lint";
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".txt") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string intended_pass(const fs::path& file) {
+  const std::string stem = file.stem().string();
+  const std::size_t sep = stem.find("__");
+  return sep == std::string::npos ? stem : stem.substr(0, sep);
+}
+
+TEST(LintCorpus, CoversAllFourDataflowPasses) {
+  const auto files = corpus_files();
+  EXPECT_GE(files.size(), 8u);
+  std::set<std::string> passes;
+  for (const auto& f : files) passes.insert(intended_pass(f));
+  for (const char* p : {"range", "deadcode", "cost-audit", "equiv"})
+    EXPECT_TRUE(passes.count(p)) << "no corpus file seeds a '" << p << "' defect";
+}
+
+TEST(LintCorpus, GfctlExitsTwoOnEveryDefect) {
+  for (const auto& file : corpus_files()) {
+    const std::string cmd = std::string(GF_GFCTL_PATH) + " lint --file " +
+                            file.string() + " --json > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(status)) << file.filename();
+    EXPECT_EQ(WEXITSTATUS(status), 2) << file.filename();
+  }
+}
+
+TEST(LintCorpus, EveryDefectIsCaughtByExactlyItsIntendedPass) {
+  for (const auto& file : corpus_files()) {
+    const std::string pass = intended_pass(file);
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    const VerifyResult r = verify_serialized(in);
+    EXPECT_GT(r.count(Severity::kError), 0u)
+        << file.filename() << ": the planted defect was not caught";
+    for (const Diagnostic& d : r.diagnostics)
+      if (d.severity == Severity::kError)
+        EXPECT_EQ(d.pass, pass)
+            << file.filename() << ": stray error from pass '" << d.pass
+            << "': " << d.message;
+  }
+}
+
+}  // namespace
+}  // namespace gf::verify

@@ -182,6 +182,17 @@ TEST(Sign, PowersLogsAndMax) {
   EXPECT_EQ(sign_of(max(x - Expr(5), Expr(1))), Sign::kPositive);
 }
 
+TEST(Sign, AbsoluteValueAndAnnihilatingProducts) {
+  // max(a, -a) = |a| >= 0, even though each argument alone has unknown
+  // sign; min-of-mixed-signs reaches this shape since min(a, b) enters
+  // canonical form as -max(-a, -b).
+  EXPECT_EQ(sign_of(max(log(x), -log(x))), Sign::kNonNegative);
+  EXPECT_EQ(sign_of(-max(log(x), -log(x))), Sign::kNonPositive);
+  // A provably-zero factor annihilates the product even when an earlier
+  // factor's sign is unknown.
+  EXPECT_EQ(sign_of((x - Expr(1)) * max(-x, Expr(0))), Sign::kZero);
+}
+
 TEST(Sign, ProvablyHelpers) {
   EXPECT_TRUE(provably_positive(x * Expr(2)));
   EXPECT_FALSE(provably_positive(x - Expr(1)));

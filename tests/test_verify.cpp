@@ -62,9 +62,9 @@ TEST(VerifyEngine, CleanTrainingGraphHasNoFindings) {
   const VerifyResult result = verify_graph(m.g);
   EXPECT_EQ(result.count(Severity::kError), 0u);
   EXPECT_EQ(result.count(Severity::kWarning), 0u);
-  ASSERT_EQ(result.passes_run.size(), 7u);
+  ASSERT_EQ(result.passes_run.size(), 11u);
   EXPECT_EQ(result.passes_run.front(), "structure");
-  EXPECT_EQ(result.passes_run.back(), "fusion");
+  EXPECT_EQ(result.passes_run.back(), "equiv");
 }
 
 TEST(VerifyEngine, PassSelectionAndUnknownPass) {

@@ -1,7 +1,8 @@
 // Kernel-layer microbenchmark: blocked GEMM / conv kernels vs the retained
 // reference implementations, validated against the paper's cache model.
 //
-// Three sections, emitted as both a console table and BENCH_kernels.json:
+// Four sections. The first three go to BENCH_kernels.json, the fourth to
+// BENCH_codegen.json:
 //
 //  1. GEMM sweep over shapes drawn from the paper's models (word-LM
 //     projection, NMT attention/recurrent, ResNet im2col shapes) plus the
@@ -13,18 +14,31 @@
 //     outgrow one macro-tile, tracking the `hw::tiled_matmul_bytes` trend
 //     (the paper's §4 tiled-GEMM traffic shape). Mismatched direction is a
 //     hard failure (nonzero exit), as is any bitwise mismatch.
+//  4. Codegen: fused-pointwise chains drawn from the paper's cells (LSTM
+//     cell epilogue, RHN carry gate, residual+bias ReLU, gate backprop)
+//     run compiled-vs-interpreter per supported ISA, plus the blocked GEMM
+//     with the scalar 4x8 micro-kernel vs the register-tile-rule compiled
+//     one. Exact-ops chains must match the interpreter bitwise; sigmoid/
+//     tanh chains within epsilon. Outside --smoke, at least one chain must
+//     clear a 2x compiled speedup or the run fails.
 //
-// Flags: --smoke (tiny shapes, 1 rep — CI), --threads N, --out PATH.
+// Flags: --smoke (tiny shapes, 1 rep — CI), --threads N, --out PATH,
+// --codegen-out PATH.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/concurrency/thread_pool.h"
 #include "src/hw/cache_model.h"
+#include "src/hw/cpu_features.h"
+#include "src/runtime/codegen/dispatch.h"
 #include "src/runtime/gemm.h"
 #include "src/runtime/kernels.h"
 #include "src/util/format.h"
@@ -210,6 +224,267 @@ std::vector<TrafficPoint> traffic_sweep(conc::ThreadPool& pool,
   return pts;
 }
 
+// ---------------------------------------------------------------------------
+// Section 4: codegen — compiled fused pointwise and the GEMM micro-kernel.
+// ---------------------------------------------------------------------------
+
+/// A fused per-element program with paper-derived shape: the chains the
+/// graph-level fusion pass actually forms on the six models.
+struct ChainSpec {
+  const char* label;
+  std::vector<std::int64_t> input_elems;  // element count per input
+  std::vector<ir::FusedInstr> program;
+  /// True when every instruction is an exact-IEEE op (no kSigmoid/kTanh):
+  /// the compiled path must then match the interpreter bitwise.
+  bool exact = false;
+};
+
+/// The LSTM cell epilogue: h = sigmoid(o) * tanh(sigmoid(i)*tanh(g) +
+/// sigmoid(f)*c_prev). Inputs: i, f, g, o preactivations and c_prev.
+ChainSpec lstm_cell_chain(std::int64_t n) {
+  using F = ir::PointwiseFn;
+  ChainSpec c;
+  c.label = "lstm_cell";
+  c.input_elems = {n, n, n, n, n};
+  c.program = {{F::kSigmoid, {0}},   // 5: sigmoid(i)
+               {F::kSigmoid, {1}},   // 6: sigmoid(f)
+               {F::kTanh, {2}},      // 7: tanh(g)
+               {F::kMul, {5, 7}},    // 8: input gate * candidate
+               {F::kMul, {6, 4}},    // 9: forget gate * c_prev
+               {F::kAdd, {8, 9}},    // 10: c
+               {F::kSigmoid, {3}},   // 11: sigmoid(o)
+               {F::kTanh, {10}},     // 12: tanh(c)
+               {F::kMul, {11, 12}}}; // 13: h
+  return c;
+}
+
+/// The RHN carry gate: y = tanh(h)*s + x*(1-s), s = sigmoid(t). Inputs:
+/// h, t, x.
+ChainSpec rhn_carry_chain(std::int64_t n) {
+  using F = ir::PointwiseFn;
+  ChainSpec c;
+  c.label = "rhn_carry";
+  c.input_elems = {n, n, n};
+  c.program = {{F::kSigmoid, {1}},  // 3: s
+               {F::kTanh, {0}},     // 4: tanh(h)
+               {F::kMul, {4, 3}},   // 5: tanh(h)*s
+               {F::kOneMinus, {3}}, // 6: 1-s
+               {F::kMul, {2, 6}},   // 7: x*(1-s)
+               {F::kAdd, {5, 7}}};  // 8: y
+  return c;
+}
+
+/// ResNet-style residual add with a broadcast rank-1 bias and ReLU:
+/// y = relu(x + r + bias). The bias input exercises the periodic load
+/// classification. Exact ops only — bitwise-checked.
+ChainSpec residual_bias_relu_chain(std::int64_t n, std::int64_t hidden) {
+  using F = ir::PointwiseFn;
+  ChainSpec c;
+  c.label = "residual_bias_relu";
+  c.input_elems = {n, n, hidden};
+  c.program = {{F::kAddN, {0, 1, 2}}, {F::kRelu, {3}}};
+  c.exact = true;
+  return c;
+}
+
+/// Gate backprop: dz = (1/b) * sigmoid_grad(y, dy). Exact ops only.
+ChainSpec gate_backprop_chain(std::int64_t n) {
+  using F = ir::PointwiseFn;
+  ChainSpec c;
+  c.label = "gate_backprop";
+  c.input_elems = {n, n};
+  c.program = {{F::kSigmoidGrad, {0, 1}},
+               {F::kScale, {2}, sym::Expr(1.0 / 128.0)}};
+  c.exact = true;
+  return c;
+}
+
+struct ChainIsaResult {
+  std::string isa;
+  double gbytes_per_s = 0;
+  double speedup = 0;  // vs the interpreter
+};
+
+struct ChainResult {
+  std::string label;
+  std::int64_t elems = 0;
+  std::size_t instrs = 0;
+  bool exact = false;
+  double interp_gbytes_per_s = 0;
+  std::vector<ChainIsaResult> per_isa;
+  double best_speedup = 0;
+  double max_rel_err = 0;   // compiled (best ISA) vs interpreter
+  bool bitwise_ok = true;   // exact chains only; true otherwise
+  bool parity_ok = false;
+};
+
+/// Max |a-b| / max(|b|, 1) over the tensors.
+double max_rel_err(const rt::DenseTensor& a, const rt::DenseTensor& b) {
+  double worst = 0;
+  const float* pa = a.fdata();
+  const float* pb = b.fdata();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double denom = std::max(std::abs(static_cast<double>(pb[i])), 1.0);
+    worst = std::max(worst, std::abs(static_cast<double>(pa[i]) - pb[i]) / denom);
+  }
+  return worst;
+}
+
+/// Relative-error bound for chains through the polynomial kSigmoid/kTanh:
+/// the Cephes exp is ~2 ulp, and the chains compose at most two of them.
+constexpr double kChainRelTol = 1e-5;
+
+ChainResult bench_chain(const ChainSpec& spec, conc::ThreadPool& pool, int reps) {
+  const std::int64_t n =
+      *std::max_element(spec.input_elems.begin(), spec.input_elems.end());
+  std::vector<rt::DenseTensor> storage;
+  storage.reserve(spec.input_elems.size());
+  std::vector<const rt::DenseTensor*> inputs;
+  for (std::size_t i = 0; i < spec.input_elems.size(); ++i) {
+    storage.emplace_back(std::vector<std::int64_t>{spec.input_elems[i]},
+                         ir::DataType::kFloat32);
+    const std::vector<float> v =
+        random_vec(static_cast<std::size_t>(spec.input_elems[i]),
+                   static_cast<std::uint32_t>(53 + 7 * i));
+    std::memcpy(storage.back().fdata(), v.data(), v.size() * sizeof(float));
+  }
+  for (const rt::DenseTensor& t : storage) inputs.push_back(&t);
+  rt::DenseTensor out_interp({n}, ir::DataType::kFloat32);
+  rt::DenseTensor out_simd({n}, ir::DataType::kFloat32);
+
+  std::vector<double> alphas;
+  for (const ir::FusedInstr& ins : spec.program)
+    alphas.push_back(ins.alpha.eval(sym::Bindings{}));
+
+  double moved_bytes = static_cast<double>(n) * sizeof(float);
+  for (std::int64_t e : spec.input_elems)
+    moved_bytes += static_cast<double>(e) * sizeof(float);
+
+  ChainResult res;
+  res.label = spec.label;
+  res.elems = n;
+  res.instrs = spec.program.size();
+  res.exact = spec.exact;
+
+  rt::KernelStats stats;
+  const double t_interp = time_best(reps, [&] {
+    rt::fused_pointwise(spec.program, inputs, alphas, out_interp, pool, stats);
+  });
+  res.interp_gbytes_per_s = moved_bytes / t_interp / 1e9;
+
+  const hw::SimdIsa best = hw::best_simd_isa();
+  for (const hw::SimdIsa isa :
+       {hw::SimdIsa::kGeneric, hw::SimdIsa::kAvx2, hw::SimdIsa::kAvx512,
+        hw::SimdIsa::kNeon}) {
+    if (!hw::isa_supported(isa)) continue;
+    const double t = time_best(reps, [&] {
+      if (!rt::fused_pointwise_simd(spec.program, inputs, alphas, out_simd, pool,
+                                    stats, isa))
+        throw std::runtime_error("compiled path refused a benchmark chain");
+    });
+    ChainIsaResult r;
+    r.isa = hw::simd_isa_name(isa);
+    r.gbytes_per_s = moved_bytes / t / 1e9;
+    r.speedup = t_interp / t;
+    if (isa == best) {
+      res.best_speedup = r.speedup;
+      res.max_rel_err = max_rel_err(out_simd, out_interp);
+      if (spec.exact)
+        res.bitwise_ok =
+            std::memcmp(out_simd.fdata(), out_interp.fdata(),
+                        static_cast<std::size_t>(n) * sizeof(float)) == 0;
+    }
+    res.per_isa.push_back(r);
+  }
+  res.parity_ok = res.max_rel_err <= kChainRelTol && res.bitwise_ok;
+  return res;
+}
+
+struct UkrResult {
+  std::string label;
+  double scalar_gflops = 0;
+  double simd_gflops = 0;
+  double speedup = 0;
+  bool bitwise_match = false;
+  std::string scalar_tile;
+  std::string simd_tile;
+};
+
+/// Blocked GEMM with the seed 4x8 scalar micro-kernel vs the register-tile
+/// rule's compiled one — the same packing and cache tiling either way, so
+/// the delta is the micro-kernel. The two must agree bitwise (the vector
+/// kernel replicates the scalar float-multiply/double-add order).
+UkrResult bench_gemm_ukr(const GemmShape& shape, conc::ThreadPool& pool, int reps) {
+  const std::vector<float> a =
+      random_vec(static_cast<std::size_t>(shape.m * shape.k), 61);
+  const std::vector<float> b =
+      random_vec(static_cast<std::size_t>(shape.k * shape.n), 67);
+  std::vector<float> c_scalar(static_cast<std::size_t>(shape.m * shape.n));
+  std::vector<float> c_simd(c_scalar.size());
+  const double flops = 2.0 * static_cast<double>(shape.m) * shape.n * shape.k;
+
+  UkrResult res;
+  res.label = shape.label;
+
+  rt::codegen::set_forced_isa(hw::SimdIsa::kScalar);
+  {
+    const rt::GemmTiling tiling = rt::default_gemm_tiling();
+    res.scalar_tile = std::to_string(tiling.mr) + "x" + std::to_string(tiling.nr);
+    const double t = time_best(reps, [&] {
+      rt::blocked_gemm(a.data(), b.data(), c_scalar.data(), 1, shape.m, shape.n,
+                       shape.k, false, false, 0, 0, 0, tiling, pool);
+    });
+    res.scalar_gflops = flops / t / 1e9;
+  }
+  rt::codegen::set_forced_isa(hw::best_simd_isa());
+  {
+    const rt::GemmTiling tiling = rt::default_gemm_tiling();
+    res.simd_tile = std::to_string(tiling.mr) + "x" + std::to_string(tiling.nr);
+    const double t = time_best(reps, [&] {
+      rt::blocked_gemm(a.data(), b.data(), c_simd.data(), 1, shape.m, shape.n,
+                       shape.k, false, false, 0, 0, 0, tiling, pool);
+    });
+    res.simd_gflops = flops / t / 1e9;
+  }
+  rt::codegen::set_forced_isa(std::nullopt);
+
+  res.speedup = res.simd_gflops / res.scalar_gflops;
+  res.bitwise_match = bitwise_equal(c_scalar, c_simd);
+  return res;
+}
+
+void write_codegen_json(const std::string& path, std::size_t threads,
+                        const std::vector<ChainResult>& chains,
+                        const UkrResult& ukr, bool speedup_gate_ok) {
+  std::ofstream os(path);
+  os << "{\n  \"threads\": " << threads << ",\n  \"best_isa\": \""
+     << hw::simd_isa_name(hw::best_simd_isa()) << "\",\n  \"chains\": [\n";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    const ChainResult& c = chains[i];
+    os << "    {\"label\": \"" << c.label << "\", \"elems\": " << c.elems
+       << ", \"instrs\": " << c.instrs
+       << ", \"exact\": " << (c.exact ? "true" : "false")
+       << ", \"interp_gbytes_per_s\": " << c.interp_gbytes_per_s
+       << ", \"best_speedup\": " << c.best_speedup
+       << ", \"max_rel_err\": " << c.max_rel_err
+       << ", \"bitwise_ok\": " << (c.bitwise_ok ? "true" : "false")
+       << ", \"parity_ok\": " << (c.parity_ok ? "true" : "false")
+       << ", \"per_isa\": [";
+    for (std::size_t j = 0; j < c.per_isa.size(); ++j)
+      os << (j ? ", " : "") << "{\"isa\": \"" << c.per_isa[j].isa
+         << "\", \"gbytes_per_s\": " << c.per_isa[j].gbytes_per_s
+         << ", \"speedup\": " << c.per_isa[j].speedup << "}";
+    os << "]}" << (i + 1 < chains.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"gemm_micro_kernel\": {\"label\": \"" << ukr.label
+     << "\", \"scalar_tile\": \"" << ukr.scalar_tile << "\", \"simd_tile\": \""
+     << ukr.simd_tile << "\", \"scalar_gflops\": " << ukr.scalar_gflops
+     << ", \"simd_gflops\": " << ukr.simd_gflops << ", \"speedup\": " << ukr.speedup
+     << ", \"bitwise_match\": " << (ukr.bitwise_match ? "true" : "false")
+     << "},\n  \"speedup_gate_2x\": " << (speedup_gate_ok ? "true" : "false")
+     << "\n}\n";
+}
+
 void write_json(const std::string& path, std::size_t threads,
                 const std::vector<GemmResult>& gemms,
                 const std::vector<ConvResult>& convs,
@@ -256,6 +531,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t threads = 8;
   std::string out_path = "BENCH_kernels.json";
+  std::string codegen_out_path = "BENCH_codegen.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -264,8 +540,11 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--codegen-out" && i + 1 < argc) {
+      codegen_out_path = argv[++i];
     } else {
-      std::cerr << "usage: kernel_bench [--smoke] [--threads N] [--out PATH]\n";
+      std::cerr << "usage: kernel_bench [--smoke] [--threads N] [--out PATH] "
+                   "[--codegen-out PATH]\n";
       return 2;
     }
   }
@@ -341,8 +620,65 @@ int main(int argc, char** argv) {
   std::cout << "\ntraffic trend matches cache model: " << (traffic_trend_ok ? "yes" : "NO")
             << "\n";
 
+  // Section 4: compiled fused pointwise vs the interpreter, per ISA.
+  const std::int64_t chain_n = smoke ? 8192 : (1 << 20);
+  const std::int64_t chain_hidden = smoke ? 64 : 1024;
+  const std::vector<ChainSpec> chain_specs = {
+      lstm_cell_chain(chain_n),
+      rhn_carry_chain(chain_n),
+      residual_bias_relu_chain(chain_n, chain_hidden),
+      gate_backprop_chain(chain_n),
+  };
+  std::vector<ChainResult> chains;
+  util::Table chain_table({"chain", "elems", "instrs", "interp GB/s",
+                           "best GB/s", "speedup", "max rel err", "parity"});
+  for (const ChainSpec& spec : chain_specs) {
+    const ChainResult r = bench_chain(spec, pool, reps);
+    ok = ok && r.parity_ok;
+    double best_gbps = 0;
+    for (const ChainIsaResult& per : r.per_isa)
+      best_gbps = std::max(best_gbps, per.gbytes_per_s);
+    chain_table.add_row(
+        {r.label, std::to_string(r.elems), std::to_string(r.instrs),
+         util::format_sig(r.interp_gbytes_per_s, 3), util::format_sig(best_gbps, 3),
+         util::format_sig(r.best_speedup, 3) + "x",
+         util::format_sig(r.max_rel_err, 2),
+         r.parity_ok ? (r.exact ? "bitwise" : "eps") : "NO"});
+    chains.push_back(r);
+  }
+  std::cout << "\n== codegen: compiled fused pointwise vs interpreter (best isa: "
+            << hw::simd_isa_name(hw::best_simd_isa()) << ") ==\n";
+  chain_table.print(std::cout);
+
+  const GemmShape ukr_shape =
+      smoke ? GemmShape{"smoke_square", 96, 96, 96}
+            : GemmShape{"lstm_gates", 128, 4096, 2048};
+  const UkrResult ukr = bench_gemm_ukr(ukr_shape, pool, reps);
+  ok = ok && ukr.bitwise_match;
+  std::cout << "\n== codegen: GEMM micro-kernel scalar " << ukr.scalar_tile
+            << " vs compiled " << ukr.simd_tile << " (" << ukr.label << ") ==\n"
+            << "scalar " << util::format_sig(ukr.scalar_gflops, 3)
+            << " GF/s, compiled " << util::format_sig(ukr.simd_gflops, 3)
+            << " GF/s, speedup " << util::format_sig(ukr.speedup, 3)
+            << "x, bitwise " << (ukr.bitwise_match ? "yes" : "NO") << "\n";
+
+  // The tentpole's acceptance gate: outside --smoke (whose shapes are too
+  // small to measure honestly), some paper-derived chain must run >= 2x
+  // faster compiled than interpreted.
+  bool speedup_gate_ok = true;
+  if (!smoke) {
+    speedup_gate_ok = false;
+    for (const ChainResult& r : chains)
+      speedup_gate_ok = speedup_gate_ok || r.best_speedup >= 2.0;
+    ok = ok && speedup_gate_ok;
+    std::cout << "compiled speedup >= 2x on some chain: "
+              << (speedup_gate_ok ? "yes" : "NO") << "\n";
+  }
+
   write_json(out_path, threads, gemms, convs, traffic, traffic_trend_ok);
   std::cout << "wrote " << out_path << "\n";
+  write_codegen_json(codegen_out_path, threads, chains, ukr, speedup_gate_ok);
+  std::cout << "wrote " << codegen_out_path << "\n";
   if (!ok) {
     std::cerr << "kernel_bench: FAILURE (bitwise/determinism/traffic check failed)\n";
     return 1;

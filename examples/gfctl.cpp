@@ -19,8 +19,13 @@
 //                       [--memory-weight W]] [--workers N]
 //                      [--overhead SECONDS] [--json]
 //   gfctl domains
+//   gfctl cpu
 //
 // <domain> is one of: wordlm charlm nmt speech image transformer
+//
+// cpu prints the probed SIMD capabilities of the executing machine, the
+// compiled ISA the runtime would pick (GF_SIMD-aware), and the GEMM
+// register micro-tile each ISA gets from hw::register_tile_rule.
 //
 // whatif re-simulates a profiled trace (written by `gfctl trace`) under a
 // hypothetical optimization — Daydream-style: transform the measured
@@ -50,7 +55,9 @@
 #include <vector>
 
 #include "src/gradient_frontier.h"
+#include "src/hw/cpu_features.h"
 #include "src/ir/serialize.h"
+#include "src/runtime/codegen/dispatch.h"
 
 namespace {
 
@@ -104,6 +111,35 @@ int cmd_domains() {
                    util::format_sig(d.desired_sota_error)});
   table.print(std::cout);
   std::cout << "plus the extension model: transformer (word-LM task)\n";
+  return 0;
+}
+
+int cmd_cpu() {
+  const hw::CpuFeatures& f = hw::cpu_features();
+  std::cout << "detected features: avx2=" << (f.avx2 ? "yes" : "no")
+            << " avx512f=" << (f.avx512f ? "yes" : "no")
+            << " neon=" << (f.neon ? "yes" : "no")
+            << " max-vector-width=" << f.max_vector_width_floats << " floats\n";
+  std::cout << "best compiled isa: " << hw::simd_isa_name(hw::best_simd_isa())
+            << "\n";
+  std::cout << "active isa (GF_SIMD-resolved): "
+            << hw::simd_isa_name(rt::codegen::active_isa()) << "\n";
+  std::cout << "executor default: "
+            << (rt::codegen::simd_env_default() ? "compiled" : "interpreter")
+            << " pointwise kernels\n\n";
+  util::Table table(
+      {"isa", "supported", "width (f32)", "vector regs", "gemm tile mr x nr"});
+  for (const hw::SimdIsa isa :
+       {hw::SimdIsa::kScalar, hw::SimdIsa::kGeneric, hw::SimdIsa::kAvx2,
+        hw::SimdIsa::kAvx512, hw::SimdIsa::kNeon}) {
+    const hw::RegisterTile tile = hw::register_tile_rule(isa);
+    table.add_row({hw::simd_isa_name(isa),
+                   hw::isa_supported(isa) ? "yes" : "no",
+                   std::to_string(hw::simd_width_floats(isa)),
+                   std::to_string(hw::simd_register_count(isa)),
+                   std::to_string(tile.mr) + " x " + std::to_string(tile.nr)});
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -554,12 +590,13 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
-                   "<domains|characterize|project|fit|subbatch|sweep|export|trace|lint|"
-                   "memplan|fuse|whatif> ...\n";
+                   "<domains|cpu|characterize|project|fit|subbatch|sweep|export|trace|"
+                   "lint|memplan|fuse|whatif> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
     if (cmd == "domains") return cmd_domains();
+    if (cmd == "cpu") return cmd_cpu();
     if (cmd == "characterize") return cmd_characterize(args);
     if (cmd == "project") return cmd_project(args);
     if (cmd == "fit") return cmd_fit(args);

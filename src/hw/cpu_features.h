@@ -1,0 +1,89 @@
+// Runtime CPU SIMD capability probe and the register-tile rule.
+//
+// The codegen layer (src/runtime/codegen/) compiles fused pointwise
+// programs and the GEMM micro-kernel once per instruction set and picks an
+// implementation at runtime. This header is the single source of truth for
+//
+//   - what the executing CPU supports (`cpu_features()`, probed once), and
+//   - how wide the register micro-tile of the blocked GEMM should be for a
+//     given ISA (`register_tile_rule`) — the register-file analogue of the
+//     cache-tile rule in hw/cache_model.h: the kMr x kNr double-precision
+//     accumulator block plus one broadcast A value and one packed B row
+//     must fit the architectural vector register file, exactly as the
+//     KC/MC/NC cache blocks must fit the modeled cache.
+//
+// The GF_SIMD environment variable (and programmatic overrides layered on
+// top of it in src/runtime/codegen/dispatch.h) selects which ISA the
+// runtime actually uses; requesting an ISA the CPU lacks falls back to the
+// best available one rather than faulting. "scalar" disables the compiled
+// paths entirely — that is the bitwise reference the sanitizer CI runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gf::hw {
+
+/// Instruction sets the codegen layer can target. kScalar is not a
+/// compiled target: it names the retained interpreter / reference kernels
+/// (the bitwise-determinism baseline). kGeneric is the compiled portable
+/// path — the same vectorized loops built without ISA-specific flags — and
+/// is available on every CPU.
+enum class SimdIsa : std::uint8_t { kScalar, kGeneric, kAvx2, kAvx512, kNeon };
+
+const char* simd_isa_name(SimdIsa isa);
+
+/// Parses a GF_SIMD-style spelling: "scalar"/"0"/"" -> kScalar,
+/// "generic" -> kGeneric, "avx2" -> kAvx2, "avx512" -> kAvx512,
+/// "neon" -> kNeon, "auto"/"1" -> nullopt (meaning: best available).
+/// Unknown spellings throw std::invalid_argument.
+std::optional<SimdIsa> parse_simd_isa(const std::string& spelling);
+
+/// What the executing CPU can run, probed once (GCC/Clang builtins on
+/// x86-64, architecture macros on AArch64).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool neon = false;
+  /// Widest usable float lane count (16 on AVX-512, 8 on AVX2, 4 on
+  /// NEON, 4 with bare SSE2 — x86-64 baseline).
+  int max_vector_width_floats = 4;
+};
+
+const CpuFeatures& cpu_features();
+
+/// True when the probed CPU can execute code compiled for `isa`.
+/// kScalar and kGeneric are always supported.
+bool isa_supported(SimdIsa isa, const CpuFeatures& features = cpu_features());
+
+/// Widest supported compiled ISA for the probed CPU (kGeneric when no
+/// vector extension is available).
+SimdIsa best_simd_isa(const CpuFeatures& features = cpu_features());
+
+/// Float lanes per vector register for an ISA (1 for kScalar; kGeneric
+/// uses 8 — the portable loops are written 8 wide and lowered by the
+/// compiler to whatever the baseline ISA provides).
+int simd_width_floats(SimdIsa isa);
+
+/// Architectural vector register count the ISA guarantees (16 for
+/// AVX2/generic x86-64, 32 for AVX-512 and NEON/AArch64).
+int simd_register_count(SimdIsa isa);
+
+/// GEMM register micro-tile.
+struct RegisterTile {
+  std::int64_t mr = 4;
+  std::int64_t nr = 8;
+};
+
+/// Derives the register tile for an ISA from its vector geometry:
+///   nr = smallest multiple of the float lane width >= 8 (so the B row is
+///        whole vectors and the double accumulators come in pairs), and
+///   mr = clamp((regs - 4) / accumulator_vectors_per_row, 4, 8) — each of
+///        the mr rows holds nr doubles (2*nr/width vectors); 4 registers
+///        stay free for the broadcast A value, the packed B row, and the
+///        widening temporaries.
+/// kScalar keeps the seed 4x8 tile, preserving the pre-codegen layout.
+RegisterTile register_tile_rule(SimdIsa isa);
+
+}  // namespace gf::hw

@@ -1,0 +1,12 @@
+// AVX2 instantiation: 8 x f32 ymm lanes, 6x8 GEMM register tile
+// (register_tile_rule(kAvx2)). Compiled with -mavx2 — see the
+// gf_codegen_isa_sources block in src/CMakeLists.txt; only added to the
+// build on x86 hosts, and guarded here as well so a stray inclusion on
+// another architecture compiles to nothing.
+#if defined(__x86_64__) || defined(__i386__)
+#define GF_SIMD_SUFFIX _avx2
+#define GF_SIMD_WIDTH 8
+#define GF_SIMD_MR 6
+#define GF_SIMD_NRV 1
+#include "src/runtime/codegen/simd_body.inc"
+#endif

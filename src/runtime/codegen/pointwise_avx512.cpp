@@ -1,0 +1,10 @@
+// AVX-512F instantiation: 16 x f32 zmm lanes, 8x16 GEMM register tile
+// (register_tile_rule(kAvx512) — 32 registers afford a full 8-row tile).
+// Compiled with -mavx512f; x86-only, see pointwise_avx2.cpp.
+#if defined(__x86_64__) || defined(__i386__)
+#define GF_SIMD_SUFFIX _avx512
+#define GF_SIMD_WIDTH 16
+#define GF_SIMD_MR 8
+#define GF_SIMD_NRV 1
+#include "src/runtime/codegen/simd_body.inc"
+#endif

@@ -1,0 +1,10 @@
+// Portable compiled path: the vector-extension body built with no
+// ISA-specific flags, so the compiler lowers the 8-wide vectors to whatever
+// the baseline target provides (SSE2 pairs on stock x86-64, scalar code on
+// targets with no vector unit). Always available — the fallback compiled
+// ISA when a requested one is not supported by the CPU.
+#define GF_SIMD_SUFFIX _generic
+#define GF_SIMD_WIDTH 8
+#define GF_SIMD_MR 6
+#define GF_SIMD_NRV 1
+#include "src/runtime/codegen/simd_body.inc"

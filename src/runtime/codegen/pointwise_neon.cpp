@@ -1,0 +1,10 @@
+// NEON / Advanced SIMD instantiation: 4 x f32 q-register lanes, 7x8 GEMM
+// register tile (register_tile_rule(kNeon): 32 registers, 4 accumulator
+// vectors per 8-wide double row). Baseline on AArch64, so no extra flags.
+#if defined(__aarch64__)
+#define GF_SIMD_SUFFIX _neon
+#define GF_SIMD_WIDTH 4
+#define GF_SIMD_MR 7
+#define GF_SIMD_NRV 2
+#include "src/runtime/codegen/simd_body.inc"
+#endif

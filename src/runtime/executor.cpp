@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "src/ir/serialize.h"
+#include "src/runtime/codegen/dispatch.h"
 #include "src/runtime/kernels.h"
 #include "src/verify/pass.h"
 
@@ -56,6 +57,8 @@ bool fuse_env_default() {
   const char* env = std::getenv("GF_FUSE");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
+
+bool simd_env_default() { return codegen::simd_env_default(); }
 
 Executor::Executor(const ir::Graph& graph, sym::Bindings bindings, ExecutorOptions options)
     : graph_(&graph), bindings_(std::move(bindings)), options_(options),
@@ -492,6 +495,7 @@ ProfileReport Executor::fold_report(const std::vector<OpSlot>& slots,
                s.end_seconds - s.start_seconds);
     TimelineEvent event{op->name(), op->type(), i, s.worker, s.start_seconds,
                         s.end_seconds, s.stats.flops, s.stats.bytes};
+    event.kernel_class = s.stats.kernel_class;
     event.deps = std::move(predecessors[i]);  // ascending: i filled in order
     if (plan_active_) {
       // Surface where the op's first planned output landed in the slab.
@@ -562,7 +566,18 @@ void Executor::execute_resolved(const ResolvedOp& r, KernelStats& stats) {
       alphas.reserve(f.program().size());
       for (const ir::FusedInstr& instr : f.program())
         alphas.push_back(instr.alpha.eval(bindings_));
-      fused_pointwise(f.program(), const_inputs(), alphas, *out[0], *pool_, stats);
+      bool compiled = false;
+      if (options_.simd) {
+        // options_.simd set programmatically with GF_SIMD unset still means
+        // "compile": promote the scalar env default to the widest ISA.
+        hw::SimdIsa isa = codegen::active_isa();
+        if (isa == hw::SimdIsa::kScalar) isa = hw::best_simd_isa();
+        compiled = fused_pointwise_simd(f.program(), const_inputs(), alphas,
+                                        *out[0], *pool_, stats, isa);
+      }
+      if (!compiled)
+        fused_pointwise(f.program(), const_inputs(), alphas, *out[0], *pool_, stats);
+      stats.kernel_class = compiled ? "pointwise-simd" : "pointwise-interp";
       break;
     }
     case OpType::kEmbeddingLookup:

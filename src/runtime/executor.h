@@ -49,6 +49,11 @@ bool memory_plan_env_default();
 /// sites.
 bool fuse_env_default();
 
+/// Default for ExecutorOptions::simd, from GF_SIMD (see
+/// src/runtime/codegen/dispatch.h for the accepted spellings): true when
+/// the variable names a compiled ISA, false when unset or "scalar".
+bool simd_env_default();
+
 /// Inter-op scheduling policy for run_step().
 enum class Schedule : std::uint8_t {
   kSequential,  ///< one op at a time, in topological order
@@ -83,6 +88,17 @@ struct ExecutorOptions {
   /// fused-away intermediate throws std::invalid_argument. Default follows
   /// GF_FUSE (off otherwise), mirroring memory_plan.
   bool fuse = fuse_env_default();
+  /// Compiled (SIMD) fused-pointwise kernels: lower each FusedPointwiseOp
+  /// program to a straight-line vectorized loop (src/runtime/codegen/) on
+  /// the active ISA — GF_SIMD's, or the widest the CPU supports when the
+  /// flag was set programmatically. Falls back to the interpreter per op
+  /// when the compiled path cannot serve it; each timeline event records
+  /// which class ran ("pointwise-simd" / "pointwise-interp"). Exact IEEE
+  /// programs keep bitwise parity with the interpreter; sigmoid/tanh are
+  /// epsilon-bounded (polynomial exp). Default follows GF_SIMD (off
+  /// otherwise), so the scalar reference path remains the default and the
+  /// sanitizer CI baseline.
+  bool simd = simd_env_default();
 };
 
 class Executor {

@@ -1,11 +1,13 @@
 #include "src/runtime/gemm.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 
 #include "src/runtime/arena.h"
+#include "src/runtime/codegen/dispatch.h"
 
 namespace gf::rt {
 namespace {
@@ -43,64 +45,65 @@ GemmScratch& thread_scratch() {
   return scratch;
 }
 
-/// Packs the (mc_eff x kc_eff) block of op(A) at (i0, kk) into kMr-row
-/// strips, k-major within a strip: a_panel[(ib*kc_eff + p)*kMr + i].
+/// Packs the (mc_eff x kc_eff) block of op(A) at (i0, kk) into mr-row
+/// strips, k-major within a strip: a_panel[(ib*kc_eff + p)*mr + i].
 /// Rows past mc_eff are zero-padded so the micro-kernel needs no edge
 /// branches. The transpose flag dies here: the strip layout is identical
 /// either way.
 void pack_a(const float* a, bool trans_a, std::int64_t m, std::int64_t k,
             std::int64_t i0, std::int64_t kk, std::int64_t mc_eff,
-            std::int64_t kc_eff, float* panel) {
-  const std::int64_t mr_blocks = ceil_div(mc_eff, kGemmMr);
+            std::int64_t kc_eff, std::int64_t mr, float* panel) {
+  const std::int64_t mr_blocks = ceil_div(mc_eff, mr);
   for (std::int64_t ib = 0; ib < mr_blocks; ++ib) {
-    float* strip = panel + ib * kc_eff * kGemmMr;
-    const std::int64_t rows = std::min(kGemmMr, mc_eff - ib * kGemmMr);
+    float* strip = panel + ib * kc_eff * mr;
+    const std::int64_t rows = std::min(mr, mc_eff - ib * mr);
     for (std::int64_t p = 0; p < kc_eff; ++p) {
-      float* dst = strip + p * kGemmMr;
+      float* dst = strip + p * mr;
       const std::int64_t col = kk + p;
       for (std::int64_t i = 0; i < rows; ++i) {
-        const std::int64_t row = i0 + ib * kGemmMr + i;
+        const std::int64_t row = i0 + ib * mr + i;
         dst[i] = trans_a ? a[col * m + row] : a[row * k + col];
       }
-      for (std::int64_t i = rows; i < kGemmMr; ++i) dst[i] = 0.0f;
+      for (std::int64_t i = rows; i < mr; ++i) dst[i] = 0.0f;
     }
   }
 }
 
-/// Packs the (kc_eff x nc_eff) block of op(B) at (kk, j0) into kNr-column
-/// strips, k-major within a strip: b_panel[(jb*kc_eff + p)*kNr + j].
+/// Packs the (kc_eff x nc_eff) block of op(B) at (kk, j0) into nr-column
+/// strips, k-major within a strip: b_panel[(jb*kc_eff + p)*nr + j].
 void pack_b(const float* b, bool trans_b, std::int64_t k, std::int64_t n,
             std::int64_t kk, std::int64_t j0, std::int64_t kc_eff,
-            std::int64_t nc_eff, float* panel) {
-  const std::int64_t nr_blocks = ceil_div(nc_eff, kGemmNr);
+            std::int64_t nc_eff, std::int64_t nr, float* panel) {
+  const std::int64_t nr_blocks = ceil_div(nc_eff, nr);
   for (std::int64_t jb = 0; jb < nr_blocks; ++jb) {
-    float* strip = panel + jb * kc_eff * kGemmNr;
-    const std::int64_t cols = std::min(kGemmNr, nc_eff - jb * kGemmNr);
+    float* strip = panel + jb * kc_eff * nr;
+    const std::int64_t cols = std::min(nr, nc_eff - jb * nr);
     for (std::int64_t p = 0; p < kc_eff; ++p) {
-      float* dst = strip + p * kGemmNr;
+      float* dst = strip + p * nr;
       const std::int64_t row = kk + p;
       for (std::int64_t j = 0; j < cols; ++j) {
-        const std::int64_t col = j0 + jb * kGemmNr + j;
+        const std::int64_t col = j0 + jb * nr + j;
         dst[j] = trans_b ? b[col * k + row] : b[row * n + col];
       }
-      for (std::int64_t j = cols; j < kGemmNr; ++j) dst[j] = 0.0f;
+      for (std::int64_t j = cols; j < nr; ++j) dst[j] = 0.0f;
     }
   }
 }
 
-/// kMr x kNr register tile: acc[i][j] += fl(A[p][i] * B[p][j]) for p
+/// Scalar mr x nr register tile: acc[i][j] += fl(A[p][i] * B[p][j]) for p
 /// ascending. Products are rounded to float (exactly as the reference
 /// kernel's `acc += a * b` does) and accumulated in double, so the k-chain
-/// per element is bit-identical to the naive loop.
+/// per element is bit-identical to the naive loop. Runs any tile shape —
+/// the fallback when no compiled micro-kernel matches the tiling.
 void micro_kernel(const float* a_strip, const float* b_strip, std::int64_t kc_eff,
-                  double* acc) {
+                  double* acc, std::int64_t mr, std::int64_t nr) {
   for (std::int64_t p = 0; p < kc_eff; ++p) {
-    const float* arow = a_strip + p * kGemmMr;
-    const float* brow = b_strip + p * kGemmNr;
-    for (std::int64_t i = 0; i < kGemmMr; ++i) {
+    const float* arow = a_strip + p * mr;
+    const float* brow = b_strip + p * nr;
+    for (std::int64_t i = 0; i < mr; ++i) {
       const float av = arow[i];
-      double* accrow = acc + i * kGemmNr;
-      for (std::int64_t j = 0; j < kGemmNr; ++j)
+      double* accrow = acc + i * nr;
+      for (std::int64_t j = 0; j < nr; ++j)
         accrow[j] += static_cast<double>(av * brow[j]);
     }
   }
@@ -122,7 +125,8 @@ inline float apply_epilogue(float v, const GemmEpilogue& epi, std::int64_t col) 
 
 }  // namespace
 
-GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes) {
+GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes,
+                              hw::RegisterTile reg) {
   // Same square-tile rule as hw::tiled_matmul_bytes: three T x T operand
   // tiles (A, B, C blocks) share the cache.
   double tile = std::floor(std::sqrt(cache_bytes / (3.0 * static_cast<double>(
@@ -130,8 +134,10 @@ GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes) {
   if (tile < 1.0) tile = 1.0;
   const auto t = static_cast<std::int64_t>(tile);
   GemmTiling tl;
-  tl.mc = round_down_to(t, kGemmMr);
-  tl.nc = round_down_to(t, kGemmNr);
+  tl.mr = reg.mr;
+  tl.nr = reg.nr;
+  tl.mc = round_down_to(t, tl.mr);
+  tl.nc = round_down_to(t, tl.nr);
   tl.kc = std::max<std::int64_t>(t, 1);
   return tl;
 }
@@ -148,9 +154,19 @@ double gemm_model_cache_bytes() {
 }
 
 const GemmTiling& default_gemm_tiling() {
-  static const GemmTiling tiling =
-      select_gemm_tiling(gemm_model_cache_bytes(), sizeof(float));
-  return tiling;
+  // One tiling per ISA, precomputed: the cache-block rule is shared, only
+  // the register tile (and hence the MC/NC rounding) differs. Indexed by
+  // the active codegen ISA at each call so GF_SIMD/set_forced_isa changes
+  // are honored.
+  static const std::array<GemmTiling, 5> tilings = [] {
+    std::array<GemmTiling, 5> t{};
+    for (std::size_t i = 0; i < t.size(); ++i)
+      t[i] = select_gemm_tiling(
+          gemm_model_cache_bytes(), sizeof(float),
+          hw::register_tile_rule(static_cast<hw::SimdIsa>(i)));
+    return t;
+  }();
+  return tilings[static_cast<std::size_t>(codegen::active_isa())];
 }
 
 void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
@@ -159,11 +175,20 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                   std::int64_t c_stride, const GemmTiling& tiling,
                   conc::ThreadPool& pool, GemmTraffic* traffic,
                   const GemmEpilogue& epilogue) {
+  const std::int64_t mr = tiling.mr, nr = tiling.nr;
   const std::int64_t mt = ceil_div(m, tiling.mc);
   const std::int64_t nt = ceil_div(n, tiling.nc);
   const std::int64_t tiles = batch * mt * nt;
   std::atomic<std::int64_t> a_packed{0}, b_packed{0}, c_written{0};
   const bool count = traffic != nullptr;
+  // Micro-kernel choice is uniform across the call: the compiled kernel for
+  // the active ISA when its register tile is what we packed for, else the
+  // runtime-sized scalar tile. Both produce identical bits (dispatch.h).
+  const codegen::SimdIsa ukr_isa = codegen::active_isa();
+  const bool compiled_ukr =
+      ukr_isa != codegen::SimdIsa::kScalar &&
+      codegen::gemm_register_tile(ukr_isa).mr == mr &&
+      codegen::gemm_register_tile(ukr_isa).nr == nr;
 
   conc::parallel_for(pool, 0, static_cast<std::size_t>(tiles), [&](std::size_t t) {
     const auto ti = static_cast<std::int64_t>(t);
@@ -179,12 +204,12 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
     const std::int64_t j0 = jn * tiling.nc;
     const std::int64_t mc_eff = std::min(tiling.mc, m - i0);
     const std::int64_t nc_eff = std::min(tiling.nc, n - j0);
-    const std::int64_t mr_blocks = ceil_div(mc_eff, kGemmMr);
-    const std::int64_t nr_blocks = ceil_div(nc_eff, kGemmNr);
+    const std::int64_t mr_blocks = ceil_div(mc_eff, mr);
+    const std::int64_t nr_blocks = ceil_div(nc_eff, nr);
 
     GemmScratch& scratch = thread_scratch();
     const std::size_t acc_size =
-        static_cast<std::size_t>(mr_blocks * nr_blocks * kGemmMr * kGemmNr);
+        static_cast<std::size_t>(mr_blocks * nr_blocks * mr * nr);
     if (scratch.acc.size() < acc_size) scratch.acc.resize(acc_size);
     std::fill(scratch.acc.begin(), scratch.acc.begin() + acc_size, 0.0);
 
@@ -192,12 +217,14 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
     // packed panels in ascending-k order, C is converted to float once.
     for (std::int64_t kk = 0; kk < k; kk += tiling.kc) {
       const std::int64_t kc_eff = std::min(tiling.kc, k - kk);
-      const std::size_t a_size = static_cast<std::size_t>(mr_blocks * kGemmMr * kc_eff);
-      const std::size_t b_size = static_cast<std::size_t>(nr_blocks * kGemmNr * kc_eff);
+      const std::size_t a_size = static_cast<std::size_t>(mr_blocks * mr * kc_eff);
+      const std::size_t b_size = static_cast<std::size_t>(nr_blocks * nr * kc_eff);
       if (scratch.a_panel.size() < a_size) scratch.a_panel.resize(a_size);
       if (scratch.b_panel.size() < b_size) scratch.b_panel.resize(b_size);
-      pack_a(a_mat, trans_a, m, k, i0, kk, mc_eff, kc_eff, scratch.a_panel.data());
-      pack_b(b_mat, trans_b, k, n, kk, j0, kc_eff, nc_eff, scratch.b_panel.data());
+      pack_a(a_mat, trans_a, m, k, i0, kk, mc_eff, kc_eff, mr,
+             scratch.a_panel.data());
+      pack_b(b_mat, trans_b, k, n, kk, j0, kc_eff, nc_eff, nr,
+             scratch.b_panel.data());
       if (count) {
         a_packed.fetch_add(static_cast<std::int64_t>(a_size * sizeof(float)),
                            std::memory_order_relaxed);
@@ -205,23 +232,27 @@ void blocked_gemm(const float* a, const float* b, float* c, std::int64_t batch,
                            std::memory_order_relaxed);
       }
       for (std::int64_t jb = 0; jb < nr_blocks; ++jb)
-        for (std::int64_t ib = 0; ib < mr_blocks; ++ib)
-          micro_kernel(scratch.a_panel.data() + ib * kc_eff * kGemmMr,
-                       scratch.b_panel.data() + jb * kc_eff * kGemmNr, kc_eff,
-                       scratch.acc.data() +
-                           (ib * nr_blocks + jb) * kGemmMr * kGemmNr);
+        for (std::int64_t ib = 0; ib < mr_blocks; ++ib) {
+          const float* a_strip = scratch.a_panel.data() + ib * kc_eff * mr;
+          const float* b_strip = scratch.b_panel.data() + jb * kc_eff * nr;
+          double* acc = scratch.acc.data() + (ib * nr_blocks + jb) * mr * nr;
+          if (!compiled_ukr ||
+              !codegen::gemm_micro_kernel(ukr_isa, a_strip, b_strip, kc_eff,
+                                          acc, mr, nr))
+            micro_kernel(a_strip, b_strip, kc_eff, acc, mr, nr);
+        }
     }
 
     for (std::int64_t ib = 0; ib < mr_blocks; ++ib) {
-      const std::int64_t rows = std::min(kGemmMr, mc_eff - ib * kGemmMr);
+      const std::int64_t rows = std::min(mr, mc_eff - ib * mr);
       for (std::int64_t jb = 0; jb < nr_blocks; ++jb) {
-        const std::int64_t cols = std::min(kGemmNr, nc_eff - jb * kGemmNr);
-        const double* acc = scratch.acc.data() + (ib * nr_blocks + jb) * kGemmMr * kGemmNr;
+        const std::int64_t cols = std::min(nr, nc_eff - jb * nr);
+        const double* acc = scratch.acc.data() + (ib * nr_blocks + jb) * mr * nr;
         for (std::int64_t i = 0; i < rows; ++i) {
-          float* crow = c_mat + (i0 + ib * kGemmMr + i) * n + j0 + jb * kGemmNr;
+          float* crow = c_mat + (i0 + ib * mr + i) * n + j0 + jb * nr;
           for (std::int64_t j = 0; j < cols; ++j)
-            crow[j] = apply_epilogue(static_cast<float>(acc[i * kGemmNr + j]),
-                                     epilogue, j0 + jb * kGemmNr + j);
+            crow[j] = apply_epilogue(static_cast<float>(acc[i * nr + j]),
+                                     epilogue, j0 + jb * nr + j);
         }
       }
     }

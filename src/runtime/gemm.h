@@ -14,10 +14,14 @@
 //  - A and B panels are packed into contiguous micro-tile strips; the
 //    `trans_a`/`trans_b` flags are folded into the pack step, so the inner
 //    loop is branch- and lambda-free and streams unit-stride memory.
-//  - The micro-kernel accumulates a kMr x kNr register tile in double, in
+//  - The micro-kernel accumulates an mr x nr register tile in double, in
 //    ascending-k order, and each C element is written exactly once after a
 //    single accumulator pass — results are bitwise identical to the
-//    retained reference kernel and independent of thread count.
+//    retained reference kernel and independent of thread count. The tile is
+//    sized by hw::register_tile_rule for the active codegen ISA (falling
+//    back to the seed 4x8 scalar tile); the vectorized micro-kernels in
+//    src/runtime/codegen/ preserve the per-element operation sequence, so
+//    the bitwise guarantee holds across ISAs and tile shapes too.
 //  - Work is partitioned 2D over (batch x M-tiles x N-tiles); every tile is
 //    computed by exactly one `parallel_for` iteration (disjoint writes, no
 //    cross-thread reduction), which preserves the wavefront executor's
@@ -30,32 +34,43 @@
 #include <cstdint>
 
 #include "src/concurrency/thread_pool.h"
+#include "src/hw/cpu_features.h"
 
 namespace gf::rt {
 
-/// Register micro-tile edges. kMr x kNr double accumulators fit the
-/// architectural register file; packing pads partial strips to these.
+/// The seed register micro-tile: what the scalar micro-kernel uses and what
+/// the tile rule falls back to. Compiled micro-kernels use
+/// hw::register_tile_rule(isa) instead — 6x8 on AVX2, 8x16 on AVX-512 —
+/// carried in GemmTiling::mr/nr; results are bitwise-identical either way.
 inline constexpr std::int64_t kGemmMr = 4;
 inline constexpr std::int64_t kGemmNr = 8;
 
-/// Cache-block edges (KC/MC/NC) plus the micro-tile they are rounded to.
+/// Cache-block edges (KC/MC/NC) plus the register micro-tile the panels are
+/// packed for (and MC/NC are rounded to).
 struct GemmTiling {
-  std::int64_t mc = 0;  ///< A-panel rows per macro-tile (multiple of kMr)
-  std::int64_t nc = 0;  ///< B-panel cols per macro-tile (multiple of kNr)
+  std::int64_t mc = 0;  ///< A-panel rows per macro-tile (multiple of mr)
+  std::int64_t nc = 0;  ///< B-panel cols per macro-tile (multiple of nr)
   std::int64_t kc = 0;  ///< shared-dimension block length
+  std::int64_t mr = kGemmMr;  ///< micro-tile rows (strip height of packed A)
+  std::int64_t nr = kGemmNr;  ///< micro-tile cols (strip width of packed B)
 };
 
 /// Derives KC/MC/NC from a cache size using the same square-tile rule as
 /// `hw::tiled_matmul_bytes` (T = floor(sqrt(cache/3/dtype))), rounding MC/NC
-/// down to micro-tile multiples (never below one micro-tile).
-GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes);
+/// down to micro-tile multiples (never below one micro-tile). The micro-tile
+/// defaults to the seed 4x8; pass hw::register_tile_rule(isa) to pack for a
+/// compiled micro-kernel.
+GemmTiling select_gemm_tiling(double cache_bytes, std::int64_t dtype_bytes,
+                              hw::RegisterTile tile = {kGemmMr, kGemmNr});
 
 /// Cache size the default tiling models. Overridable for experiments via
 /// the GF_GEMM_CACHE_BYTES environment variable (read once).
 double gemm_model_cache_bytes();
 
 /// Tiling used by the runtime kernels: `select_gemm_tiling` applied to
-/// `gemm_model_cache_bytes()` at fp32.
+/// `gemm_model_cache_bytes()` at fp32, with the register tile of the active
+/// codegen ISA (the seed 4x8 when SIMD is off). Re-evaluated per call so
+/// GF_SIMD overrides in tests and benches take effect.
 const GemmTiling& default_gemm_tiling();
 
 /// Bytes the blocked GEMM actually moved through its packing/write paths —

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/codegen/dispatch.h"
 #include "src/runtime/im2col.h"
 
 namespace gf::rt {
@@ -401,6 +402,45 @@ void fused_pointwise(const std::vector<ir::FusedInstr>& program,
   stats.flops += flops_per_element * static_cast<double>(n);
   for (const DenseTensor* t : inputs) stats.bytes += tensor_bytes(*t);
   stats.bytes += tensor_bytes(out);
+}
+
+bool fused_pointwise_simd(const std::vector<ir::FusedInstr>& program,
+                          const std::vector<const DenseTensor*>& inputs,
+                          const std::vector<double>& alphas, DenseTensor& out,
+                          conc::ThreadPool& pool, KernelStats& stats,
+                          hw::SimdIsa isa) {
+  expect(!program.empty() && !inputs.empty(), "fused_pointwise arity");
+  expect(program.size() <= ir::FusedPointwiseOp::kMaxInstrs,
+         "fused_pointwise program too long");
+  expect(alphas.size() == program.size(), "fused_pointwise alpha count");
+  isa = codegen::resolve_isa(isa);
+  if (isa == hw::SimdIsa::kScalar) return false;
+  const codegen::LoweredProgram lowered =
+      codegen::lower_program(program, inputs.size());
+  if (!codegen::compilable(lowered)) return false;
+
+  std::vector<const float*> src(inputs.size());
+  std::vector<std::int64_t> extent(inputs.size());
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    src[j] = inputs[j]->fdata();
+    extent[j] = inputs[j]->numel();
+  }
+  // Narrowed once, exactly as the interpreter's per-instruction
+  // static_cast<float>(alphas[j]).
+  std::vector<float> alphas_f(alphas.begin(), alphas.end());
+  codegen::run_lowered(lowered, isa, src.data(), extent.data(), alphas_f.data(),
+                       out.fdata(), out.numel(), pool);
+
+  // Charge work identically to the interpreter so interp-vs-simd profiles
+  // differ only in seconds, which is exactly the signal whatif scales.
+  double flops_per_element = 0;
+  for (const ir::FusedInstr& instr : program)
+    flops_per_element +=
+        ir::pointwise_fn_flops_per_element(instr.fn, instr.args.size());
+  stats.flops += flops_per_element * static_cast<double>(out.numel());
+  for (const DenseTensor* t : inputs) stats.bytes += tensor_bytes(*t);
+  stats.bytes += tensor_bytes(out);
+  return true;
 }
 
 void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,

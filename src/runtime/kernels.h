@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "src/concurrency/thread_pool.h"
+#include "src/hw/cpu_features.h"
 #include "src/ir/ops.h"
 #include "src/runtime/dense_tensor.h"
 #include "src/runtime/gemm.h"
@@ -28,6 +29,12 @@ namespace gf::rt {
 struct KernelStats {
   double flops = 0;
   double bytes = 0;
+  /// Which implementation class served this op, when more than one exists
+  /// ("pointwise-interp" vs "pointwise-simd"); points at a string literal.
+  /// Flows into TimelineEvent::kernel_class so what-if scaling can target
+  /// an implementation (predicting the SIMD payoff from an interpreter
+  /// profile) rather than an op type. Empty for single-implementation ops.
+  const char* kernel_class = "";
 };
 
 // Dense (optionally batched/transposed) GEMM. Shapes follow MatMulOp.
@@ -80,6 +87,21 @@ void fused_pointwise(const std::vector<ir::FusedInstr>& program,
                      const std::vector<const DenseTensor*>& inputs,
                      const std::vector<double>& alphas, DenseTensor& out,
                      conc::ThreadPool& pool, KernelStats& stats);
+
+/// Compiled fused-pointwise path: lowers the program (codegen/lowering.h)
+/// and runs the straight-line vectorized executor for `isa` (resolved to a
+/// supported compiled ISA first). Returns false without touching `out` when
+/// the compiled path cannot serve the call — `isa` resolves to kScalar or
+/// the program exceeds the executor's load-slot capacity — and the caller
+/// falls back to the interpreter above. Numerics per dispatch.h: bitwise
+/// equal to the interpreter except epsilon-bounded kSigmoid/kTanh. Stats
+/// are charged identically to the interpreter (the lowered instruction
+/// count can only shrink via DCE, which fusion never produces).
+bool fused_pointwise_simd(const std::vector<ir::FusedInstr>& program,
+                          const std::vector<const DenseTensor*>& inputs,
+                          const std::vector<double>& alphas, DenseTensor& out,
+                          conc::ThreadPool& pool, KernelStats& stats,
+                          hw::SimdIsa isa);
 
 void embedding_lookup(const DenseTensor& table, const DenseTensor& ids, DenseTensor& out,
                       conc::ThreadPool& pool, KernelStats& stats);

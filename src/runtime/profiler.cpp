@@ -98,6 +98,10 @@ void ProfileReport::write_chrome_trace(std::ostream& os) const {
     for (std::size_t i = 0; i < e.deps.size(); ++i)
       os << (i ? "," : "") << e.deps[i];
     os << "]";
+    // Optional args keep gfTraceVersion stable: old traces simply lack them
+    // and the loader defaults the field.
+    if (!e.kernel_class.empty())
+      os << ",\"kernel_class\":\"" << json_escape(e.kernel_class) << "\"";
     if (e.slab_offset >= 0)
       os << ",\"slab_offset\":" << e.slab_offset
          << ",\"reuse_generation\":" << e.reuse_generation;

@@ -40,6 +40,13 @@ struct TimelineEvent {
   double end_seconds = 0;
   double flops = 0;
   double bytes = 0;
+  /// Implementation class that served the op when the runtime has more than
+  /// one ("pointwise-simd" / "pointwise-interp"); empty for ops with a
+  /// single implementation. Exported as an optional trace arg; what-if
+  /// scaling (whatif::scale_kernel_class) can target it instead of an op
+  /// type, which is how `gfctl whatif` predicts the compiled-kernel payoff
+  /// from an interpreter-path profile.
+  std::string kernel_class;
   /// Slab placement of this op's first planned output when the memory
   /// planner is active (-1 otherwise): byte offset into the slab and how
   /// many earlier regions occupied that range this step. Makes reuse

@@ -17,6 +17,7 @@
 #include "src/ir/ops.h"
 #include "src/ir/semantics.h"
 #include "src/ir/transfer.h"
+#include "src/runtime/codegen/lowering.h"
 #include "src/runtime/memplan.h"
 #include "src/symbolic/sign.h"
 #include "src/verify/dataflow.h"
@@ -302,6 +303,31 @@ class EquivPass final : public Pass {
                        " but the rewrite certificate records " + fused.certificate(),
                    "the program no longer matches the subgraph fusion replaced; "
                    "re-run ir::fuse_graph");
+
+      // Validate the codegen lowering of the same program: the SSA form the
+      // SIMD executors run (DCE, identity forwarding, load dedup) must
+      // still denote the certificate's function. A lowering bug thereby
+      // surfaces as a lint error before it can surface as wrong numerics.
+      std::string lowered;
+      try {
+        const rt::codegen::LoweredProgram lp =
+            rt::codegen::lower_program(fused.program(), fused.inputs().size());
+        lowered = rt::codegen::lowered_program_semantics(lp, fused.program()).str();
+      } catch (const std::exception& e) {
+        emit.error(op_loc(*op),
+                   std::string("codegen lowering failed or is underivable: ") +
+                       e.what(),
+                   "lower_program rejected a program the interpreter accepts; "
+                   "see src/runtime/codegen/lowering.cpp");
+        continue;
+      }
+      if (lowered != fused.certificate())
+        emit.error(op_loc(*op),
+                   "codegen-lowered program computes " + lowered +
+                       " but the rewrite certificate records " +
+                       fused.certificate(),
+                   "the SSA lowering changed the op's semantics; the SIMD "
+                   "executor would compute the wrong function");
     }
   }
 

@@ -272,6 +272,7 @@ Trace from_report(const rt::ProfileReport& report) {
     op.end_seconds = e.end_seconds;
     op.flops = e.flops;
     op.bytes = e.bytes;
+    op.kernel_class = e.kernel_class;
     op.deps = e.deps;
     trace.ops.push_back(std::move(op));
   }
@@ -336,6 +337,10 @@ Trace load_trace(std::istream& is) {
     op.end_seconds = (ts + dur) / 1e6;
     op.flops = require_number(args, "flops", "event '" + op.name + "'");
     op.bytes = require_number(args, "bytes", "event '" + op.name + "'");
+    // Optional: absent in traces written before the runtime tagged classes.
+    if (const JsonValue* kc = find(args, "kernel_class");
+        kc != nullptr && kc->is_string())
+      op.kernel_class = kc->string();
     const double index = require_number(args, "op_index", "event '" + op.name + "'");
 
     const JsonValue* deps = find(args, "deps");

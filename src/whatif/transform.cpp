@@ -26,7 +26,13 @@ Trace scale_kernel_class(const Trace& trace, const ScaleClass& scale) {
     throw std::invalid_argument("whatif: --speedup must be positive");
   Trace out = trace;
   for (TraceOp& op : out.ops) {
-    if (scale.op_type != "*" && op.type != scale.op_type) continue;
+    // A "class" is either an op type (ir::op_type_name spelling) or a
+    // runtime implementation class ("pointwise-interp"); matching either
+    // lets `gfctl whatif --scale pointwise-interp:K` price the compiled
+    // kernels from an interpreter-path profile.
+    if (scale.op_type != "*" && op.type != scale.op_type &&
+        op.kernel_class != scale.op_type)
+      continue;
     op.end_seconds = op.start_seconds + op.duration() / scale.speedup;
   }
   return out;

@@ -41,7 +41,12 @@ namespace gf::whatif {
 
 /// "Kernel class c runs speedup× faster" (speedup < 1 models a slowdown).
 struct ScaleClass {
-  std::string op_type;   ///< ir::op_type_name spelling, or "*" for all ops
+  /// ir::op_type_name spelling, a runtime implementation class recorded in
+  /// TraceOp::kernel_class ("pointwise-interp", "pointwise-simd"), or "*"
+  /// for all ops. Implementation classes let the simulator price a kernel
+  /// swap — e.g. SIMD codegen payoff from an interpreter-path profile —
+  /// where an op-type match would also rescale ops that already swapped.
+  std::string op_type;
   double speedup = 1.0;  ///< must be > 0
 };
 

@@ -2,6 +2,7 @@
 // time and algorithmic FLOP utilization for the projected word LM at
 // subbatch 128 (synchronous SGD + ring allreduce over 56 GB/s links).
 #include "bench/bench_common.h"
+#include "src/plan/allreduce.h"
 #include "src/plan/case_study.h"
 
 int main() {
@@ -19,14 +20,21 @@ int main() {
   worker.gradient_bytes = 4.0 * inputs.params;
   worker.samples_per_epoch = inputs.samples_per_epoch;
 
-  util::Table table({"workers", "global batch", "comm s/step", "step s", "epoch days",
-                     "alg. FLOP util"});
-  for (const auto& pt : plan::data_parallel_sweep(worker, accel, network, 16384))
+  util::Table table({"workers", "global batch", "comm s/step", "α latency s",
+                     "β bandwidth s", "step s", "epoch days", "alg. FLOP util"});
+  for (const auto& pt : plan::data_parallel_sweep(worker, accel, network, 16384)) {
+    // The same α-β decomposition the runtime's datapar bench calibrates
+    // against: 2(N-1) hop latencies plus 2(N-1)/N of the gradient bytes.
+    const plan::AllReduceCost cost =
+        plan::ring_allreduce_cost(network, worker.gradient_bytes, pt.workers);
     table.add_row({std::to_string(pt.workers), util::format_si(pt.global_batch, 0),
                    util::format_sig(pt.comm_seconds, 3),
+                   util::format_sig(cost.latency_seconds, 3),
+                   util::format_sig(cost.bandwidth_seconds, 3),
                    util::format_sig(pt.step_seconds, 4),
                    util::format_si(pt.epoch_days),
                    util::format_percent(pt.flop_utilization)});
+  }
   bench::print_with_csv(table);
 
   const int for_week =

@@ -18,6 +18,9 @@
 //                      [--fuse --model <domain> [--hidden H] [--batch B]
 //                       [--memory-weight W]] [--workers N]
 //                      [--overhead SECONDS] [--json]
+//   gfctl datapar      [<domain>] [--hidden H] [--batch B] [--shards S]
+//                      [--bucket-kb K] [--steps N] [--threads T]
+//                      [--straggler SIGMA] [--trace PREFIX]
 //   gfctl domains
 //   gfctl cpu
 //
@@ -47,17 +50,21 @@
 // broken.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/gradient_frontier.h"
 #include "src/hw/cpu_features.h"
 #include "src/ir/serialize.h"
 #include "src/runtime/codegen/dispatch.h"
+#include "src/runtime/datapar.h"
 
 namespace {
 
@@ -583,6 +590,114 @@ int cmd_lint(const Args& args) {
   return status;
 }
 
+// Executable data parallelism: run the model's training step under the
+// shared-memory ring-allreduce runner (src/runtime/datapar.h) at several
+// worker counts, verify the bitwise worker-count-independence contract,
+// and put the measured ring time next to the §6 Patarasuk–Yuan α-β
+// prediction (α = measured barrier crossing, β = measured copy bandwidth
+// derated by min(N, cores)/N for the shared-memory "links"). Exits 1 if
+// any worker count changes the loss bits of any step.
+int cmd_datapar(const Args& args) {
+  const std::string domain = args.positional.size() > 1 ? args.positional[1] : "wordlm";
+  const auto spec = build_named(domain);
+  const int shards = static_cast<int>(args.number("shards", 8));
+  const double hidden = args.number("hidden", 32);
+  const double batch = args.number("batch", 2.0 * shards);
+  const auto threads = static_cast<std::size_t>(args.number("threads", 1));
+  const int steps = static_cast<int>(args.number("steps", 3));
+  const double bucket_kb = args.number("bucket-kb", 64);
+  const double sigma = args.number("straggler", 0);
+  const auto bind = spec.bind(hidden, batch);
+
+  const double copy_bw = rt::measure_copy_bandwidth();
+  const double cores = std::max(1u, std::thread::hardware_concurrency());
+
+  auto bits_of = [](float f) {
+    std::uint32_t u = 0;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+  };
+  auto pow2 = [](int v) { return v > 0 && (v & (v - 1)) == 0; };
+
+  struct Row {
+    int workers = 0;
+    double step_seconds = 0, comm_seconds = 0, predicted_seconds = 0;
+    std::size_t gradient_bytes = 0;
+    std::vector<std::uint32_t> loss_bits;
+  };
+  std::vector<Row> rows;
+  for (int n : {1, 2, 4, 8}) {
+    if (n > shards || shards % n != 0 || !pow2(shards / n)) continue;
+    rt::DataParallelOptions opt;
+    opt.workers = n;
+    opt.grad_shards = shards;
+    opt.bucket_bytes = static_cast<std::size_t>(bucket_kb * 1024);
+    opt.threads_per_worker = threads;
+    opt.straggler_sigma = sigma;
+    rt::DataParallelRunner runner(*spec.graph, spec.loss, bind, opt);
+
+    Row row;
+    row.workers = n;
+    row.gradient_bytes = runner.total_gradient_bytes();
+    row.step_seconds = 1e300;
+    std::vector<double> best_bucket;
+    rt::DataParallelStepResult last;
+    for (int s = 0; s < 1 + steps; ++s) {  // step 0 primes, untimed
+      last = runner.step();
+      row.loss_bits.push_back(bits_of(last.loss));
+      if (s == 0) continue;
+      row.step_seconds = std::min(row.step_seconds, last.wall_seconds);
+      if (best_bucket.empty()) best_bucket.resize(last.buckets.size(), 1e300);
+      for (std::size_t b = 0; b < last.buckets.size(); ++b)
+        best_bucket[b] = std::min(best_bucket[b], last.buckets[b].ring_seconds());
+    }
+    for (double t : best_bucket) row.comm_seconds += t;
+    if (n > 1) {
+      plan::AllReduceModel model;
+      model.hop_latency = rt::measure_barrier_seconds(n);
+      model.link_bandwidth = copy_bw * std::min<double>(n, cores) / n;
+      for (const rt::BucketStats& b : last.buckets)
+        row.predicted_seconds +=
+            plan::ring_allreduce_cost(model, static_cast<double>(b.payload_bytes), n)
+                .seconds();
+    }
+    if (auto it = args.flags.find("trace"); it != args.flags.end()) {
+      std::ofstream out(it->second + "." + std::to_string(n) + "w.json");
+      if (!out) throw std::runtime_error("cannot open trace output " + it->second);
+      last.timeline.write_chrome_trace(out);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) throw std::invalid_argument("--shards admits no worker count in {1,2,4,8}");
+
+  bool bits_ok = true;
+  util::Table table({"workers", "step s", "comm s", "PY predicted s", "ratio",
+                     "speedup", "loss bits"});
+  for (const Row& r : rows) {
+    const bool same = r.loss_bits == rows.front().loss_bits;
+    bits_ok = bits_ok && same;
+    table.add_row({std::to_string(r.workers), util::format_duration(r.step_seconds, 3),
+                   util::format_duration(r.comm_seconds, 3),
+                   r.workers > 1 ? util::format_duration(r.predicted_seconds, 3)
+                                 : std::string("-"),
+                   r.predicted_seconds > 0
+                       ? util::format_sig(r.comm_seconds / r.predicted_seconds, 3)
+                       : std::string("-"),
+                   util::format_sig(rows.front().step_seconds / r.step_seconds, 3),
+                   same ? "match" : "DIFFER"});
+  }
+  table.print(std::cout);
+  std::cout << "(" << domain << ": hidden " << hidden << ", global batch " << batch
+            << ", S=" << shards << " micro-shards, "
+            << util::format_bytes(static_cast<double>(rows.front().gradient_bytes))
+            << " gradients; every worker count must reproduce the same loss bits)\n";
+  if (!bits_ok) {
+    std::cerr << "gfctl: loss bits differ across worker counts\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -591,7 +706,7 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
                    "<domains|cpu|characterize|project|fit|subbatch|sweep|export|trace|"
-                   "lint|memplan|fuse|whatif> ...\n";
+                   "lint|memplan|fuse|whatif|datapar> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -608,6 +723,7 @@ int main(int argc, char** argv) {
     if (cmd == "memplan") return cmd_memplan(args);
     if (cmd == "fuse") return cmd_fuse(args);
     if (cmd == "whatif") return cmd_whatif(args);
+    if (cmd == "datapar") return cmd_datapar(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

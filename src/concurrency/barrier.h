@@ -1,0 +1,58 @@
+// Sense-reversing barrier for fixed-size thread gangs.
+//
+// The data-parallel runner's ring allreduce advances in lockstep: every
+// ring step starts only after all N workers finished the previous one.
+// A sense-reversing barrier makes that reusable with one synchronization
+// object — each generation flips a shared "sense" flag, and a thread waits
+// for the flip rather than for a counter reset, so threads from generation
+// g+1 can arrive while stragglers from generation g are still waking up.
+//
+// Waiters spin briefly on the (atomic) sense flag before blocking on a
+// condition variable, so back-to-back ring steps cost well under the
+// scheduler's wakeup latency when the gang is running, while idle phases
+// (a worker still in backward compute) sleep instead of burning a core.
+// All flag publications pair release stores with acquire loads (or go
+// through the mutex), so the barrier is TSan-clean and every write before
+// arrive_and_wait() is visible to every thread after it returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace gf::conc {
+
+class Barrier {
+ public:
+  /// `participants` threads must call arrive_and_wait() to release a
+  /// generation. `spin_iterations` bounds the pre-block busy-wait.
+  explicit Barrier(std::size_t participants, std::size_t spin_iterations = 4096);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants of the current generation arrived.
+  /// Throws std::runtime_error if abort() was called (before or while
+  /// waiting) — the gang is shutting down and lockstep can never resume.
+  void arrive_and_wait();
+
+  /// Permanently breaks the barrier: every current and future
+  /// arrive_and_wait() throws. Lets a gang member that hit an error
+  /// release peers that would otherwise wait forever for its arrival.
+  void abort() noexcept;
+
+  bool aborted() const noexcept { return aborted_.load(std::memory_order_acquire); }
+  std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  const std::size_t spin_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;         ///< arrivals in the current generation
+  std::atomic<bool> sense_{false};  ///< flips once per released generation
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace gf::conc

@@ -5,15 +5,21 @@
 
 namespace gf::plan {
 
-double ring_allreduce_seconds(const AllReduceModel& model, double bytes, int workers) {
+AllReduceCost ring_allreduce_cost(const AllReduceModel& model, double bytes, int workers) {
   if (workers < 1) throw std::invalid_argument("allreduce: workers must be >= 1");
   if (bytes < 0) throw std::invalid_argument("allreduce: bytes must be >= 0");
   if (model.link_bandwidth <= 0)
     throw std::invalid_argument("allreduce: bandwidth must be > 0");
-  if (workers == 1) return 0.0;
+  if (workers == 1) return {};
   const double n = static_cast<double>(workers);
-  return 2.0 * (n - 1.0) / n * bytes / model.link_bandwidth +
-         2.0 * (n - 1.0) * model.hop_latency;
+  AllReduceCost cost;
+  cost.latency_seconds = 2.0 * (n - 1.0) * model.hop_latency;
+  cost.bandwidth_seconds = 2.0 * (n - 1.0) / n * bytes / model.link_bandwidth;
+  return cost;
+}
+
+double ring_allreduce_seconds(const AllReduceModel& model, double bytes, int workers) {
+  return ring_allreduce_cost(model, bytes, workers).seconds();
 }
 
 double hierarchical_allreduce_seconds(const HierarchicalAllReduceModel& model,

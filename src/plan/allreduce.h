@@ -9,9 +9,27 @@ struct AllReduceModel {
   double hop_latency = 5e-6;     ///< per ring step software+wire latency
 };
 
-/// Time to allreduce `bytes` across `workers` devices:
-///   2 (N-1)/N * bytes / bw   +   2 (N-1) * hop_latency
-/// (reduce-scatter + allgather, each N-1 steps moving bytes/N per step).
+/// α-β decomposition of one ring allreduce. Patarasuk–Yuan runs
+/// reduce-scatter then allgather, each N-1 lockstep steps moving bytes/N
+/// per step, so the two cost terms are
+///   latency_seconds   = 2 (N-1) * hop_latency          (the α term)
+///   bandwidth_seconds = 2 (N-1)/N * bytes / bandwidth  (the β term)
+/// Exposed separately so the measured runner (src/runtime/datapar.h) can
+/// be cross-checked per bucket against each term — small buckets are
+/// latency-bound, large ones bandwidth-bound — while the analytic benches
+/// keep using the sum.
+struct AllReduceCost {
+  double latency_seconds = 0;
+  double bandwidth_seconds = 0;
+  double seconds() const { return latency_seconds + bandwidth_seconds; }
+};
+
+/// Cost of allreducing `bytes` across `workers` devices. The single source
+/// of the ring formula: ring_allreduce_seconds, fig12_data_parallel, and
+/// datapar_bench's measured-vs-model gate all evaluate this.
+AllReduceCost ring_allreduce_cost(const AllReduceModel& model, double bytes, int workers);
+
+/// Total time of ring_allreduce_cost (the sum of both terms).
 double ring_allreduce_seconds(const AllReduceModel& model, double bytes, int workers);
 
 /// Effective bytes on the wire after optional gradient compression

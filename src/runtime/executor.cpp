@@ -101,20 +101,25 @@ std::size_t Executor::tensor_bytes(const ir::Tensor* tensor) const {
   return algorithmic_bytes_of(*tensor, shapes_.at(tensor));
 }
 
-void Executor::random_fill(const ir::Tensor* tensor, DenseTensor& value) {
+void deterministic_fill(const ir::Tensor* tensor, const sym::Bindings& bindings,
+                        unsigned seed, DenseTensor& value) {
   // Fixed per-tensor stream: the seed depends only on the executor seed and
   // the tensor id, never on schedule or thread count.
-  std::mt19937 rng(options_.seed ^ (0x9e3779b9u * static_cast<unsigned>(tensor->id())));
+  std::mt19937 rng(seed ^ (0x9e3779b9u * static_cast<unsigned>(tensor->id())));
   if (value.is_float()) {
     const bool is_weight = tensor->role() == ir::TensorRole::kWeight;
     std::normal_distribution<float> dist(0.0f, is_weight ? 0.2f : 1.0f);
     for (std::int64_t i = 0; i < value.numel(); ++i) value.f(i) = dist(rng);
   } else {
-    const std::int64_t range = infer_int_range(tensor, bindings_);
+    const std::int64_t range = infer_int_range(tensor, bindings);
     std::uniform_int_distribution<std::int32_t> dist(
         0, static_cast<std::int32_t>(range - 1));
     for (std::int64_t i = 0; i < value.numel(); ++i) value.i32(i) = dist(rng);
   }
+}
+
+void Executor::random_fill(const ir::Tensor* tensor, DenseTensor& value) {
+  deterministic_fill(tensor, bindings_, options_.seed, value);
 }
 
 const ir::Tensor* Executor::map_tensor(const ir::Tensor* tensor) const {
@@ -361,6 +366,7 @@ ProfileReport Executor::run_step_sequential() {
     slot.start_seconds = seconds_between(step_start, t0);
     slot.end_seconds = seconds_between(step_start, t1);
     slot.worker = -1;
+    if (options_.on_op_retired) options_.on_op_retired(*op, i);
 
     for (const ir::Tensor* in : op->inputs()) {
       --pending.at(in);
@@ -421,6 +427,16 @@ ProfileReport Executor::run_step_wavefront() {
       slot.start_seconds = seconds_between(step_start, t0);
       slot.end_seconds = seconds_between(step_start, t1);
       slot.worker = conc::ThreadPool::current_worker_index();
+      // Outputs are final; fire the completion hook outside the scheduler
+      // lock so a hook that hands work to another thread (the ring-
+      // allreduce kick) never serializes against dispatch.
+      if (!op_error && options_.on_op_retired) {
+        try {
+          options_.on_op_retired(*dag_.order[i], i);
+        } catch (...) {
+          op_error = std::current_exception();
+        }
+      }
 
       std::lock_guard lock(m);
       ++retired;

@@ -24,6 +24,7 @@
 // adds), and profile totals are folded in topological order after the step.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -99,7 +100,31 @@ struct ExecutorOptions {
   /// otherwise), so the scalar reference path remains the default and the
   /// sanitizer CI baseline.
   bool simd = simd_env_default();
+  /// Completion hook: called once per executed op, after its kernel
+  /// finished writing the op's outputs, from the thread that ran the
+  /// kernel (a pool worker under kWavefront, the caller under
+  /// kSequential). By the time it fires the op's outputs are final, so a
+  /// hook may read them — the data-parallel runner uses this to start a
+  /// gradient bucket's allreduce as soon as its producers retire, while
+  /// the rest of backward is still executing. Keep it cheap: under
+  /// kWavefront it runs on (and blocks) a pool worker. An exception
+  /// thrown from the hook aborts the step like a kernel error.
+  /// `op_index` is the op's position in the executing graph's topological
+  /// order (matches TimelineEvent::op_index).
+  std::function<void(const ir::Op& op, std::size_t op_index)> on_op_retired;
 };
+
+/// The executor's deterministic producerless-tensor fill as a free
+/// function: a fresh RNG stream keyed by (seed, tensor id) — never by
+/// schedule, thread count, or binding — filling weights from N(0, 0.2),
+/// other floats from N(0, 1), and integer inputs uniformly below the range
+/// their consumers imply (embedding rows, softmax classes; `bindings`
+/// evaluates those bounds). Executors use exactly this for unpinned
+/// inputs, so external code (the data-parallel runner's global batch) can
+/// reproduce an executor's input stream bit-for-bit at a different batch
+/// binding.
+void deterministic_fill(const ir::Tensor* tensor, const sym::Bindings& bindings,
+                        unsigned seed, DenseTensor& value);
 
 class Executor {
  public:

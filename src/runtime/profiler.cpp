@@ -89,7 +89,8 @@ void ProfileReport::write_chrome_trace(std::ostream& os) const {
     first = false;
     // tid 0 = dispatcher/caller thread, 1..N = pool workers.
     os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
-       << ir::op_type_name(e.type) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << (e.category.empty() ? ir::op_type_name(e.type) : json_escape(e.category).c_str())
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
        << (e.worker + 1) << ",\"ts\":" << e.start_seconds * 1e6
        << ",\"dur\":" << (e.end_seconds - e.start_seconds) * 1e6
        << ",\"args\":{\"op_index\":" << e.op_index << ",\"flops\":" << e.flops

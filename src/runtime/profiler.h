@@ -47,6 +47,11 @@ struct TimelineEvent {
   /// type, which is how `gfctl whatif` predicts the compiled-kernel payoff
   /// from an interpreter-path profile.
   std::string kernel_class;
+  /// Chrome-trace category override for events that are not graph ops —
+  /// the data-parallel runner's ring-allreduce phases use "comm". Empty
+  /// (the default) keeps ir::op_type_name(type), so op events and existing
+  /// traces are unchanged.
+  std::string category;
   /// Slab placement of this op's first planned output when the memory
   /// planner is active (-1 otherwise): byte offset into the slab and how
   /// many earlier regions occupied that range this step. Makes reuse

@@ -266,7 +266,7 @@ Trace from_report(const rt::ProfileReport& report) {
           std::to_string(e.op_index) + ")");
     TraceOp op;
     op.name = e.name;
-    op.type = ir::op_type_name(e.type);
+    op.type = e.category.empty() ? ir::op_type_name(e.type) : e.category;
     op.worker = e.worker;
     op.start_seconds = e.start_seconds;
     op.end_seconds = e.end_seconds;

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "src/concurrency/barrier.h"
 #include "src/concurrency/thread_pool.h"
 
 namespace gf::conc {
@@ -213,6 +216,64 @@ TEST(ParallelFor, NestedExceptionPropagatesToOuterCaller) {
     }
   });
   EXPECT_EQ(outer_failures.load(), 4);
+}
+
+TEST(Barrier, RejectsZeroParticipants) {
+  EXPECT_THROW(Barrier barrier(0), std::invalid_argument);
+}
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.participants(), 1u);
+}
+
+// The sense-reversing core: one Barrier object must be reusable across
+// many generations, and a crossing must order memory — plain (non-atomic)
+// writes made before generation g are visible to every thread after it.
+TEST(Barrier, ReusableAcrossGenerationsWithVisibility) {
+  constexpr int kThreads = 4;
+  constexpr int kGenerations = 500;
+  Barrier barrier(kThreads);
+  std::vector<int> slots(kThreads, -1);
+  std::atomic<int> mismatches{0};
+  auto body = [&](int idx) {
+    for (int gen = 0; gen < kGenerations; ++gen) {
+      slots[static_cast<std::size_t>(idx)] = gen;
+      barrier.arrive_and_wait();
+      for (int t = 0; t < kThreads; ++t)
+        if (slots[static_cast<std::size_t>(t)] != gen) mismatches.fetch_add(1);
+      barrier.arrive_and_wait();  // nobody advances to gen+1 until all checked
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(body, t);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Barrier, AbortWakesBlockedWaiters) {
+  Barrier barrier(3);  // never completes: only 2 threads arrive
+  std::atomic<int> thrown{0};
+  auto body = [&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const std::runtime_error&) {
+      thrown.fetch_add(1);
+    }
+  };
+  std::thread a(body);
+  std::thread b(body);
+  // Give both a chance to block, then break the gang.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  barrier.abort();
+  a.join();
+  b.join();
+  EXPECT_EQ(thrown.load(), 2);
+  EXPECT_TRUE(barrier.aborted());
+  // Once broken, always broken: later arrivals throw immediately.
+  EXPECT_THROW(barrier.arrive_and_wait(), std::runtime_error);
 }
 
 }  // namespace

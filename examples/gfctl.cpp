@@ -13,6 +13,7 @@
 //   gfctl lint         <domain>|all [--json] [--passes a,b,...] [--fuse]
 //   gfctl lint         --file <graph.txt> [--json] [--passes a,b,...]
 //   gfctl memplan      <domain>|all [--hidden H] [--batch B] [--fuse]
+//   gfctl memplan      --file <graph.txt> [--hidden H] [--batch B]
 //   gfctl fuse         <domain>|all [--hidden H] [--batch B]
 //   gfctl whatif       <trace.json> [--scale TYPE --speedup K] [--bf16]
 //                      [--fuse --model <domain> [--hidden H] [--batch B]
@@ -21,6 +22,7 @@
 //   gfctl datapar      [<domain>] [--hidden H] [--batch B] [--shards S]
 //                      [--bucket-kb K] [--steps N] [--threads T]
 //                      [--straggler SIGMA] [--trace PREFIX]
+//   gfctl serve        [--threads N] [--max-in-flight M] [--file graph.txt]
 //   gfctl domains
 //   gfctl cpu
 //
@@ -36,6 +38,16 @@
 // optimization. With no transform flags it reports the identity
 // re-simulation (the calibration check). Transforms compose in the order
 // scale, bf16, fuse; --workers re-places the result onto N greedy lanes.
+//
+// serve turns the pipeline into a long-running multi-tenant service:
+// line-delimited JSON requests (characterize / sweep / lint / memplan /
+// whatif-scale / stats) on stdin, one response line each on stdout in
+// request order, dispatched concurrently onto a thread pool with a
+// content-addressed stage cache (src/serve/; schema in README "Serving").
+//
+// File inputs share one failure contract: an unreadable or unparseable
+// --file / trace path prints "gfctl: <path>: <reason>" and exits 2 —
+// identically across lint, memplan, whatif, and serve.
 //
 // --fuse runs the graph-level fusion rewrite (src/ir/fusion.h) on the
 // built graph first: export writes the fused graph (so `lint --file`
@@ -56,6 +68,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,6 +93,46 @@ struct Args {
     return it == flags.end() ? fallback : std::atof(it->second.c_str());
   }
 };
+
+/// An unreadable or unparseable input file. Every subcommand that takes a
+/// --file / trace path throws this, and main() turns it into the one
+/// consistent contract: "gfctl: <path>: <reason>" on stderr, exit 2.
+struct FileError : std::runtime_error {
+  FileError(const std::string& path, const std::string& reason)
+      : std::runtime_error(path + ": " + reason) {}
+};
+
+/// Whole-file read; FileError on an unreadable path.
+std::string read_file_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FileError(path, "cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Deserialized graph from a saved file; FileError on unreadable or
+/// unreconstructable content (the subcommands that need a *working* graph
+/// — memplan, serve preload — cannot degrade to diagnostics like lint).
+std::unique_ptr<ir::Graph> load_graph_or_throw(const std::string& path) {
+  const std::string text = read_file_or_throw(path);
+  try {
+    return ir::deserialize(text, /*validate=*/false);
+  } catch (const std::exception& e) {
+    throw FileError(path, e.what());
+  }
+}
+
+/// Loaded what-if trace; FileError on unreadable or malformed JSON.
+whatif::Trace load_trace_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FileError(path, "cannot open");
+  try {
+    return whatif::load_trace(in);
+  } catch (const std::exception& e) {
+    throw FileError(path, e.what());
+  }
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -313,18 +367,29 @@ int cmd_trace(const Args& args) {
 int cmd_memplan(const Args& args) {
   const double hidden = args.number("hidden", 32);
   const double batch = args.number("batch", 4);
-  const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
-  std::vector<std::string> names;
-  if (target == "all")
-    names = {"wordlm", "charlm", "nmt", "speech", "image", "transformer"};
-  else
-    names = {target};
 
   util::Table table({"model", "ops", "tensors", "aliases", "gross", "live peak",
                      "slab", "fig10 transient", "reuse"});
   bool all_within_footprint = true;
-  for (const std::string& n : names) {
-    const auto spec = build_named(n);
+
+  // Saved-graph mode mirrors lint --file: plan a serialized graph under
+  // the standard two bindings instead of building a domain model.
+  std::vector<models::ModelSpec> specs;
+  if (auto it = args.flags.find("file"); it != args.flags.end()) {
+    models::ModelSpec spec;
+    spec.graph = load_graph_or_throw(it->second);
+    spec.name = spec.graph->name();
+    specs.push_back(std::move(spec));
+  } else {
+    const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
+    std::vector<std::string> names;
+    if (target == "all")
+      names = {"wordlm", "charlm", "nmt", "speech", "image", "transformer"};
+    else
+      names = {target};
+    for (const std::string& n : names) specs.push_back(build_named(n));
+  }
+  for (auto& spec : specs) {
     if (args.flags.count("fuse") != 0) ir::fuse_graph(*spec.graph);
     const auto bind = spec.bind(hidden, batch);
     const auto dag = ir::build_op_dag(*spec.graph);
@@ -407,7 +472,9 @@ int cmd_fuse(const Args& args) {
 // re-simulate. Nothing is executed; the prediction is pure arithmetic over
 // the measured durations.
 int cmd_whatif(const Args& args) {
-  const whatif::Trace trace = whatif::load_trace_file(args.positional.at(1));
+  if (args.positional.size() < 2)
+    throw std::invalid_argument("whatif needs a trace file: gfctl whatif <trace.json>");
+  const whatif::Trace trace = load_trace_or_throw(args.positional[1]);
   const bool json = args.flags.count("json") != 0;
 
   whatif::ResimOptions opt;
@@ -558,10 +625,9 @@ int cmd_lint(const Args& args) {
 
   if (auto it = args.flags.find("file"); it != args.flags.end()) {
     std::ifstream in(it->second);
-    if (!in) {
-      std::cerr << "gfctl: cannot open " << it->second << "\n";
-      return 2;
-    }
+    if (!in) throw FileError(it->second, "cannot open");
+    // Unparseable content stays a structured "load" diagnostic (also exit
+    // 2) rather than a FileError: lint's whole point is reporting.
     absorb(verify::verify_serialized(in, vopts));
   } else {
     const std::string target = args.positional.size() > 1 ? args.positional[1] : "all";
@@ -698,6 +764,38 @@ int cmd_datapar(const Args& args) {
   return 0;
 }
 
+// Long-running analysis service: line-delimited JSON requests on stdin,
+// one JSON response per line on stdout, dispatched concurrently onto a
+// thread pool with a content-addressed stage cache (src/serve/). Pipe or
+// socat a request stream in; responses come back in request order
+// regardless of worker count. --file preloads a serialized graph so the
+// first request over that model is already warm.
+int cmd_serve(const Args& args) {
+  const auto threads = static_cast<std::size_t>(args.number("threads", 0));
+  const auto max_in_flight =
+      static_cast<std::size_t>(args.number("max-in-flight", 64));
+
+  conc::ThreadPool pool(threads);
+  serve::AnalysisService service(pool);
+  if (auto it = args.flags.find("file"); it != args.flags.end()) {
+    const std::string text = read_file_or_throw(it->second);
+    try {
+      const std::uint64_t hash = service.preload_graph(text);
+      std::cerr << "gfctl serve: preloaded " << it->second << " (graph hash 0x"
+                << std::hex << hash << std::dec << ")\n";
+    } catch (const std::exception& e) {
+      throw FileError(it->second, e.what());
+    }
+  }
+
+  serve::ServerOptions options;
+  options.max_in_flight = max_in_flight;
+  const std::size_t served = serve::run_server(std::cin, std::cout, service, pool, options);
+  std::cerr << "gfctl serve: " << served << " requests served, "
+            << service.cache_stats().hits << " cache hits\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -706,7 +804,7 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) {
       std::cerr << "usage: gfctl "
                    "<domains|cpu|characterize|project|fit|subbatch|sweep|export|trace|"
-                   "lint|memplan|fuse|whatif|datapar> ...\n";
+                   "lint|memplan|fuse|whatif|datapar|serve> ...\n";
       return 1;
     }
     const std::string& cmd = args.positional[0];
@@ -724,8 +822,14 @@ int main(int argc, char** argv) {
     if (cmd == "fuse") return cmd_fuse(args);
     if (cmd == "whatif") return cmd_whatif(args);
     if (cmd == "datapar") return cmd_datapar(args);
+    if (cmd == "serve") return cmd_serve(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
+  } catch (const FileError& e) {
+    // One contract for every subcommand that reads a file: print the
+    // path, exit 2 (matching lint's unreadable-input convention).
+    std::cerr << "gfctl: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "gfctl: " << e.what() << "\n";
     return 1;

@@ -3,24 +3,29 @@
 namespace gf::analysis {
 
 ModelAnalyzer::ModelAnalyzer(const models::ModelSpec& spec)
-    : spec_(&spec),
-      flops_(spec.graph->total_flops()),
-      bytes_(spec.graph->total_bytes_accessed()) {}
+    : spec_(&spec), counts_(stages::count_stage(*spec.graph)) {
+  // The spec's parameter expression is the finalize-time
+  // graph->parameter_count() — the same expression the count stage just
+  // rebuilt. Reuse the spec's copy so params evaluation stays trivially
+  // identical to the pre-stage-split analyzer even if the graph was
+  // rewritten (fused) after finalize.
+  counts_.params = spec.params;
+}
 
 StepCounts ModelAnalyzer::counts_only(double hidden, double batch) const {
+  const auto p = stages::project_stage(counts_, spec_->bind(hidden, batch));
   StepCounts c;
   c.hidden = hidden;
   c.batch = batch;
-  c.params = spec_->params_at(hidden);
-  const sym::Bindings bind = spec_->bind(hidden, batch);
-  c.flops = flops_.eval(bind);
-  c.bytes = bytes_.eval(bind);
+  c.params = p.params;
+  c.flops = p.flops;
+  c.bytes = p.bytes;
   return c;
 }
 
 StepCounts ModelAnalyzer::at(double hidden, double batch) const {
   StepCounts c = counts_only(hidden, batch);
-  const auto fp = ir::minimal_footprint(*spec_->graph, spec_->bind(hidden, batch));
+  const auto fp = stages::footprint_stage(*spec_->graph, spec_->bind(hidden, batch));
   c.footprint_bytes = fp.total_bytes;
   c.persistent_bytes = fp.persistent_bytes;
   c.transient_bytes = fp.peak_transient_bytes;

@@ -3,6 +3,7 @@
 // memory footprint at a concrete (hidden, batch) point.
 #pragma once
 
+#include "src/analysis/stages.h"
 #include "src/ir/footprint.h"
 #include "src/models/common.h"
 
@@ -25,14 +26,17 @@ struct StepCounts {
 
 /// Pre-aggregated symbolic totals for a model, computed once and evaluated
 /// many times across a sweep (the expensive part is summing ~40k op
-/// expressions; evaluation per binding is cheap).
+/// expressions; evaluation per binding is cheap). A thin veneer over the
+/// pure stage functions in src/analysis/stages.h: the constructor runs
+/// the count stage, the accessors project it.
 class ModelAnalyzer {
  public:
   explicit ModelAnalyzer(const models::ModelSpec& spec);
 
   const models::ModelSpec& spec() const { return *spec_; }
-  const sym::Expr& flops_expr() const { return flops_; }
-  const sym::Expr& bytes_expr() const { return bytes_; }
+  const stages::CountResult& counts() const { return counts_; }
+  const sym::Expr& flops_expr() const { return counts_.flops; }
+  const sym::Expr& bytes_expr() const { return counts_.bytes; }
 
   /// Full counts (including the footprint graph traversal).
   StepCounts at(double hidden, double batch) const;
@@ -45,8 +49,7 @@ class ModelAnalyzer {
 
  private:
   const models::ModelSpec* spec_;
-  sym::Expr flops_;
-  sym::Expr bytes_;
+  stages::CountResult counts_;
 };
 
 }  // namespace gf::analysis

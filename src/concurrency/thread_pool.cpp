@@ -39,6 +39,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     if (shutting_down_) throw std::runtime_error("ThreadPool::submit after shutdown");
     queue_.push_back(std::move(task));
+    queued_.fetch_add(1, std::memory_order_relaxed);
   }
   work_available_.notify_one();
 }
@@ -65,16 +66,19 @@ void ThreadPool::worker_loop(std::size_t index) {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       ++in_flight_;
     }
     // A throwing task must not take the whole process down (std::terminate);
     // record the first error for the next wait_idle() to surface.
+    busy_.fetch_add(1, std::memory_order_relaxed);
     try {
       task();
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    busy_.fetch_sub(1, std::memory_order_relaxed);
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

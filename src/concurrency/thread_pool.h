@@ -15,6 +15,7 @@
 // work and return; the region can never deadlock waiting on queue slots.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -48,6 +49,15 @@ class ThreadPool {
   /// wait_idle() (clearing it).
   void wait_idle();
 
+  /// Tasks submitted but not yet popped by a worker. Relaxed-atomic
+  /// observability counter (serve's stats endpoint, backpressure): exact
+  /// only at quiescence, momentarily stale while workers race it.
+  std::size_t queue_depth() const { return queued_.load(std::memory_order_relaxed); }
+
+  /// Workers currently inside a task body. Same relaxed contract as
+  /// queue_depth().
+  std::size_t busy_workers() const { return busy_.load(std::memory_order_relaxed); }
+
   /// Index of the calling thread within its owning pool (0..threads-1),
   /// or -1 when called from a thread no pool owns (e.g. main).
   static int current_worker_index();
@@ -64,6 +74,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
+  std::atomic<std::size_t> queued_{0};  ///< see queue_depth()
+  std::atomic<std::size_t> busy_{0};    ///< see busy_workers()
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
 };

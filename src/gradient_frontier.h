@@ -19,9 +19,11 @@
 //   gf::verify    static-analysis passes (lint) over the graph IR
 //   gf::rt        numeric executor + TFprof-style profiler
 //   gf::whatif    Daydream-style what-if trace re-simulation
+//   gf::serve     multi-tenant analysis service + content-addressed cache
 #pragma once
 
 #include "src/analysis/first_order.h"
+#include "src/analysis/stages.h"
 #include "src/analysis/step_analysis.h"
 #include "src/analysis/sweep.h"
 #include "src/concurrency/thread_pool.h"
@@ -32,6 +34,7 @@
 #include "src/ir/footprint.h"
 #include "src/ir/gradients.h"
 #include "src/ir/graph.h"
+#include "src/ir/hash.h"
 #include "src/ir/ops.h"
 #include "src/models/models.h"
 #include "src/plan/allreduce.h"
@@ -42,6 +45,8 @@
 #include "src/scaling/domains.h"
 #include "src/scaling/power_law.h"
 #include "src/scaling/projection.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
 #include "src/symbolic/expr.h"
 #include "src/util/format.h"
 #include "src/util/table.h"

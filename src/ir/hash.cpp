@@ -1,0 +1,137 @@
+#include "src/ir/hash.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ops.h"
+#include "src/ir/serialize.h"
+#include "src/symbolic/sexpr.h"
+
+namespace gf::ir {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Domain tags keep the three derived-hash spaces (op outputs, optimizer
+// slots, record kinds) disjoint so e.g. output 0 of an op can never
+// collide with slot 0 of the same op by construction.
+constexpr std::uint64_t kTagOutput = 0x6f757470'7574'0001ull;
+constexpr std::uint64_t kTagSlot = 0x736c6f74'0000'0002ull;
+
+/// Id-free local signature of a producerless tensor: everything its
+/// serialized `tensor` record carries except the (relabeling-dependent) id.
+std::uint64_t tensor_signature(const Tensor& t) {
+  std::string text = "tensor ";
+  text += std::to_string(static_cast<int>(t.role()));
+  text += ' ';
+  text += dtype_name(t.dtype());
+  text += ' ';
+  text += t.name();
+  text += ' ';
+  for (std::size_t i = 0; i < t.shape().rank(); ++i) {
+    if (i) text += '|';
+    text += sym::to_sexpr(t.shape().dim(i));
+  }
+  return fnv1a64(text);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::uint64_t seed, std::string_view bytes) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) { return fnv1a64(kFnvOffset, bytes); }
+
+std::uint64_t fnv1a64_mix(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t canonical_hash(const Graph& graph) {
+  // Merkle pass: every tensor gets a hash that encodes its full ancestry.
+  // Producerless tensors hash their local signature; op outputs derive
+  // from the op's hash, which folds in the type, name, attribute text,
+  // and the input tensors' hashes — so ids never enter, and an op's hash
+  // is independent of where it sits in the insertion order.
+  std::unordered_map<const Tensor*, std::uint64_t> tensor_hash;
+  tensor_hash.reserve(graph.tensors().size());
+
+  // `records` collects one digest per serialized record; the final hash
+  // folds them in sorted order, which is what buys insertion-order
+  // invariance (the multiset of ancestry-encoding records determines the
+  // structure, not their sequence).
+  std::vector<std::uint64_t> records;
+  records.reserve(graph.ops().size() + graph.tensors().size());
+
+  for (const auto& t : graph.tensors()) {
+    if (t->producer() != nullptr) continue;
+    if (t->role() == TensorRole::kOptimizerState) continue;  // slots hash via their op
+    const std::uint64_t h = tensor_signature(*t);
+    tensor_hash.emplace(t.get(), h);
+    records.push_back(h);
+  }
+
+  // A consumer input whose hash is not yet known (forward reference in a
+  // malformed graph, or a cycle) degrades to the local signature so the
+  // hash stays total; lint reports the structural breakage separately.
+  auto input_hash = [&](const Tensor* t) {
+    const auto it = tensor_hash.find(t);
+    return it != tensor_hash.end() ? it->second : tensor_signature(*t);
+  };
+
+  for (const auto& op : graph.ops()) {
+    std::uint64_t h = fnv1a64("op ");
+    h = fnv1a64(h, op_type_name(op->type()));
+    h = fnv1a64(h, " ");
+    h = fnv1a64(h, op->name());
+    h = fnv1a64(h, "\n");
+    h = fnv1a64(h, op_attr_text(*op));
+    const bool apply = op->type() == OpType::kApplyGradient;
+    for (std::size_t i = 0; i < op->inputs().size(); ++i) {
+      // ApplyGradient's optimizer-slot inputs (index >= 2) are created by
+      // the op itself — hashing them as inputs would be circular; they
+      // derive from the op hash below, mirroring the serializer's special
+      // numbering of slot tensors.
+      if (apply && i >= 2) break;
+      h = fnv1a64_mix(h, input_hash(op->inputs()[i]));
+    }
+    for (std::size_t i = 0; i < op->outputs().size(); ++i)
+      tensor_hash[op->outputs()[i]] = fnv1a64_mix(fnv1a64_mix(h, kTagOutput), i);
+    if (apply)
+      for (std::size_t i = 2; i < op->inputs().size(); ++i)
+        tensor_hash[op->inputs()[i]] = fnv1a64_mix(fnv1a64_mix(h, kTagSlot), i);
+    records.push_back(h);
+  }
+
+  // Role retags on op-produced tensors and marked graph outputs are part
+  // of the serialized form, so they are part of the identity too.
+  for (const auto& t : graph.tensors())
+    if (t->producer() != nullptr && t->role() != TensorRole::kActivation) {
+      std::uint64_t h = fnv1a64("retag ");
+      h = fnv1a64(h, std::to_string(static_cast<int>(t->role())));
+      records.push_back(fnv1a64_mix(h, input_hash(t.get())));
+    }
+  for (const Tensor* t : graph.outputs())
+    records.push_back(fnv1a64_mix(fnv1a64("output"), input_hash(t)));
+
+  std::sort(records.begin(), records.end());
+  std::uint64_t h = fnv1a64("graph ");
+  h = fnv1a64(h, graph.name());
+  for (const std::uint64_t r : records) h = fnv1a64_mix(h, r);
+  return h;
+}
+
+}  // namespace gf::ir

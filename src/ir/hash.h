@@ -1,0 +1,42 @@
+// Content-addressed graph hashing.
+//
+// canonical_hash() names a graph by *what it is*, not by how it happens to
+// be laid out in memory: the 64-bit FNV-1a digest is computed over the
+// graph's canonical serialized content (the id-free record text of
+// src/ir/serialize.cpp) combined Merkle-style along producer->consumer
+// edges, so it is invariant under tensor-id relabeling and under the
+// insertion order of independent ops, while any structural difference —
+// an extra op, a changed attribute, a rewired input, a different shape —
+// changes the digest. The serve-layer stage cache (src/serve/cache.h)
+// keys every analysis stage on this hash: two clients submitting the same
+// model, however they numbered their tensors, share one cache line.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/ir/graph.h"
+
+namespace gf::ir {
+
+/// 64-bit FNV-1a over raw bytes (offset basis 0xcbf29ce484222325,
+/// prime 0x100000001b3) — the mixing primitive of canonical_hash, exposed
+/// because cache layers also need to key raw request text.
+std::uint64_t fnv1a64(std::string_view bytes);
+/// Continues an FNV-1a stream from a previous digest.
+std::uint64_t fnv1a64(std::uint64_t seed, std::string_view bytes);
+/// Folds a 64-bit value (e.g. a sub-hash) into an FNV-1a stream, one byte
+/// at a time, little-endian.
+std::uint64_t fnv1a64_mix(std::uint64_t seed, std::uint64_t value);
+
+/// Stable content hash of `graph`: equal for graphs that serialize to the
+/// same canonical records regardless of tensor ids or the relative
+/// insertion order of independent ops; different (modulo 64-bit collision
+/// odds) for structurally different graphs. Total on malformed graphs —
+/// an input tensor whose producer has not been hashed yet (forward
+/// reference or cycle) falls back to its local signature instead of
+/// throwing, so untrusted submissions can still be content-addressed and
+/// then linted.
+std::uint64_t canonical_hash(const Graph& graph);
+
+}  // namespace gf::ir

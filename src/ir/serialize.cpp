@@ -102,14 +102,7 @@ IdMap canonical_ids(const Graph& graph) {
   return ids;
 }
 
-void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
-  os << "op " << op_type_name(op.type()) << ' ' << op.name() << '\n';
-  os << "in";
-  for (const Tensor* t : op.inputs()) os << ' ' << ids.at(t);
-  os << "\nout";
-  for (const Tensor* t : op.outputs()) os << ' ' << ids.at(t);
-  os << '\n';
-
+void write_op_attrs(const Op& op, std::ostream& os) {
   switch (op.type()) {
     case OpType::kMatMul: {
       const auto& mm = static_cast<const MatMulOp&>(op);
@@ -213,6 +206,16 @@ void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
     default:
       break;  // no attributes
   }
+}
+
+void write_op(const Op& op, const IdMap& ids, std::ostream& os) {
+  os << "op " << op_type_name(op.type()) << ' ' << op.name() << '\n';
+  os << "in";
+  for (const Tensor* t : op.inputs()) os << ' ' << ids.at(t);
+  os << "\nout";
+  for (const Tensor* t : op.outputs()) os << ' ' << ids.at(t);
+  os << '\n';
+  write_op_attrs(op, os);
 }
 
 // --- deserialization --------------------------------------------------------
@@ -563,6 +566,12 @@ std::unique_ptr<Graph> clone_graph(const Graph& graph,
 std::unique_ptr<Graph> deserialize(const std::string& text, bool validate) {
   std::istringstream ss(text);
   return deserialize(ss, validate);
+}
+
+std::string op_attr_text(const Op& op) {
+  std::ostringstream os;
+  write_op_attrs(op, os);
+  return os.str();
 }
 
 std::string to_dot(const Graph& graph, std::size_t max_ops) {

@@ -55,4 +55,10 @@ std::unique_ptr<Graph> clone_graph(
 /// inspection of small graphs.
 std::string to_dot(const Graph& graph, std::size_t max_ops = 400);
 
+/// The `attr` lines serialize() would write for `op` (exactly, including
+/// trailing newlines; empty for attribute-free ops). Attribute payloads
+/// never reference tensor ids, so this is the id-independent part of an
+/// op's serialized form — ir::canonical_hash builds on it.
+std::string op_attr_text(const Op& op);
+
 }  // namespace gf::ir

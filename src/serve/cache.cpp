@@ -1,0 +1,48 @@
+#include "src/serve/cache.h"
+
+#include <algorithm>
+
+namespace gf::serve {
+
+StageCache::StageCache(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+std::shared_ptr<StageCache::Entry> StageCache::intern(const std::string& stage,
+                                                      std::uint64_t key) {
+  // The map key folds the stage name into the content key, so every stage
+  // gets its own 64-bit key space (same collision-odds argument as the
+  // content keys themselves).
+  const std::uint64_t full = ir::fnv1a64_mix(ir::fnv1a64(stage), key);
+  Shard& shard = shards_[full % shards_.size()];
+  std::lock_guard lock(shard.mutex);
+  std::shared_ptr<Entry>& slot = shard.map[full];
+  if (!slot) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+void StageCache::record(const std::string& stage, bool execution) {
+  std::lock_guard lock(stats_mutex_);
+  auto& [hits, executions] = stage_stats_[stage];
+  (execution ? executions : hits) += 1;
+}
+
+StageCacheStats StageCache::stats() const {
+  StageCacheStats out;
+  {
+    std::lock_guard lock(stats_mutex_);
+    out.stages.reserve(stage_stats_.size());
+    for (const auto& [stage, counts] : stage_stats_) {
+      out.stages.push_back({stage, counts.first, counts.second});
+      out.hits += counts.first;
+      out.executions += counts.second;
+    }
+  }
+  std::sort(out.stages.begin(), out.stages.end(),
+            [](const auto& a, const auto& b) { return a.stage < b.stage; });
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.entries += shard.map.size();
+  }
+  return out;
+}
+
+}  // namespace gf::serve

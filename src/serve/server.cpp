@@ -1,0 +1,72 @@
+#include "src/serve/server.h"
+
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gf::serve {
+
+std::size_t run_server(std::istream& in, std::ostream& out, AnalysisService& service,
+                       conc::ThreadPool& pool, const ServerOptions& options) {
+  const std::size_t cap = options.max_in_flight == 0 ? 1 : options.max_in_flight;
+
+  std::mutex mutex;
+  std::condition_variable progress;
+  std::map<std::size_t, std::string> ready;  // ticket -> response
+  std::size_t next_write = 0;
+  std::size_t in_flight = 0;
+
+  // Only the reader thread touches `out`; workers hand finished responses
+  // back through `ready` and the reader flushes the contiguous prefix.
+  // That single-writer rule plus ticket ordering is what makes the output
+  // byte stream independent of worker count and completion order.
+  const auto flush_ready = [&](std::unique_lock<std::mutex>& lock) {
+    while (true) {
+      const auto it = ready.find(next_write);
+      if (it == ready.end()) break;
+      const std::string line = std::move(it->second);
+      ready.erase(it);
+      ++next_write;
+      lock.unlock();  // stream I/O outside the lock
+      out << line << '\n';
+      lock.lock();
+    }
+    out.flush();
+  };
+
+  std::size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t ticket = served++;
+    {
+      std::unique_lock lock(mutex);
+      progress.wait(lock, [&] { return in_flight < cap; });
+      ++in_flight;
+    }
+    pool.submit([&, ticket, request = std::move(line)] {
+      std::string response = service.handle(request);
+      {
+        std::lock_guard lock(mutex);
+        ready.emplace(ticket, std::move(response));
+        --in_flight;
+      }
+      progress.notify_all();
+    });
+    {
+      std::unique_lock lock(mutex);
+      flush_ready(lock);
+    }
+  }
+
+  std::unique_lock lock(mutex);
+  progress.wait(lock, [&] { return in_flight == 0; });
+  flush_ready(lock);
+  return served;
+}
+
+}  // namespace gf::serve

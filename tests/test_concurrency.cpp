@@ -31,6 +31,32 @@ TEST(ThreadPool, DefaultSizeIsPositive) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, GaugesTrackQueueAndBusyWorkers) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0u);
+
+  // Park both workers, then queue more work than the pool can start:
+  // the surplus must be visible in queue_depth while the gate is closed.
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i)
+    pool.submit([&] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  while (started.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(pool.busy_workers(), 2u);
+
+  for (int i = 0; i < 5; ++i) pool.submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 5u);
+
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0u);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   const std::size_t n = 10007;

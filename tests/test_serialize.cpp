@@ -6,6 +6,7 @@
 
 #include "src/ir/footprint.h"
 #include "src/ir/fusion.h"
+#include "src/ir/hash.h"
 #include "src/ir/ops.h"
 #include "src/ir/serialize.h"
 #include "src/models/models.h"
@@ -206,6 +207,94 @@ TEST(GraphSerialize, DotExportContainsOpsAndTruncates) {
   EXPECT_NE(dot.find("more ops"), std::string::npos);  // truncation marker
   const std::string full = ir::to_dot(*spec.graph, 100000);
   EXPECT_EQ(full.find("more ops"), std::string::npos);
+}
+
+/// Two independent branches off separate inputs; `reversed` flips the
+/// insertion order of the (dataflow-independent) ops, and `shift_ids`
+/// burns a tensor id before building so every real tensor is relabeled.
+void build_branches(ir::Graph& g, bool reversed, bool shift_ids = false) {
+  ir::Tensor* dummy =
+      shift_ids ? g.add_input("dummy", {Expr(1)}) : nullptr;
+  ir::Tensor* x = g.add_input("x", {Expr(4), Expr(8)});
+  ir::Tensor* y = g.add_input("y", {Expr(4), Expr(8)});
+  if (reversed) {
+    ir::tanh(g, "b", y);
+    ir::relu(g, "a", x);
+  } else {
+    ir::relu(g, "a", x);
+    ir::tanh(g, "b", y);
+  }
+  if (dummy != nullptr) g.remove_tensor(dummy);
+}
+
+TEST(CanonicalHash, InvariantUnderOpInsertionOrder) {
+  ir::Graph forward("branches"), reversed("branches");
+  build_branches(forward, false);
+  build_branches(reversed, true);
+  EXPECT_EQ(ir::canonical_hash(forward), ir::canonical_hash(reversed));
+}
+
+TEST(CanonicalHash, InvariantUnderTensorIdRelabeling) {
+  ir::Graph plain("branches"), shifted("branches");
+  build_branches(plain, false);
+  build_branches(shifted, false, /*shift_ids=*/true);
+  // Same structure, every tensor id off by one: the hash must not see ids.
+  EXPECT_EQ(ir::canonical_hash(plain), ir::canonical_hash(shifted));
+}
+
+TEST(CanonicalHash, SurvivesSerializationRoundTrip) {
+  const auto spec = models::build_word_lm({.vocab = 30, .layers = 1, .seq_length = 3});
+  const std::uint64_t before = ir::canonical_hash(*spec.graph);
+  const auto loaded = ir::deserialize(ir::serialize(*spec.graph));
+  EXPECT_EQ(ir::canonical_hash(*loaded), before);
+  // Rebuilding the family from scratch is also content-identical — the
+  // determinism the serve-layer "build" cache stage relies on.
+  const auto again = models::build_word_lm({.vocab = 30, .layers = 1, .seq_length = 3});
+  EXPECT_EQ(ir::canonical_hash(*again.graph), before);
+}
+
+TEST(CanonicalHash, StructuralDifferencesChangeTheHash) {
+  ir::Graph base("g");
+  build_branches(base, false);
+  const std::uint64_t h = ir::canonical_hash(base);
+
+  ir::Graph different_fn("g");  // relu -> sigmoid on one branch
+  {
+    ir::Tensor* x = different_fn.add_input("x", {Expr(4), Expr(8)});
+    ir::Tensor* y = different_fn.add_input("y", {Expr(4), Expr(8)});
+    ir::sigmoid(different_fn, "a", x);
+    ir::tanh(different_fn, "b", y);
+  }
+  EXPECT_NE(ir::canonical_hash(different_fn), h);
+
+  ir::Graph extra_op("g");  // one more consumer of the same input
+  build_branches(extra_op, false);
+  ir::relu(extra_op, "c", extra_op.tensors()[0].get());
+  EXPECT_NE(ir::canonical_hash(extra_op), h);
+
+  ir::Graph rewired("g");  // both branches read the same input
+  {
+    ir::Tensor* x = rewired.add_input("x", {Expr(4), Expr(8)});
+    rewired.add_input("y", {Expr(4), Expr(8)});
+    ir::relu(rewired, "a", x);
+    ir::tanh(rewired, "b", x);
+  }
+  EXPECT_NE(ir::canonical_hash(rewired), h);
+
+  ir::Graph renamed("other_name");
+  build_branches(renamed, false);
+  EXPECT_NE(ir::canonical_hash(renamed), h);
+
+  ir::Graph marked("g");  // same ops, but one tensor marked as an output
+  build_branches(marked, false);
+  marked.mark_output(marked.tensors().back().get());
+  EXPECT_NE(ir::canonical_hash(marked), h);
+}
+
+TEST(CanonicalHash, DistinguishesModelFamilies) {
+  const auto word = models::build_word_lm({.vocab = 30, .layers = 1, .seq_length = 3});
+  const auto chars = models::build_char_lm({.vocab = 30, .depth = 2, .seq_length = 3});
+  EXPECT_NE(ir::canonical_hash(*word.graph), ir::canonical_hash(*chars.graph));
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// Tests of the serve layer: content-addressed stage cache (single-flight,
+// immutability, per-stage reuse accounting), the AnalysisService protocol
+// (determinism under concurrent hammering, malformed-request containment),
+// and the ordered-output server loop (byte-identical streams for any
+// worker count). The hammering tests are in the TSan CI matrix — they are
+// the data-race regression net for the whole serve stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/concurrency/thread_pool.h"
+#include "src/ir/gradients.h"
+#include "src/ir/graph.h"
+#include "src/ir/hash.h"
+#include "src/ir/ops.h"
+#include "src/ir/serialize.h"
+#include "src/serve/cache.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+
+namespace gf::serve {
+namespace {
+
+using sym::Expr;
+
+/// Small training-step MLP over the standard model symbols, serialized —
+/// a cheap stand-in for a client-submitted graph. Symbols match
+/// models::kBatchSymbol / kHiddenSymbol so characterize bindings apply.
+std::string submitted_graph_text() {
+  ir::Graph g("submitted_mlp");
+  const Expr b = Expr::symbol("batch");
+  const Expr h = Expr::symbol("hidden");
+  ir::Tensor* x = g.add_input("x", {b, h});
+  ir::Tensor* labels = g.add_input("labels", {b}, ir::DataType::kInt32);
+  ir::Tensor* w1 = g.add_weight("w1", {h, h});
+  ir::Tensor* w2 = g.add_weight("w2", {h, Expr(8)});
+  ir::Tensor* hid = ir::relu(g, "act", ir::matmul(g, "fc1", x, w1));
+  ir::Tensor* logits = ir::matmul(g, "fc2", hid, w2);
+  auto [per_row, probs] = ir::softmax_xent(g, "xent", logits, labels);
+  (void)probs;
+  ir::Tensor* loss = ir::reduce_mean(g, "loss", per_row);
+  ir::build_training_step(g, loss);
+  return ir::serialize(g);
+}
+
+std::uint64_t stage_executions(const StageCacheStats& stats, const std::string& name) {
+  for (const auto& s : stats.stages)
+    if (s.stage == name) return s.executions;
+  return 0;
+}
+
+std::uint64_t stage_hits(const StageCacheStats& stats, const std::string& name) {
+  for (const auto& s : stats.stages)
+    if (s.stage == name) return s.hits;
+  return 0;
+}
+
+TEST(StageCache, SingleFlightUnderConcurrentHammering) {
+  StageCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 50;
+  std::atomic<int> computed{0};
+  std::vector<std::shared_ptr<const int>> seen(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        auto value = cache.get_or_compute<int>("stage", 42, [&] {
+          computed.fetch_add(1, std::memory_order_relaxed);
+          return std::make_shared<int>(7);
+        });
+        seen[t] = value;
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  // SINGLE-FLIGHT: one execution ever, no matter the contention.
+  EXPECT_EQ(computed.load(), 1);
+  // IMMUTABLE ONCE PUBLISHED: every thread saw the same object.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t].get(), seen[0].get());
+  EXPECT_EQ(*seen[0], 7);
+
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads) * kRoundsPerThread - 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(StageCache, EntriesAreImmutableAndEvictionFree) {
+  StageCache cache;
+  std::vector<const int*> pointers;
+  // Publish 64 entries, then re-read each many times: the pointer a key
+  // resolves to never changes (no eviction, no replacement).
+  for (std::uint64_t key = 0; key < 64; ++key)
+    pointers.push_back(
+        cache.get_or_compute<int>("s", key, [&] { return std::make_shared<int>(static_cast<int>(key)); })
+            .get());
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      auto value = cache.get_or_compute<int>("s", key, [&]() -> std::shared_ptr<int> {
+        ADD_FAILURE() << "published entry recomputed";
+        return std::make_shared<int>(-1);
+      });
+      EXPECT_EQ(value.get(), pointers[key]);
+      EXPECT_EQ(*value, static_cast<int>(key));
+    }
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 64u);
+  EXPECT_EQ(stats.executions, 64u);
+  EXPECT_EQ(stats.hits, 640u);
+}
+
+TEST(StageCache, ThrowingComputeIsNotCached) {
+  StageCache cache;
+  EXPECT_THROW(cache.get_or_compute<int>("s", 1,
+                                         []() -> std::shared_ptr<int> {
+                                           throw std::runtime_error("transient");
+                                         }),
+               std::runtime_error);
+  // The failure left the once-flag unset: the next requester retries and
+  // the eventual success is the only recorded execution.
+  auto value = cache.get_or_compute<int>("s", 1, [] { return std::make_shared<int>(5); });
+  EXPECT_EQ(*value, 5);
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.executions, 1u);
+}
+
+TEST(StageCache, SameKeyDifferentStageIsDistinct) {
+  StageCache cache;
+  auto a = cache.get_or_compute<int>("count", 9, [] { return std::make_shared<int>(1); });
+  auto b = cache.get_or_compute<int>("project", 9, [] { return std::make_shared<int>(2); });
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(Serve, ResponsesAreByteIdenticalUnderConcurrentHammering) {
+  const std::string graph_text = submitted_graph_text();
+  Json req = Json::object();
+  req.set("kind", Json("characterize"));
+  req.set("graph", Json(graph_text));
+  req.set("hidden", Json(64.0));
+  req.set("batch", Json(16.0));
+  const std::string line = req.dump();
+
+  conc::ThreadPool pool(2);
+  AnalysisService service(pool);
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 25;
+  std::vector<std::vector<std::string>> responses(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRoundsPerThread; ++i)
+        responses[t].push_back(service.handle(line));
+    });
+  for (auto& th : threads) th.join();
+
+  const std::string& expected = responses[0][0];
+  EXPECT_NE(expected.find("\"ok\":true"), std::string::npos) << expected;
+  for (int t = 0; t < kThreads; ++t)
+    for (const std::string& r : responses[t]) EXPECT_EQ(r, expected);
+
+  // Zero re-executions: the expensive stages ran exactly once across all
+  // 200 identical requests.
+  const StageCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stage_executions(stats, "parse"), 1u);
+  EXPECT_EQ(stage_executions(stats, "count"), 1u);
+  EXPECT_EQ(stage_executions(stats, "project"), 1u);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(Serve, SweepReusesCountStageAcrossPoints) {
+  const std::string graph_text = submitted_graph_text();
+  Json req = Json::object();
+  req.set("kind", Json("sweep"));
+  req.set("graph", Json(graph_text));
+  Json hiddens = Json::array();
+  for (double h : {32.0, 64.0, 128.0, 256.0}) hiddens.push_back(Json(h));
+  req.set("hidden", hiddens);
+  req.set("batch", Json(16.0));
+  const std::string line = req.dump();
+
+  conc::ThreadPool pool(1);
+  AnalysisService service(pool);
+  const std::string first = service.handle(line);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+
+  StageCacheStats stats = service.cache_stats();
+  // One parse, one count — then only the cheap projection tail per point.
+  EXPECT_EQ(stage_executions(stats, "parse"), 1u);
+  EXPECT_EQ(stage_executions(stats, "count"), 1u);
+  EXPECT_EQ(stage_executions(stats, "project"), 4u);
+
+  // A repeated identical sweep executes nothing at all.
+  const std::string second = service.handle(line);
+  EXPECT_EQ(second, first);
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.executions, 6u);  // unchanged: 1 parse + 1 count + 4 project
+  EXPECT_EQ(stage_hits(stats, "project"), 4u);
+}
+
+TEST(Serve, MalformedRequestsAreRejectedWithoutServerDeath) {
+  const std::string graph_text = submitted_graph_text();
+  Json good = Json::object();
+  good.set("id", Json(3.0));
+  good.set("kind", Json("characterize"));
+  good.set("graph", Json(graph_text));
+  good.set("hidden", Json(32.0));
+  good.set("batch", Json(8.0));
+
+  std::ostringstream input;
+  input << "this is not json\n";
+  input << "{\"kind\":\"no-such-kind\"}\n";
+  input << "{\"kind\":\"characterize\"}\n";          // no model/graph
+  input << "{\"kind\":\"characterize\",\"model\":\"no_such_family\",\"batch\":1,\"hidden\":1}\n";
+  input << "\n";  // blank: ignored, not answered
+  input << good.dump() << "\n";
+
+  conc::ThreadPool pool(2);
+  AnalysisService service(pool);
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  const std::size_t served = run_server(in, out, service, pool);
+  EXPECT_EQ(served, 5u);
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(lines[i].find("\"ok\":false"), std::string::npos) << lines[i];
+  EXPECT_NE(lines[4].find("\"ok\":true"), std::string::npos) << lines[4];
+  EXPECT_NE(lines[4].find("\"id\":3"), std::string::npos) << lines[4];
+}
+
+TEST(Serve, OutputStreamIsIdenticalForAnyWorkerCount) {
+  const std::string graph_text = submitted_graph_text();
+  std::ostringstream input;
+  for (int i = 0; i < 12; ++i) {
+    Json req = Json::object();
+    req.set("id", Json(static_cast<double>(i)));
+    req.set("kind", Json(i % 3 == 2 ? "lint" : "characterize"));
+    req.set("graph", Json(graph_text));
+    if (i % 3 != 2) {
+      req.set("hidden", Json(32.0 * (1 + i % 4)));
+      req.set("batch", Json(16.0));
+    }
+    input << req.dump() << "\n";
+  }
+
+  std::vector<std::string> streams;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    conc::ThreadPool pool(threads);
+    AnalysisService service(pool);  // fresh (cold) cache per run
+    std::istringstream in(input.str());
+    std::ostringstream out;
+    ServerOptions options;
+    options.max_in_flight = 4;  // exercise backpressure too
+    EXPECT_EQ(run_server(in, out, service, pool, options), 12u);
+    streams.push_back(out.str());
+  }
+  EXPECT_EQ(streams[1], streams[0]);
+  EXPECT_EQ(streams[2], streams[0]);
+}
+
+TEST(Serve, PreloadWarmsParseAndCountStages) {
+  const std::string graph_text = submitted_graph_text();
+  conc::ThreadPool pool(1);
+  AnalysisService service(pool);
+  const std::uint64_t hash = service.preload_graph(graph_text);
+  EXPECT_NE(hash, 0u);
+
+  Json req = Json::object();
+  req.set("kind", Json("characterize"));
+  req.set("graph", Json(graph_text));
+  req.set("hidden", Json(64.0));
+  req.set("batch", Json(16.0));
+  const std::string response = service.handle(req.dump());
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+
+  const StageCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stage_executions(stats, "parse"), 1u);  // preload did it
+  EXPECT_EQ(stage_executions(stats, "count"), 1u);
+  EXPECT_GE(stage_hits(stats, "parse"), 1u);
+  EXPECT_THROW(service.preload_graph("graph v1\nnot a real graph"), std::exception);
+}
+
+TEST(Serve, StatsRequestReportsPoolAndCacheCounters) {
+  conc::ThreadPool pool(3);
+  AnalysisService service(pool);
+  const std::string response = service.handle("{\"kind\":\"stats\"}");
+  const Json parsed = Json::parse(response);
+  EXPECT_TRUE(parsed.bool_or("ok", false)) << response;
+  const Json* pool_json = parsed.find("pool");
+  ASSERT_NE(pool_json, nullptr);
+  EXPECT_EQ(pool_json->number_or("threads", 0), 3.0);
+  EXPECT_EQ(pool_json->number_or("queue_depth", -1), 0.0);
+  EXPECT_EQ(pool_json->number_or("busy_workers", -1), 0.0);
+  const Json* cache_json = parsed.find("cache");
+  ASSERT_NE(cache_json, nullptr);
+  EXPECT_EQ(cache_json->number_or("entries", -1), 0.0);
+}
+
+TEST(ServeJson, RoundTripsAndRejectsMalformed) {
+  const Json parsed = Json::parse(
+      "{\"a\": [1, 2.5, true, null, \"x\\u0041\"], \"b\": {\"nested\": -3e2}}");
+  EXPECT_EQ(parsed.find("a")->items().size(), 5u);
+  EXPECT_EQ(parsed.find("a")->items()[4].as_string(), "xA");
+  EXPECT_EQ(parsed.find("b")->number_or("nested", 0), -300.0);
+  // Deterministic rendering: integers print without exponent or fraction.
+  Json obj = Json::object();
+  obj.set("n", Json(1234567.0));
+  obj.set("f", Json(0.5));
+  EXPECT_EQ(obj.dump(), "{\"n\":1234567,\"f\":0.5}");
+  EXPECT_THROW(Json::parse("{\"unterminated\": "), std::exception);
+  EXPECT_THROW(Json::parse("[1,]"), std::exception);
+  EXPECT_THROW(Json::parse(""), std::exception);
+}
+
+}  // namespace
+}  // namespace gf::serve
